@@ -1,0 +1,116 @@
+"""Appendix A ablation — why version.bind, not an ordinary A record.
+
+The appendix argues that comparing answers to an ordinary A-record query
+cannot distinguish an honest open-port-53 CPE from a DNAT interceptor:
+both return the same (correct) IP address for example.com, so the
+comparison *always* matches and convicts honest CPEs.
+
+This benchmark runs both variants of Step 2 over a mixed set of
+households and reports the confusion:
+
+- version.bind comparison: convicts interceptors, clears honest
+  open forwarders (modulo the documented silent-forwarder case);
+- A-record comparison: convicts every open forwarder whose ISP path
+  ends at a consistent resolver — the false-positive mode Appendix A
+  predicts.
+"""
+
+import random
+
+from repro.analysis.formatting import render_table
+from repro.atlas.geo import organization_by_name
+from repro.atlas.measurement import MeasurementClient
+from repro.atlas.probe import IspBehavior, ProbeSpec
+from repro.atlas.scenario import build_scenario
+from repro.core.cpe_check import check_cpe
+from repro.cpe.firmware import dnat_interceptor, open_wan_forwarder
+from repro.dnswire import QType, make_query
+from repro.resolvers.public import Provider
+from repro.resolvers.software import dnsmasq
+
+PROVIDERS = [Provider.CLOUDFLARE, Provider.GOOGLE, Provider.QUAD9, Provider.OPENDNS]
+
+
+def a_record_comparison(client, cpe_address, rng) -> bool:
+    """The naive Step-2 variant Appendix A warns against."""
+
+    def resolve_via(target: str):
+        query = make_query(
+            "www.example.com.", QType.A, msg_id=rng.randint(0, 0xFFFF)
+        )
+        result = client.exchange(target, query)
+        if result.response is None:
+            return None
+        addresses = result.response.a_addresses()
+        return tuple(addresses) or None
+
+    via_cpe = resolve_via(str(cpe_address))
+    if via_cpe is None:
+        return False
+    return any(
+        resolve_via(spec_addr) == via_cpe
+        for spec_addr in ("8.8.8.8", "1.1.1.1", "9.9.9.9", "208.67.222.222")
+    )
+
+
+def build_cases():
+    """(label, scenario, truly_intercepting) triples."""
+    org = organization_by_name("Comcast")
+    cases = []
+    for index, version in enumerate(["2.78", "2.80", "2.85"]):
+        spec = ProbeSpec(
+            probe_id=6000 + index,
+            organization=org,
+            firmware=dnat_interceptor(software=dnsmasq(version)),
+        )
+        cases.append((f"interceptor dnsmasq-{version}", build_scenario(spec), True))
+    for index, version in enumerate(["2.78", "2.80", "2.85"]):
+        spec = ProbeSpec(
+            probe_id=6100 + index,
+            organization=org,
+            firmware=open_wan_forwarder(software=dnsmasq(version)),
+        )
+        cases.append(
+            (f"honest open forwarder dnsmasq-{version}", build_scenario(spec), False)
+        )
+    return cases
+
+
+def test_appendix_a_version_bind_vs_a_record(benchmark):
+    cases = build_cases()
+
+    def run_both_variants():
+        outcomes = []
+        for label, scenario, truth in cases:
+            client = MeasurementClient(scenario.network, scenario.host)
+            rng = random.Random(hash(label) & 0xFFFF)
+            vb = check_cpe(
+                client, scenario.cpe_public_v4, PROVIDERS, rng=rng
+            ).cpe_is_interceptor
+            ar = a_record_comparison(client, scenario.cpe_public_v4, rng)
+            outcomes.append((label, truth, vb, ar))
+        return outcomes
+
+    outcomes = benchmark(run_both_variants)
+
+    print()
+    print(
+        render_table(
+            ("Household", "Intercepts?", "version.bind verdict", "A-record verdict"),
+            [
+                (label, truth, vb, ar)
+                for label, truth, vb, ar in outcomes
+            ],
+            title="Appendix A ablation: comparison query choice.",
+        )
+    )
+
+    vb_errors = sum(1 for _l, truth, vb, _a in outcomes if vb != truth)
+    ar_errors = sum(1 for _l, truth, _v, ar in outcomes if ar != truth)
+    honest = [(truth, ar) for _l, truth, _v, ar in outcomes if not truth]
+
+    # version.bind is perfect on this case set.
+    assert vb_errors == 0
+    # The A-record variant convicts every honest open forwarder.
+    assert all(ar for _t, ar in honest)
+    assert ar_errors == len(honest) > 0

@@ -1,0 +1,31 @@
+"""Classifier accuracy vs. ground truth — an evaluation the paper
+could not perform (no ground truth exists for the real Internet).
+
+Scores the pipeline over the session fleet. Expected properties:
+
+- interception detection has perfect precision (timeout conservatism
+  plus standard-format matching never flag a clean path) and slightly
+  imperfect recall (DROP-mode interceptors hide behind the conservatism);
+- CPE attribution has perfect recall and a known, small false-positive
+  count (the §6 open-forwarder cases);
+- WITHIN_ISP attribution has perfect precision (only an in-AS device can
+  answer a bogon query) and recall reduced by bogon-blind interceptors.
+"""
+
+from repro.analysis.accuracy import score_study
+
+
+def test_classifier_accuracy_against_ground_truth(study, benchmark):
+    report = benchmark(score_study, study)
+    print()
+    print(report.render())
+
+    assert report.detection.precision == 1.0
+    assert report.detection.recall > 0.9
+
+    assert report.cpe.recall == 1.0
+    # The designed §6 misclassifications, and nothing else.
+    assert 0 <= report.cpe.false_positives <= 4
+
+    assert report.within_isp.precision == 1.0
+    assert report.within_isp.recall > 0.7  # bogon-blind share is ~12%

@@ -1,0 +1,80 @@
+"""Baseline comparison — Liu et al.'s prevalence technique vs. this paper.
+
+The predecessor work detects interception from the *authoritative side*
+(a unique name resolved through the target resolver; the experimenter's
+nameserver logs which egress asked). This benchmark runs both techniques
+over the same three interceptor placements and prints the comparison the
+paper's §7 makes in words: the baseline detects all three identically,
+the three-step technique additionally localises them.
+"""
+
+from repro.analysis.formatting import render_table
+from repro.atlas.geo import organization_by_name
+from repro.atlas.measurement import MeasurementClient
+from repro.atlas.scenario import build_scenario
+from repro.core.baseline import PrevalenceExperiment
+from repro.core.classifier import InterceptionLocator
+from repro.cpe.firmware import dnat_interceptor, honest_router
+from repro.interceptors.policy import intercept_all
+from repro.resolvers.directory import build_default_directory
+from repro.resolvers.public import Provider
+
+from tests.conftest import make_spec
+
+CASES = (
+    ("clean", {}),
+    ("cpe interceptor", dict(firmware=dnat_interceptor())),
+    ("isp middlebox", dict(middlebox_policies=[intercept_all()])),
+    ("beyond-AS interceptor", dict(external_policies=[intercept_all()])),
+)
+
+
+def test_prevalence_baseline_vs_three_step(benchmark):
+    org = organization_by_name("Comcast")
+
+    def run_comparison():
+        import random
+
+        rows = []
+        for index, (label, kwargs) in enumerate(CASES):
+            directory = build_default_directory()
+            spec = make_spec(org, probe_id=6600 + index, **kwargs)
+            scenario = build_scenario(spec, directory=directory)
+            client = MeasurementClient(scenario.network, scenario.host)
+
+            experiment = PrevalenceExperiment(directory, seed=index)
+            baseline = experiment.probe(
+                client, Provider.GOOGLE, probe_id=spec.probe_id
+            )
+
+            locator = InterceptionLocator(
+                client,
+                cpe_public_v4=scenario.cpe_public_v4,
+                families=(4,),
+                rng=random.Random(spec.probe_id),
+                run_transparency=False,
+            )
+            ours = locator.classify()
+            rows.append((label, baseline.status.value, ours.verdict.value))
+        return rows
+
+    rows = benchmark(run_comparison)
+
+    print()
+    print(
+        render_table(
+            ("Household", "Liu et al. (prevalence)", "This paper (location)"),
+            rows,
+            title="Baseline comparison: detection vs. localisation.",
+        )
+    )
+
+    verdicts = {label: (base, ours) for label, base, ours in rows}
+    assert verdicts["clean"] == ("not-intercepted", "not-intercepted")
+    # The baseline detects every interceptor…
+    for label in ("cpe interceptor", "isp middlebox", "beyond-AS interceptor"):
+        assert verdicts[label][0] == "intercepted"
+    # …but cannot tell them apart; the three-step technique can.
+    ours = [verdicts[l][1] for l in ("cpe interceptor", "isp middlebox",
+                                     "beyond-AS interceptor")]
+    assert ours == ["cpe", "within-isp", "unknown"]

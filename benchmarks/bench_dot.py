@@ -1,0 +1,101 @@
+"""§6 future work — DoT interception and the privacy-profile split.
+
+Regenerates the experiment the paper proposed but did not run: the
+Step-1 location-query check over DNS-over-TLS, in both RFC 7858 privacy
+profiles, against four household types. Expected matrix:
+
+===============================  ============  =================
+Household                        opportunistic  strict
+===============================  ============  =================
+clean                            clean         clean
+UDP-only ISP interceptor         clean         clean
+DoT-terminating ISP interceptor  INTERCEPTED   HIJACK DEFEATED
+hijacking XB6 (UDP/53 DNAT)      clean         clean
+===============================  ============  =================
+"""
+
+import random
+from dataclasses import replace
+
+from repro.analysis.formatting import render_table
+from repro.atlas.geo import organization_by_name
+from repro.atlas.measurement import MeasurementClient
+from repro.atlas.scenario import build_scenario
+from repro.core.dot_probe import DotProfile, DotStatus, detect_dot_provider
+from repro.cpe.firmware import xb6_profile
+from repro.interceptors.policy import intercept_all
+from repro.resolvers.public import Provider
+
+from tests.conftest import make_spec
+
+
+def build_cases():
+    org = organization_by_name("Comcast")
+    dot_policy = replace(intercept_all(), intercept_dot=True)
+    return [
+        ("clean", make_spec(org, probe_id=6400)),
+        (
+            "udp-only interceptor",
+            make_spec(org, probe_id=6401, middlebox_policies=[intercept_all()]),
+        ),
+        (
+            "DoT-terminating interceptor",
+            make_spec(org, probe_id=6402, middlebox_policies=[dot_policy]),
+        ),
+        ("hijacking XB6", make_spec(org, probe_id=6403, firmware=xb6_profile())),
+    ]
+
+
+def test_dot_privacy_profile_matrix(benchmark):
+    cases = build_cases()
+
+    def run_matrix():
+        outcomes = []
+        for label, spec in cases:
+            scenario = build_scenario(spec)
+            client = MeasurementClient(scenario.network, scenario.host)
+            rng = random.Random(spec.probe_id)
+            row = {}
+            for profile in DotProfile:
+                verdict = detect_dot_provider(
+                    client, Provider.GOOGLE, profile=profile, rng=rng
+                )
+                row[profile] = verdict.status
+            outcomes.append((label, row))
+        return outcomes
+
+    outcomes = benchmark(run_matrix)
+
+    print()
+    print(
+        render_table(
+            ("Household", "opportunistic", "strict"),
+            [
+                (
+                    label,
+                    row[DotProfile.OPPORTUNISTIC].value,
+                    row[DotProfile.STRICT].value,
+                )
+                for label, row in outcomes
+            ],
+            title="DoT location-query outcomes by privacy profile (§6).",
+        )
+    )
+
+    expected = {
+        "clean": (DotStatus.NOT_INTERCEPTED, DotStatus.NOT_INTERCEPTED),
+        "udp-only interceptor": (
+            DotStatus.NOT_INTERCEPTED,
+            DotStatus.NOT_INTERCEPTED,
+        ),
+        "DoT-terminating interceptor": (
+            DotStatus.INTERCEPTED,
+            DotStatus.HIJACK_DEFEATED,
+        ),
+        "hijacking XB6": (DotStatus.NOT_INTERCEPTED, DotStatus.NOT_INTERCEPTED),
+    }
+    for label, row in outcomes:
+        assert (
+            row[DotProfile.OPPORTUNISTIC],
+            row[DotProfile.STRICT],
+        ) == expected[label], label

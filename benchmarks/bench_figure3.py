@@ -1,0 +1,36 @@
+"""Figure 3 — intercepted probes per top-15 organization, by transparency.
+
+Paper shape: Comcast (AS7922) tops the chart; the majority of
+intercepted probes are *transparent* (queries still resolved correctly,
+just not by the target resolver); a minority return modified statuses
+(SERVFAIL/NOTIMP/REFUSED) or a mix ("Both").
+"""
+
+from repro.analysis.figures import build_figure3
+from repro.core.transparency import ProbeTransparency
+
+from .conftest import at_paper_scale
+
+
+def test_figure3_transparency_per_organization(study, benchmark):
+    figure = benchmark(build_figure3, study)
+    print()
+    print(figure.render())
+
+    assert len(figure.rows) <= 15
+    totals = figure.totals()
+    transparent = totals.get(ProbeTransparency.TRANSPARENT.value, 0)
+    modified = totals.get(ProbeTransparency.STATUS_MODIFIED.value, 0)
+    both = totals.get(ProbeTransparency.BOTH.value, 0)
+
+    if transparent + modified + both > 10:
+        # "The majority of queries across countries and ISPs return a
+        # valid response" (§4.1.2).
+        assert transparent > modified + both
+
+    if at_paper_scale():
+        # Comcast has the most intercepted probes of any organization.
+        assert figure.rows[0][0] == "Comcast"
+        # Each behaviour class is represented somewhere in the fleet.
+        assert modified > 0
+        assert both > 0

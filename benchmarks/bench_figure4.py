@@ -1,0 +1,56 @@
+"""Figure 4 — interception location for top countries and organizations.
+
+Paper shape: of ~220 intercepted probes, 49 are intercepted by their own
+CPE; in the majority of cases the interceptor is *close to the client*
+(CPE or within the ISP); the remainder cannot be localised (beyond the
+ISP, or bogon-discarding interceptors).
+"""
+
+from repro.analysis.figures import (
+    build_figure4_countries,
+    build_figure4_organizations,
+    build_location_summary,
+)
+
+from .conftest import assert_band, at_paper_scale, scale
+
+
+def test_figure4_interception_location(study, benchmark):
+    def build_all():
+        return (
+            build_figure4_countries(study),
+            build_figure4_organizations(study),
+            build_location_summary(study),
+        )
+
+    countries, organizations, summary = benchmark(build_all)
+    print()
+    print(countries.render())
+    print()
+    print(organizations.render())
+    print()
+    print("Summary:", summary.render())
+
+    assert summary.cpe + summary.within_isp + summary.unknown == (
+        summary.total_intercepted
+    )
+
+    assert_band(summary.total_intercepted, scale(195), scale(250), "intercepted")
+    assert_band(summary.cpe, scale(42), scale(56), "CPE-attributed")
+
+    if summary.total_intercepted > 10:
+        # §4.3: interception happens close to the client in a majority
+        # of cases.
+        assert summary.close_to_client > summary.total_intercepted / 2
+
+    if at_paper_scale():
+        # CPE interception appears in many countries, not one network's
+        # quirk (§4.2: "countries around the world").
+        cpe_countries = {
+            label
+            for label, counts in build_figure4_countries(study, limit=1000).rows
+            if counts.get("cpe", 0) > 0
+        }
+        assert len(cpe_countries) >= 5
+        # Comcast leads the organization chart.
+        assert organizations.rows[0][0] == "Comcast"

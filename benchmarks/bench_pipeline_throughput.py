@@ -1,0 +1,44 @@
+"""Measurement-pipeline micro-benchmarks.
+
+Not a paper artifact — engineering numbers for the harness itself:
+per-probe classification cost (scenario build + ~20 DNS exchanges over
+the simulated network) and raw DNS message codec throughput. These make
+regressions in the simulator's hot paths visible.
+"""
+
+from repro.atlas.geo import organization_by_name
+from repro.atlas.probe import ProbeSpec
+from repro.core.study import measure_probe
+from repro.cpe.firmware import xb6_profile
+from repro.dnswire import Message, QType, make_query, txt_record
+
+
+def test_per_probe_classification_cost(benchmark):
+    org = organization_by_name("Comcast")
+    counter = [0]
+
+    def classify_one():
+        counter[0] += 1
+        spec = ProbeSpec(
+            probe_id=7000 + counter[0],
+            organization=org,
+            firmware=xb6_profile(),
+        )
+        return measure_probe(spec)
+
+    result = benchmark(classify_one)
+    assert result is not None
+    assert result.verdict.value == "cpe"
+
+
+def test_message_codec_throughput(benchmark):
+    query = make_query("o-o.myaddr.l.google.com.", QType.TXT, msg_id=1)
+    response = query.reply(
+        answers=(txt_record("o-o.myaddr.l.google.com.", "172.253.226.35"),)
+    )
+    wire = response.encode()
+
+    def roundtrip():
+        return Message.decode(wire).encode()
+
+    assert benchmark(roundtrip) == wire

@@ -1,0 +1,60 @@
+"""Table 1 — location queries and expected responses per resolver.
+
+Regenerates the catalog table and *verifies it live*: each location
+query, issued over a clean path to its resolver, must come back in the
+documented standard format.
+"""
+
+import random
+
+import pytest
+
+from repro.atlas.geo import organization_by_name
+from repro.atlas.measurement import MeasurementClient
+from repro.atlas.probe import ProbeSpec
+from repro.atlas.scenario import build_scenario
+from repro.analysis.formatting import render_table
+from repro.core.catalog import LOCATION_QUERIES, PROVIDER_ORDER, location_query_table
+from repro.core.matchers import match_location_response
+
+
+def test_table1_location_query_catalog(benchmark):
+    spec = ProbeSpec(probe_id=1, organization=organization_by_name("Comcast"))
+    scenario = build_scenario(spec)
+    client = MeasurementClient(scenario.network, scenario.host)
+    rng = random.Random(1)
+
+    def verify_catalog():
+        observed = {}
+        for provider in PROVIDER_ORDER:
+            query_spec = LOCATION_QUERIES[provider]
+            address = query_spec.resolver_spec.v4_addresses[0]
+            exchange = client.exchange(address, query_spec.build_query(rng=rng))
+            match = match_location_response(provider, exchange.response)
+            observed[provider] = (match.standard, match.observed)
+        return observed
+
+    observed = benchmark(verify_catalog)
+
+    rows = []
+    for provider in PROVIDER_ORDER:
+        query_spec = LOCATION_QUERIES[provider]
+        standard, text = observed[provider]
+        assert standard, f"{provider.value} returned non-standard: {text}"
+        rows.append(
+            (
+                provider.value,
+                query_spec.type_label,
+                query_spec.qname.to_text().rstrip("."),
+                text,
+            )
+        )
+    print()
+    print(
+        render_table(
+            ("Public Resolver", "Type", "Location Query", "Observed Response"),
+            rows,
+            title="Table 1: Location queries and live standard responses.",
+        )
+    )
+    assert [r[0] for r in location_query_table()] == [r[0] for r in rows]

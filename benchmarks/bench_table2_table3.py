@@ -1,0 +1,41 @@
+"""Tables 2 and 3 — the §3.4 worked example, measured live.
+
+Regenerates both tables by actually running the queries against the
+three example probes' networks and checks every cell's *shape* against
+the paper: probe 1053 standard everywhere, probe 11992 a NOTIMP/NXDOMAIN
+mix (not CPE), probe 21823 three identical version strings (CPE).
+"""
+
+from repro.analysis.examples import measure_example_probes
+from repro.analysis.tables import build_example_tables
+
+
+def test_tables_2_and_3_worked_example(benchmark):
+    rows = benchmark(measure_example_probes)
+
+    table2, table3 = build_example_tables(rows)
+    print()
+    print(table2)
+    print()
+    print(table3)
+
+    # Probe 1053: standard responses, Step 2 never runs.
+    assert rows[1053]["cloudflare_loc"].isupper()
+    assert len(rows[1053]["cloudflare_loc"]) == 3
+    assert rows[1053]["cpe_vb"] == "-"
+
+    # Probe 11992: error-status mix; the Google answer is a non-Google IP.
+    assert rows[11992]["cloudflare_loc"] == "NOTIMP"
+    assert not rows[11992]["google_loc"].startswith(("172.253.", "74.125."))
+    assert rows[11992]["cloudflare_vb"] == "NOTIMP"
+    assert rows[11992]["cpe_vb"] == "NXDOMAIN"
+    assert rows[11992]["cpe_vb"] != rows[11992]["cloudflare_vb"]
+
+    # Probe 21823: identical strings across all three targets.
+    assert (
+        rows[21823]["cloudflare_vb"]
+        == rows[21823]["google_vb"]
+        == rows[21823]["cpe_vb"]
+        == "unbound 1.9.0"
+    )
+    assert rows[21823]["cloudflare_loc"] == "routing.v2.pw"

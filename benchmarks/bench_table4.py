@@ -1,0 +1,62 @@
+"""Table 4 — intercepted probes per public resolver (IPv4 and IPv6).
+
+Regenerates the table from the session study and checks the paper's
+shape:
+
+- per-resolver IPv4 interception counts cluster at 156-165 of ~9.6k
+  responders, Cloudflare/Google slightly above Quad9/OpenDNS;
+- IPv6 interception is an order of magnitude rarer (11-15 of ~3.7k);
+- no probe is intercepted on all four resolvers over IPv6;
+- ~108 probes are intercepted on all four over IPv4.
+"""
+
+from repro.analysis.tables import build_table4
+
+from .conftest import assert_band, at_paper_scale, scale
+
+
+def test_table4_interception_per_resolver(study, benchmark):
+    table = benchmark(build_table4, study)
+    print()
+    print(table.render())
+
+    rows = {row.provider: row for row in table.rows}
+    cf = rows["Cloudflare DNS"]
+    google = rows["Google DNS"]
+    quad9 = rows["Quad9"]
+    opendns = rows["OpenDNS"]
+
+    # Structural invariants at any scale.
+    for row in table.rows:
+        assert 0 <= row.intercepted_v4 <= row.total_v4
+        assert 0 <= row.intercepted_v6 <= row.total_v6
+        assert row.total_v6 < row.total_v4  # IPv6 share of the fleet
+    assert table.all_intercepted.intercepted_v4 <= min(
+        r.intercepted_v4 for r in table.rows
+    )
+
+    # Paper bands (±15% around Table 4, applied at full scale).
+    assert_band(cf.intercepted_v4, scale(140), scale(190), "Cloudflare IPv4")
+    assert_band(google.intercepted_v4, scale(136), scale(184), "Google IPv4")
+    assert_band(quad9.intercepted_v4, scale(133), scale(180), "Quad9 IPv4")
+    assert_band(opendns.intercepted_v4, scale(133), scale(180), "OpenDNS IPv4")
+    assert_band(cf.total_v4, scale(9200), scale(9800), "Cloudflare IPv4 total")
+    assert_band(
+        table.all_intercepted.intercepted_v4, scale(92), scale(125), "all-four IPv4"
+    )
+    assert_band(
+        table.all_intercepted.total_v4, scale(9100), scale(9750), "responded-all IPv4"
+    )
+    assert_band(cf.intercepted_v6, scale(5), scale(20), "Cloudflare IPv6")
+    assert_band(google.intercepted_v6, scale(8), scale(24), "Google IPv6")
+    assert_band(cf.total_v6, scale(3400), scale(4100), "Cloudflare IPv6 total")
+
+    # The qualitative findings hold at every scale with interceptors present.
+    if table.all_intercepted.intercepted_v4 > 0:
+        # "most interceptors that act on IPv4 ... do not intercept IPv6"
+        assert sum(r.intercepted_v6 for r in table.rows) < sum(
+            r.intercepted_v4 for r in table.rows
+        )
+        # Table 4's zero: nobody is all-four intercepted over IPv6.
+        if at_paper_scale():
+            assert table.all_intercepted.intercepted_v6 == 0

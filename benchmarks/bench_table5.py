@@ -1,0 +1,33 @@
+"""Table 5 — version.bind strings of CPE-attributed interceptors.
+
+Regenerates the table from the session study. Paper shape: ~49 CPE
+probes total; dnsmasq-* dominates (23), then dnsmasq-pi-hole-* (8),
+unbound* (6), *-RedHat (2), and a long tail of one-offs.
+"""
+
+from repro.analysis.tables import build_table5
+
+from .conftest import assert_band, at_paper_scale, scale
+
+
+def test_table5_version_bind_strings(study, benchmark):
+    table = benchmark(build_table5, study)
+    print()
+    print(table.render())
+
+    counts = dict(table.counts)
+
+    assert_band(table.total, scale(42), scale(56), "CPE-attributed probes")
+    assert_band(counts.get("dnsmasq-*", 0), scale(18), scale(28), "dnsmasq-*")
+    assert_band(
+        counts.get("dnsmasq-pi-hole-*", 0), scale(5), scale(11), "pi-hole"
+    )
+    assert_band(counts.get("unbound*", 0), scale(3), scale(9), "unbound*")
+
+    if at_paper_scale():
+        # dnsmasq leads — it is the canonical CPE forwarder.
+        assert table.counts[0][0] == "dnsmasq-*"
+        assert counts.get("*-RedHat", 0) == 2
+        # The long tail: at least six families with exactly one probe.
+        singletons = [f for f, c in table.counts if c == 1]
+        assert len(singletons) >= 6

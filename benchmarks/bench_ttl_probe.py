@@ -1,0 +1,65 @@
+"""§6 future work — TTL-based hop localisation.
+
+The experiment the authors could not run: sweeping the IP TTL to find
+*which hop* intercepts. Checks the two regimes the simulation exposes:
+a DNAT CPE convicts itself at TTL=1; a redirecting middlebox yields an
+upper bound (the answer still has to travel to the alternate resolver).
+"""
+
+import random
+
+from repro.atlas.geo import organization_by_name
+from repro.atlas.measurement import MeasurementClient
+from repro.atlas.probe import IspBehavior, ProbeSpec
+from repro.atlas.scenario import build_scenario
+from repro.core.ttl_probe import ttl_probe
+from repro.cpe.firmware import honest_router, xb6_profile
+from repro.interceptors.policy import intercept_all
+from repro.resolvers.public import Provider
+
+
+def make_client(probe_id, firmware=None, middlebox=None):
+    spec = ProbeSpec(
+        probe_id=probe_id,
+        organization=organization_by_name("Comcast"),
+        firmware=firmware or honest_router(),
+        isp=IspBehavior(middlebox_policies=middlebox or ()),
+    )
+    scenario = build_scenario(spec)
+    return MeasurementClient(scenario.network, scenario.host)
+
+
+def test_ttl_sweep_localises_interceptors(benchmark):
+    clean = make_client(6300)
+    cpe = make_client(6301, firmware=xb6_profile())
+    isp = make_client(6302, middlebox=(intercept_all(),))
+
+    def run_sweeps():
+        rng = random.Random(6300)
+        return (
+            ttl_probe(clean, Provider.GOOGLE, rng=rng, stop_at_answer=False),
+            ttl_probe(cpe, Provider.GOOGLE, rng=rng),
+            ttl_probe(isp, Provider.GOOGLE, rng=rng),
+        )
+
+    clean_result, cpe_result, isp_result = benchmark(run_sweeps)
+
+    print()
+    for result in (clean_result, cpe_result, isp_result):
+        print(result.describe())
+        print()
+
+    # Clean path: a standard answer at the true path length, never a
+    # non-standard one.
+    assert clean_result.first_nonstandard_ttl is None
+    assert clean_result.first_answer_ttl == 5  # cpe, access, border, core, +1
+    assert clean_result.observed_path_length == 4
+
+    # CPE: convicted at hop 1.
+    assert cpe_result.cpe_implicated
+    assert cpe_result.interceptor_max_hop == 1
+
+    # ISP middlebox (hop 3): bounded, not at hop 1, within the path.
+    assert not isp_result.cpe_implicated
+    assert isp_result.interceptor_max_hop is not None
+    assert 3 <= isp_result.interceptor_max_hop <= 6

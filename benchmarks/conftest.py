@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures.
+
+The pilot study is expensive (tens of seconds at full scale), so it runs
+once per session and every table/figure benchmark aggregates from the
+shared result. Fleet size is controlled by ``REPRO_FLEET_SIZE``
+(default: the paper-scale 9800); set e.g. ``REPRO_FLEET_SIZE=1500`` for
+a quick pass. Paper-band assertions only apply at full scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.atlas.population import generate_population
+from repro.core.study import run_pilot_study
+
+DEFAULT_FLEET_SIZE = 9800
+SEED = 2021
+
+
+def fleet_size() -> int:
+    return int(os.environ.get("REPRO_FLEET_SIZE", DEFAULT_FLEET_SIZE))
+
+
+def at_paper_scale() -> bool:
+    return fleet_size() >= 9000
+
+
+@pytest.fixture(scope="session")
+def population():
+    return generate_population(size=fleet_size(), seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def study(population):
+    return run_pilot_study(population)
+
+
+def assert_band(value: float, low: float, high: float, what: str) -> None:
+    """Assert a paper-shape band, only at full scale."""
+    if at_paper_scale():
+        assert low <= value <= high, f"{what}: {value} outside [{low}, {high}]"
+
+
+def scale(count: float) -> float:
+    """Scale a paper count to the configured fleet size."""
+    return count * fleet_size() / DEFAULT_FLEET_SIZE

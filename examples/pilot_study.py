@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The RIPE-Atlas-style pilot study (§4): fleet-wide measurement.
+
+Generates the calibrated synthetic fleet, runs the three-step pipeline
+plus the transparency check on every probe, and prints the paper's
+evaluation artifacts: Table 4, Table 5, Figure 3 and Figure 4.
+
+Run:  python examples/pilot_study.py [fleet_size] [seed]
+
+The default fleet size of 2000 finishes in a few seconds; pass 9800 to
+reproduce the full-scale numbers reported in EXPERIMENTS.md.
+"""
+
+import sys
+import time
+
+from repro.analysis import (
+    build_figure3,
+    build_figure4_countries,
+    build_figure4_organizations,
+    build_location_summary,
+    build_table4,
+    build_table5,
+)
+from repro.atlas.population import generate_population
+from repro.core.study import run_pilot_study
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 2021
+
+    print(f"Generating fleet: {size} probes (seed {seed}) ...")
+    specs = generate_population(size=size, seed=seed)
+
+    started = time.time()
+    last_shown = [0.0]
+
+    def progress(done: int, total: int) -> None:
+        now = time.time()
+        if now - last_shown[0] >= 2.0 or done == total:
+            last_shown[0] = now
+            print(f"  measured {done}/{total} probes ({now - started:.0f}s)")
+
+    study = run_pilot_study(specs, progress=progress)
+    print(f"Study complete in {time.time() - started:.1f}s\n")
+
+    print(build_table4(study).render())
+    print()
+    print(build_table5(study).render())
+    print()
+    print("Interception location summary (§4.2-4.3):")
+    print("  " + build_location_summary(study).render())
+    print()
+    print(build_figure3(study).render())
+    print()
+    print(build_figure4_countries(study).render())
+    print()
+    print(build_figure4_organizations(study).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""TTL-based interceptor localisation — the paper's §6 future work.
+
+The authors sketched this experiment but could not run it (RIPE Atlas
+cannot set the IP TTL; VPNGate rewrote it). The simulator honours
+TTL/ICMP semantics, so here it is: TTL sweeps toward Google DNS from
+three households —
+
+- a clean path (plain traceroute, then a standard answer);
+- an XB6 household (a DNS answer at TTL=1: only the first hop, the CPE,
+  can have produced it — DNAT rewrites before the TTL check);
+- an ISP-middlebox household (non-standard answer a few hops out; for a
+  redirect-style box the first-answer TTL is an upper bound, because the
+  hijacked query still travels to the alternate resolver).
+
+Run:  python examples/ttl_localization.py
+"""
+
+import random
+
+from repro.atlas.geo import organization_by_name
+from repro.atlas.measurement import MeasurementClient
+from repro.atlas.probe import IspBehavior, ProbeSpec
+from repro.atlas.scenario import build_scenario
+from repro.core.ttl_probe import ttl_probe
+from repro.cpe.firmware import honest_router, xb6_profile
+from repro.interceptors.policy import intercept_all
+from repro.resolvers.public import Provider
+
+
+def sweep(title: str, spec: ProbeSpec) -> None:
+    scenario = build_scenario(spec)
+    client = MeasurementClient(scenario.network, scenario.host)
+    result = ttl_probe(
+        client,
+        Provider.GOOGLE,
+        rng=random.Random(spec.probe_id),
+        stop_at_answer=True,
+    )
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(result.describe())
+    print()
+
+
+def main() -> None:
+    comcast = organization_by_name("Comcast")
+    sweep(
+        "Clean path (no interception)",
+        ProbeSpec(probe_id=3001, organization=comcast, firmware=honest_router()),
+    )
+    sweep(
+        "XB6 household (CPE DNAT interception)",
+        ProbeSpec(probe_id=3002, organization=comcast, firmware=xb6_profile()),
+    )
+    sweep(
+        "ISP middlebox (transparent redirect to the ISP resolver)",
+        ProbeSpec(
+            probe_id=3003,
+            organization=comcast,
+            isp=IspBehavior(middlebox_policies=(intercept_all(),)),
+        ),
+    )
+    print(
+        "Note the asymmetry: the CPE convicts itself at TTL=1, while the\n"
+        "redirecting middlebox only yields an upper bound — the hijacked\n"
+        "query must still reach the ISP resolver before anything answers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The XB6 case study (§5): watch the DNAT hijack happen packet by packet.
+
+Builds a Comcast-style household with a buggy XB6 gateway, sends one DNS
+query addressed to Google Public DNS, and prints:
+
+1. the RDK-B firewall mechanism (the PREROUTING DNAT rule);
+2. the full packet trace — the query entering the CPE, the DNAT rewrite,
+   the XDNS forwarder's relay to the ISP resolver, and the response
+   returning with its source spoofed to 8.8.8.8;
+3. what the client saw — a perfectly ordinary-looking answer.
+
+Run:  python examples/xb6_case_study.py
+"""
+
+from repro.atlas.geo import organization_by_name
+from repro.atlas.measurement import MeasurementClient
+from repro.atlas.probe import ProbeSpec
+from repro.atlas.scenario import build_scenario
+from repro.cpe.firmware import xb6_profile
+from repro.cpe.xb6 import describe_mechanism
+from repro.dnswire import QType, make_query
+
+
+def main() -> None:
+    spec = ProbeSpec(
+        probe_id=424242,
+        organization=organization_by_name("Comcast"),
+        firmware=xb6_profile(buggy=True),
+    )
+    scenario = build_scenario(spec, trace=True)
+
+    print("=" * 72)
+    print("The mechanism (RDK-B / CcspXDNS)")
+    print("=" * 72)
+    print(describe_mechanism(scenario.cpe))
+
+    print()
+    print("=" * 72)
+    print("One query to 8.8.8.8, on the wire")
+    print("=" * 72)
+    client = MeasurementClient(scenario.network, scenario.host)
+    query = make_query("www.example.com.", QType.A, msg_id=0x5151)
+    result = client.exchange("8.8.8.8", query)
+
+    for event in scenario.network.recorder.events:
+        print(event.format())
+
+    print()
+    print("=" * 72)
+    print("What the client saw")
+    print("=" * 72)
+    assert result.response is not None
+    print(result.response.to_text())
+    print()
+    print(
+        "The answer claims to come from 8.8.8.8 and resolves correctly —\n"
+        "but Google never saw the query. The trace above shows the XB6\n"
+        f"rewriting it to {scenario.cpe.lan_gateway_v4} and the XDNS forwarder "
+        "relaying it to the\nISP resolver, then spoofing the reply source."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro — a full reproduction of *Home is Where the Hijacking is:
+Understanding DNS Interception by Residential Routers* (IMC 2021).
+
+The package implements the paper's client-side technique for locating
+transparent DNS interception — location queries, the version.bind CPE
+comparison, and bogon queries — together with every substrate it needs:
+a from-scratch DNS wire protocol, a packet-level network simulator with
+NAT/DNAT/TTL/ICMP semantics, a zoo of resolver and CPE models (including
+the XB6/RDK-B/XDNS case study), interception middleboxes, and a
+calibrated RIPE-Atlas-style probe fleet.
+
+Quickstart::
+
+    from repro import diagnose_household
+    from repro.atlas import example_probe_specs
+
+    report = diagnose_household(example_probe_specs()[21823])
+    print(report.verdict)          # LocatorVerdict.CPE
+"""
+
+from __future__ import annotations
+
+from repro.atlas.measurement import MeasurementClient
+from repro.atlas.probe import ProbeSpec
+from repro.atlas.scenario import Scenario, build_scenario
+from repro.core.classifier import (
+    InterceptionLocator,
+    LocatorVerdict,
+    ProbeClassification,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "InterceptionLocator",
+    "LocatorVerdict",
+    "MeasurementClient",
+    "ProbeClassification",
+    "ProbeSpec",
+    "Scenario",
+    "build_scenario",
+    "diagnose_household",
+    "__version__",
+]
+
+
+def diagnose_household(
+    spec: ProbeSpec, run_transparency: bool = True
+) -> ProbeClassification:
+    """Build ``spec``'s scenario and run the full three-step pipeline.
+
+    The one-call entry point: give it a household description, get back
+    where (if anywhere) that household's DNS is being intercepted.
+    """
+    import random
+
+    scenario = build_scenario(spec)
+    client = MeasurementClient(scenario.network, scenario.host)
+    locator = InterceptionLocator(
+        client,
+        cpe_public_v4=scenario.cpe_public_v4,
+        cpe_public_v6=scenario.cpe_public_v6,
+        families=(4, 6) if spec.has_ipv6 else (4,),
+        rng=random.Random(spec.probe_id),
+        run_transparency=run_transparency,
+    )
+    return locator.classify()

@@ -1,0 +1,64 @@
+"""``repro.analysis`` — regenerating the paper's tables and figures.
+
+Aggregation from :class:`~repro.core.study.StudyResult` records into the
+exact artifacts of the paper's evaluation section, plus plain-text
+rendering.
+"""
+
+from .examples import measure_example_probes
+from .figures import (
+    FigureSeries,
+    LOCATION_CATEGORIES,
+    LocationSummary,
+    TRANSPARENCY_CATEGORIES,
+    build_figure3,
+    build_figure4_countries,
+    build_figure4_organizations,
+    build_location_summary,
+)
+from .formatting import render_bar_chart, render_table
+from .grouping import count_version_families, top_groups, version_string_family
+from .accuracy import AccuracyReport, ClassMetrics, ConfusionMatrix, score_study
+from .replication import ReplicationReport, build_replication_report
+from .export import load_study, save_study, study_from_json, study_to_json
+from .tables import (
+    Table4,
+    Table4Row,
+    Table5,
+    build_example_tables,
+    build_table4,
+    build_table5,
+)
+
+__all__ = [
+    "measure_example_probes",
+    "FigureSeries",
+    "LOCATION_CATEGORIES",
+    "LocationSummary",
+    "TRANSPARENCY_CATEGORIES",
+    "build_figure3",
+    "build_figure4_countries",
+    "build_figure4_organizations",
+    "build_location_summary",
+    "render_bar_chart",
+    "render_table",
+    "AccuracyReport",
+    "ClassMetrics",
+    "ConfusionMatrix",
+    "score_study",
+    "ReplicationReport",
+    "build_replication_report",
+    "load_study",
+    "save_study",
+    "study_from_json",
+    "study_to_json",
+    "count_version_families",
+    "top_groups",
+    "version_string_family",
+    "Table4",
+    "Table4Row",
+    "Table5",
+    "build_example_tables",
+    "build_table4",
+    "build_table5",
+]

@@ -1,0 +1,74 @@
+"""Study-record serialization: JSON in, JSON out.
+
+A real measurement campaign runs once and gets analysed many times; the
+records must survive the process. ``records_to_json`` /
+``records_from_json`` round-trip a :class:`~repro.core.study.StudyResult`
+through plain JSON so fleets measured elsewhere (a different machine, a
+future run, a real RIPE Atlas export massaged into this schema) can be
+fed to the same analysis code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from repro.core.study import ProbeRecord, StudyResult
+
+#: Schema version written into every export.
+SCHEMA_VERSION = 1
+
+
+def record_to_dict(record: ProbeRecord) -> dict[str, Any]:
+    data = dataclasses.asdict(record)
+    # Tuples become lists in JSON; normalise provider_status rows.
+    data["provider_status"] = [list(row) for row in record.provider_status]
+    return data
+
+
+def record_from_dict(data: dict[str, Any]) -> ProbeRecord:
+    known = {field.name for field in dataclasses.fields(ProbeRecord)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown record fields: {sorted(unknown)}")
+    payload = dict(data)
+    payload["provider_status"] = tuple(
+        (str(name), int(family), str(status))
+        for name, family, status in payload.get("provider_status", [])
+    )
+    return ProbeRecord(**payload)
+
+
+def study_to_json(study: StudyResult, indent: "int | None" = None) -> str:
+    return json.dumps(
+        {
+            "schema": SCHEMA_VERSION,
+            "fleet_size": study.fleet_size,
+            "seed": study.seed,
+            "records": [record_to_dict(record) for record in study.records],
+        },
+        indent=indent,
+    )
+
+
+def study_from_json(text: str) -> StudyResult:
+    data = json.loads(text)
+    schema = data.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema version: {schema!r}")
+    return StudyResult(
+        records=[record_from_dict(item) for item in data.get("records", [])],
+        fleet_size=int(data.get("fleet_size", 0)),
+        seed=int(data.get("seed", 0)),
+    )
+
+
+def save_study(study: StudyResult, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(study_to_json(study))
+
+
+def load_study(path: str) -> StudyResult:
+    with open(path, encoding="utf-8") as handle:
+        return study_from_json(handle.read())

@@ -1,0 +1,127 @@
+"""Regenerating the paper's figures from a study result.
+
+- **Figure 3** — intercepted probes for the top-15 organizations, broken
+  down by transparency (Transparent / Status Modified / Both);
+- **Figure 4** — interception location (CPE / within ISP / unknown) for
+  the top-15 countries *and* the top-15 organizations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.classifier import LocatorVerdict
+from repro.core.study import ProbeRecord, StudyResult
+from repro.core.transparency import ProbeTransparency
+
+from .formatting import render_bar_chart
+from .grouping import top_groups
+
+TRANSPARENCY_CATEGORIES = (
+    ProbeTransparency.TRANSPARENT.value,
+    ProbeTransparency.STATUS_MODIFIED.value,
+    ProbeTransparency.BOTH.value,
+)
+LOCATION_CATEGORIES = (
+    LocatorVerdict.CPE.value,
+    LocatorVerdict.WITHIN_ISP.value,
+    LocatorVerdict.UNKNOWN.value,
+)
+
+
+@dataclass
+class FigureSeries:
+    """One figure's data: label -> {category: count}."""
+
+    title: str
+    categories: tuple[str, ...]
+    rows: list[tuple[str, dict[str, int]]]
+
+    def totals(self) -> dict[str, int]:
+        out: Counter = Counter()
+        for _label, counts in self.rows:
+            out.update(counts)
+        return dict(out)
+
+    def render(self, symbols: "tuple[str, ...] | None" = None, width: int = 40) -> str:
+        symbols = symbols or ("#", "x", "o")[: len(self.categories)]
+        return render_bar_chart(
+            self.rows, self.categories, symbols, title=self.title, width=width
+        )
+
+
+def build_figure3(study: StudyResult, limit: int = 15) -> FigureSeries:
+    """Intercepted probes per top organization, by transparency class."""
+    intercepted = study.intercepted_records()
+    rows = []
+    for org, records in top_groups(intercepted, "organization", limit=limit):
+        counts = Counter(r.transparency for r in records)
+        rows.append(
+            (org, {c: counts.get(c, 0) for c in TRANSPARENCY_CATEGORIES})
+        )
+    return FigureSeries(
+        title="Figure 3: Intercepted probes per top-15 organizations.",
+        categories=TRANSPARENCY_CATEGORIES,
+        rows=rows,
+    )
+
+
+def _location_rows(records: list[ProbeRecord], key: str, limit: int):
+    rows = []
+    for label, group in top_groups(records, key, limit=limit):
+        counts = Counter(r.verdict for r in group)
+        rows.append((label, {c: counts.get(c, 0) for c in LOCATION_CATEGORIES}))
+    return rows
+
+
+def build_figure4_countries(study: StudyResult, limit: int = 15) -> FigureSeries:
+    intercepted = study.intercepted_records()
+    return FigureSeries(
+        title="Figure 4a: Interception location, top-15 countries.",
+        categories=LOCATION_CATEGORIES,
+        rows=_location_rows(intercepted, "country", limit),
+    )
+
+
+def build_figure4_organizations(study: StudyResult, limit: int = 15) -> FigureSeries:
+    intercepted = study.intercepted_records()
+    return FigureSeries(
+        title="Figure 4b: Interception location, top-15 organizations.",
+        categories=LOCATION_CATEGORIES,
+        rows=_location_rows(intercepted, "organization", limit),
+    )
+
+
+@dataclass
+class LocationSummary:
+    """Fleet-wide location totals (the headline §4.2-4.3 numbers)."""
+
+    total_intercepted: int
+    cpe: int
+    within_isp: int
+    unknown: int
+
+    @property
+    def close_to_client(self) -> int:
+        """CPE + ISP: interception 'close to the client' (§4.3)."""
+        return self.cpe + self.within_isp
+
+    def render(self) -> str:
+        return (
+            f"intercepted={self.total_intercepted}  CPE={self.cpe}  "
+            f"within-ISP={self.within_isp}  unknown/beyond={self.unknown}  "
+            f"close-to-client={self.close_to_client} "
+            f"({100 * self.close_to_client / max(1, self.total_intercepted):.0f}%)"
+        )
+
+
+def build_location_summary(study: StudyResult) -> LocationSummary:
+    intercepted = study.intercepted_records()
+    counts = Counter(r.verdict for r in intercepted)
+    return LocationSummary(
+        total_intercepted=len(intercepted),
+        cpe=counts.get(LocatorVerdict.CPE.value, 0),
+        within_isp=counts.get(LocatorVerdict.WITHIN_ISP.value, 0),
+        unknown=counts.get(LocatorVerdict.UNKNOWN.value, 0),
+    )

@@ -1,0 +1,68 @@
+"""Plain-text rendering of tables and bar charts.
+
+The benchmarks print the regenerated artifacts in the same shape the
+paper presents them; these helpers keep that presentation in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """A boxless fixed-width table."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    rows: "Iterable[tuple[str, dict[str, int]]]",
+    categories: Sequence[str],
+    symbols: Sequence[str],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """A horizontal stacked bar chart (one symbol per category).
+
+    ``rows`` is ``(label, {category: count})``; the chart is scaled so
+    the longest bar is ``width`` characters.
+    """
+    rows = list(rows)
+    maximum = max(
+        (sum(counts.get(c, 0) for c in categories) for _label, counts in rows),
+        default=1,
+    )
+    maximum = max(maximum, 1)
+    label_width = max((len(label) for label, _ in rows), default=5)
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(f"{s}={c}" for s, c in zip(symbols, categories))
+    lines.append(f"[{legend}]")
+    for label, counts in rows:
+        total = sum(counts.get(c, 0) for c in categories)
+        bar = ""
+        for category, symbol in zip(categories, symbols):
+            segment = round(counts.get(category, 0) / maximum * width)
+            bar += symbol * segment
+        lines.append(f"{label.ljust(label_width)}  {bar} ({total})")
+    return "\n".join(lines)

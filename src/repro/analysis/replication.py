@@ -1,0 +1,59 @@
+"""Query-replication statistics.
+
+Liu et al. observed *query replication*: the interceptor answers AND the
+original query is still forwarded, so two responses race back to the
+client. The paper treats replication as indistinguishable from
+interception for its purposes (§3.1) because the interceptor's answer
+"nearly always arrives first". The study records which probes saw more
+than one validated answer; this module aggregates them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.study import StudyResult
+
+from .formatting import render_table
+
+
+@dataclass
+class ReplicationReport:
+    """Fleet-wide replication counts."""
+
+    replicated_probes: int
+    intercepted_probes: int
+    by_organization: Counter
+
+    @property
+    def share_of_intercepted(self) -> float:
+        if not self.intercepted_probes:
+            return 0.0
+        return self.replicated_probes / self.intercepted_probes
+
+    def render(self) -> str:
+        lines = [
+            "Query replication (two answers racing back):",
+            f"  replicated probes : {self.replicated_probes}"
+            f" ({100 * self.share_of_intercepted:.1f}% of intercepted)",
+        ]
+        if self.by_organization:
+            rows = sorted(
+                self.by_organization.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+            lines.append(
+                render_table(("Organization", "# replicated"), rows)
+            )
+        return "\n".join(lines)
+
+
+def build_replication_report(study: StudyResult) -> ReplicationReport:
+    intercepted = study.intercepted_records()
+    replicated = [r for r in study.records if r.replication_seen]
+    by_org: Counter = Counter(r.organization for r in replicated)
+    return ReplicationReport(
+        replicated_probes=len(replicated),
+        intercepted_probes=len(intercepted),
+        by_organization=by_org,
+    )

@@ -1,0 +1,70 @@
+"""``repro.atlas`` — the RIPE-Atlas-style measurement substrate.
+
+A calibrated synthetic probe fleet (the paper used ~10k real RIPE Atlas
+probes; we generate households whose measured aggregates land on the
+paper's published shapes), per-probe scenario construction, and the
+measurement client that performs validated DNS exchanges over the
+simulated network.
+"""
+
+from .campaign import Campaign, MeasurementDefinition, MeasurementRow
+from .geo import (
+    ORGANIZATIONS,
+    Organization,
+    countries,
+    organization_by_asn,
+    organization_by_name,
+)
+from .measurement import (
+    DEFAULT_TIMEOUT_MS,
+    DotExchangeResult,
+    ExchangeResult,
+    MeasurementClient,
+    dns_exchange,
+    dot_exchange,
+)
+from .population import (
+    CPE_TRUE_SOFTWARE,
+    PROVIDERS,
+    PopulationConfig,
+    PopulationGenerator,
+    example_probe_specs,
+    generate_population,
+)
+from .probe import InterceptorLocation, IspBehavior, ProbeSpec
+from .scenario import (
+    HOSTED_DNS_V4_PREFIX,
+    Scenario,
+    build_scenario,
+    resolver_software,
+)
+
+__all__ = [
+    "Campaign",
+    "MeasurementDefinition",
+    "MeasurementRow",
+    "ORGANIZATIONS",
+    "Organization",
+    "countries",
+    "organization_by_asn",
+    "organization_by_name",
+    "DEFAULT_TIMEOUT_MS",
+    "DotExchangeResult",
+    "ExchangeResult",
+    "dot_exchange",
+    "MeasurementClient",
+    "dns_exchange",
+    "CPE_TRUE_SOFTWARE",
+    "PROVIDERS",
+    "PopulationConfig",
+    "PopulationGenerator",
+    "example_probe_specs",
+    "generate_population",
+    "InterceptorLocation",
+    "IspBehavior",
+    "ProbeSpec",
+    "HOSTED_DNS_V4_PREFIX",
+    "Scenario",
+    "build_scenario",
+    "resolver_software",
+]

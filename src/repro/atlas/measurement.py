@@ -1,0 +1,260 @@
+"""The measurement client: DNS exchanges as a probe performs them.
+
+This is the software equivalent of what RIPE Atlas exposes: send a DNS
+query from the probe to an arbitrary destination and report what came
+back. Like a real stub resolver, the client validates responses — the
+claimed source must be the queried address, the port must match, and the
+DNS message id must echo — which is exactly why interceptors *must*
+spoof sources to stay transparent (§2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dnswire import DNS_PORT, Message, decode_or_none
+from repro.net import Host, Network
+from repro.net.addr import IPAddress, parse_ip
+from repro.net.node import ReceivedDatagram, ReceivedIcmp
+from repro.net.packet import DEFAULT_TTL
+
+#: How long a probe waits for an answer (simulated milliseconds).
+DEFAULT_TIMEOUT_MS = 5000.0
+
+
+@dataclass
+class ExchangeResult:
+    """Everything observed for one query."""
+
+    query: Message
+    destination: IPAddress
+    response: Optional[Message] = None
+    rtt_ms: Optional[float] = None
+    timed_out: bool = True
+    #: Every response accepted by validation, in arrival order. More than
+    #: one element means *query replication* (Liu et al. [31]): an
+    #: interceptor answered and the genuine response also arrived.
+    accepted: list[Message] = field(default_factory=list)
+    #: Datagrams rejected by source/id validation (would-be off-path junk).
+    rejected: list[ReceivedDatagram] = field(default_factory=list)
+    #: ICMP errors attributable to this query (for TTL probing).
+    icmp: list[ReceivedIcmp] = field(default_factory=list)
+
+    @property
+    def replicated(self) -> bool:
+        return len(self.accepted) > 1
+
+    @property
+    def rcode(self) -> Optional[int]:
+        return None if self.response is None else self.response.rcode
+
+    def txt_answer(self) -> Optional[str]:
+        """First TXT string of the response, the location-query view."""
+        if self.response is None:
+            return None
+        strings = self.response.txt_strings()
+        return strings[0] if strings else None
+
+
+def dns_exchange(
+    network: Network,
+    host: Host,
+    destination: "str | IPAddress",
+    query: Message,
+    timeout_ms: float = DEFAULT_TIMEOUT_MS,
+    ttl: int = DEFAULT_TTL,
+    retries: int = 0,
+    retry_interval_ms: float = 1000.0,
+) -> ExchangeResult:
+    """Send ``query`` to ``destination`` and collect the outcome.
+
+    Runs the simulated network forward until the timeout. All datagrams
+    arriving at the ephemeral port are validated: claimed source must be
+    ``destination`` and the message id must match. ICMP errors quoting
+    this probe's packets are gathered for TTL analysis.
+
+    ``retries`` adds stub-resolver-style retransmissions (same message
+    id, same socket) at ``retry_interval_ms`` spacing — the standard
+    defence against packet loss on the path. The overall ``timeout_ms``
+    budget covers all attempts.
+    """
+    destination = parse_ip(destination)
+    result = ExchangeResult(query=query, destination=destination)
+    sock = host.open_socket()
+    icmp_mark = len(host.icmp_inbox)
+    try:
+        sent_at = network.now
+        sock.sendto(query.encode(), destination, DNS_PORT, ttl=ttl)
+        deadline = sent_at + timeout_ms
+        attempts_left = retries
+        next_retry = sent_at + retry_interval_ms
+        while True:
+            horizon = min(deadline, next_retry) if attempts_left else deadline
+            network.run(until=horizon)
+            if sock.inbox:
+                # Something arrived; stop retrying and evaluate below.
+                break
+            if network.now >= deadline or not attempts_left:
+                break
+            sock.sendto(query.encode(), destination, DNS_PORT, ttl=ttl)
+            attempts_left -= 1
+            next_retry = network.now + retry_interval_ms
+        for datagram in sock.drain():
+            message = decode_or_none(datagram.payload)
+            if (
+                message is None
+                or not message.is_response
+                or message.msg_id != query.msg_id
+                or datagram.src != destination
+                or datagram.sport != DNS_PORT
+            ):
+                result.rejected.append(datagram)
+                continue
+            result.accepted.append(message)
+            if result.response is None:
+                result.response = message
+                result.rtt_ms = datagram.time - sent_at
+                result.timed_out = False
+        result.icmp = [
+            icmp
+            for icmp in host.icmp_inbox[icmp_mark:]
+            if icmp.quoted is not None
+            and icmp.quoted.udp is not None
+            and icmp.quoted.udp.sport == sock.port
+        ]
+    finally:
+        sock.close()
+    return result
+
+
+@dataclass
+class DotExchangeResult:
+    """Outcome of one DNS-over-TLS exchange.
+
+    ``strict`` clients (the RFC 7858 strict privacy profile) reject any
+    session whose authenticated identity differs from the one they
+    dialed; ``response`` is then None even though bytes arrived —
+    mirrored in ``identity_rejected``.
+    """
+
+    query: Message
+    destination: IPAddress
+    expected_identity: str
+    strict: bool
+    response: Optional[Message] = None
+    observed_identity: Optional[str] = None
+    identity_rejected: bool = False
+    timed_out: bool = True
+
+    @property
+    def identity_ok(self) -> Optional[bool]:
+        if self.observed_identity is None:
+            return None
+        return self.observed_identity == self.expected_identity
+
+
+def dot_exchange(
+    network: Network,
+    host: Host,
+    destination: "str | IPAddress",
+    query: Message,
+    expected_identity: str,
+    strict: bool = True,
+    timeout_ms: float = DEFAULT_TIMEOUT_MS,
+) -> DotExchangeResult:
+    """Send ``query`` over (abstracted) DNS-over-TLS to port 853.
+
+    The strict profile validates the server identity against
+    ``expected_identity``; the opportunistic profile accepts any
+    identity — which is precisely why it remains interceptable (§6).
+    """
+    from repro.net.dot import DOT_PORT, unwrap_dot, wrap_dot
+
+    destination = parse_ip(destination)
+    result = DotExchangeResult(
+        query=query,
+        destination=destination,
+        expected_identity=expected_identity,
+        strict=strict,
+    )
+    sock = host.open_socket()
+    try:
+        sent_at = network.now
+        # The client->server frame carries no server identity (that is
+        # established by the server's certificate on the way back).
+        sock.sendto(wrap_dot(query.encode(), ""), destination, DOT_PORT)
+        network.run(until=sent_at + timeout_ms)
+        for datagram in sock.drain():
+            if datagram.src != destination or datagram.sport != DOT_PORT:
+                continue
+            frame = unwrap_dot(datagram.payload)
+            if frame is None:
+                continue
+            message = decode_or_none(frame.dns_payload)
+            if message is None or message.msg_id != query.msg_id:
+                continue
+            result.observed_identity = frame.server_identity
+            result.timed_out = False
+            if strict and frame.server_identity != expected_identity:
+                result.identity_rejected = True
+                continue
+            if result.response is None:
+                result.response = message
+    finally:
+        sock.close()
+    return result
+
+
+@dataclass
+class MeasurementClient:
+    """Convenience wrapper binding a network and a probe host.
+
+    ``retries`` applies stub-style retransmission to every exchange —
+    set it when measuring over lossy paths.
+    """
+
+    network: Network
+    host: Host
+    timeout_ms: float = DEFAULT_TIMEOUT_MS
+    retries: int = 0
+    retry_interval_ms: float = 1000.0
+
+    def exchange(
+        self,
+        destination: "str | IPAddress",
+        query: Message,
+        ttl: int = DEFAULT_TTL,
+        timeout_ms: Optional[float] = None,
+    ) -> ExchangeResult:
+        return dns_exchange(
+            self.network,
+            self.host,
+            destination,
+            query,
+            timeout_ms=timeout_ms if timeout_ms is not None else self.timeout_ms,
+            ttl=ttl,
+            retries=self.retries,
+            retry_interval_ms=self.retry_interval_ms,
+        )
+
+    def can_reach_family(self, family: int) -> bool:
+        return self.host.address_for_family(family) is not None
+
+    def dot(
+        self,
+        destination: "str | IPAddress",
+        query: Message,
+        expected_identity: str,
+        strict: bool = True,
+        timeout_ms: Optional[float] = None,
+    ) -> DotExchangeResult:
+        return dot_exchange(
+            self.network,
+            self.host,
+            destination,
+            query,
+            expected_identity,
+            strict=strict,
+            timeout_ms=timeout_ms if timeout_ms is not None else self.timeout_ms,
+        )

@@ -1,0 +1,84 @@
+"""Probe specifications: one measured household each.
+
+A :class:`ProbeSpec` is the ground truth for one vantage point — which
+network it sits in, what CPE it has, what (if anything) intercepts its
+DNS, and how reliably it responds to measurement requests. The
+methodology never reads the ground truth; it is used only to *build* the
+scenario and later to score the classifier against reality.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cpe.firmware import FirmwareProfile, honest_router
+from repro.interceptors.policy import InterceptionPolicy
+
+from .geo import Organization
+
+
+class InterceptorLocation(enum.Enum):
+    """Ground-truth interceptor placement for a probe."""
+
+    NONE = "none"
+    CPE = "cpe"
+    ISP = "isp"
+    BEYOND = "beyond"  # transit path outside the client's AS
+
+
+@dataclass(frozen=True)
+class IspBehavior:
+    """The probe's ISP: resolver software and optional middlebox policies.
+
+    ``middlebox_policies`` is a tuple evaluated first-match-wins; more
+    than one policy expresses mixed per-resolver behaviour (the "Both"
+    category of Figure 3) and separate IPv6 policies.
+    """
+
+    resolver_software_key: str = "unbound-1.9.0"
+    middlebox_policies: tuple[InterceptionPolicy, ...] = ()
+    # §6 limitation: if the ISP's resolver lives outside the client AS,
+    # bogon queries can't prove "within ISP" even for in-ISP middleboxes.
+    resolver_outside_as: bool = False
+
+
+@dataclass(frozen=True)
+class ProbeSpec:
+    """Everything needed to build and measure one probe's scenario."""
+
+    probe_id: int
+    organization: Organization
+    firmware: FirmwareProfile = field(default_factory=honest_router)
+    isp: IspBehavior = field(default_factory=IspBehavior)
+    external_policies: tuple[InterceptionPolicy, ...] = ()
+    has_ipv6: bool = False
+    #: Per-provider response availability: order matches PROVIDERS in the
+    #: catalog; False means this probe never answered that provider's
+    #: measurements (models RIPE Atlas scheduling/connectivity losses and
+    #: produces the differing per-resolver totals of Table 4).
+    responds_v4: tuple[bool, bool, bool, bool] = (True, True, True, True)
+    responds_v6: tuple[bool, bool, bool, bool] = (True, True, True, True)
+    online: bool = True
+
+    @property
+    def country(self) -> str:
+        return self.organization.country
+
+    @property
+    def asn(self) -> int:
+        return self.organization.asn
+
+    def true_location(self) -> InterceptorLocation:
+        """Ground truth: where is this probe's (IPv4) interceptor?"""
+        if self.firmware.is_interceptor:
+            return InterceptorLocation.CPE
+        if self.isp.middlebox_policies:
+            return InterceptorLocation.ISP
+        if self.external_policies:
+            return InterceptorLocation.BEYOND
+        return InterceptorLocation.NONE
+
+    def is_intercepted(self) -> bool:
+        return self.true_location() is not InterceptorLocation.NONE

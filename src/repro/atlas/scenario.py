@@ -1,0 +1,359 @@
+"""Scenario construction: a complete simulated Internet for one probe.
+
+Each probe measurement runs against its own small network::
+
+    host -- CPE -- access -- [middlebox] -- border -- [external] -- core
+                                              |                      |
+                                        ISP resolver        4 public resolvers
+                                                             (+ off-AS resolver)
+
+The border and core routers drop bogon-destined packets (they have no
+route to that space and transit networks filter it), which is the
+physical fact Step 3 of the methodology exploits.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cpe.device import CpeDevice
+from repro.cpe.forwarder import ForwarderEngine
+from repro.interceptors.middlebox import ExternalInterceptor, MiddleboxRouter
+from repro.net import Host, Network, Router
+from repro.net.addr import IPAddress
+from repro.resolvers import (
+    NameDirectory,
+    Provider,
+    PublicResolverNode,
+    RecursiveResolverNode,
+    build_default_directory,
+)
+from repro.resolvers.software import (
+    ServerSoftware,
+    bind_redhat,
+    bind_vanilla,
+    powerdns,
+    unbound,
+    unbound_hidden,
+)
+
+from .probe import ProbeSpec
+
+#: Transit-network prefix hosting the external interceptor and the
+#: off-AS resolver it redirects to.
+TRANSIT_V4_PREFIX = ipaddress.ip_network("64.86.0.0/16")
+TRANSIT_V6_PREFIX = ipaddress.ip_network("2001:5a0::/32")
+#: Prefix for ISP resolvers hosted *outside* the client AS (§6 limitation).
+HOSTED_DNS_V4_PREFIX = ipaddress.ip_network("185.228.0.0/16")
+HOSTED_DNS_V6_PREFIX = ipaddress.ip_network("2a0d:2a00::/32")
+
+_RESOLVER_SOFTWARE_FACTORIES = {
+    "unbound-1.9.0": lambda: unbound("1.9.0"),
+    "unbound-1.13.1": lambda: unbound("1.13.1"),
+    "unbound-hidden": unbound_hidden,
+    "unbound-routing": lambda: unbound("1.9.0", identity="routing.v2.pw"),
+    "powerdns-4.1.11": powerdns,
+    "bind-redhat": bind_redhat,
+    "bind-9.16.15": lambda: bind_vanilla("9.16.15"),
+}
+
+
+def resolver_software(key: str) -> ServerSoftware:
+    """Instantiate ISP resolver software from its registry key."""
+    try:
+        return _RESOLVER_SOFTWARE_FACTORIES[key]()
+    except KeyError:
+        raise KeyError(
+            f"unknown resolver software {key!r}; "
+            f"known: {sorted(_RESOLVER_SOFTWARE_FACTORIES)}"
+        ) from None
+
+
+@dataclass
+class Scenario:
+    """A built probe network plus the handles measurements need."""
+
+    spec: ProbeSpec
+    network: Network
+    host: Host
+    cpe: CpeDevice
+    directory: NameDirectory
+    isp_resolver: RecursiveResolverNode
+    providers: dict[Provider, PublicResolverNode]
+    middlebox: Optional[MiddleboxRouter] = None
+    external: Optional[ExternalInterceptor] = None
+    notes: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def cpe_public_v4(self) -> IPAddress:
+        return self.cpe.wan_v4
+
+    @property
+    def cpe_public_v6(self) -> Optional[IPAddress]:
+        return self.cpe.wan_v6
+
+
+def _home_addresses(spec: ProbeSpec):
+    """Deterministic per-probe addressing derived from the organization."""
+    org = spec.organization
+    v4_net = ipaddress.ip_network(org.v4_prefix)
+    wan_v4 = v4_net.network_address + 1024 + (spec.probe_id % 60000)
+    v6_net = ipaddress.ip_network(org.v6_prefix)
+    home_v6 = ipaddress.ip_network(
+        (int(v6_net.network_address) + ((1024 + spec.probe_id) << 64), 64)
+    )
+    return v4_net, wan_v4, v6_net, home_v6
+
+
+def build_scenario(
+    spec: ProbeSpec,
+    directory: Optional[NameDirectory] = None,
+    trace: bool = False,
+) -> Scenario:
+    """Build the full network for one probe."""
+    org = spec.organization
+    directory = directory or build_default_directory()
+    net = Network(trace=trace)
+
+    v4_net, wan_v4, v6_net, home_v6 = _home_addresses(spec)
+    isp_base_v4 = v4_net.network_address
+    isp_base_v6 = v6_net.network_address
+
+    # -- ISP resolver placement -------------------------------------------
+    inside_as = not spec.isp.resolver_outside_as
+    if inside_as:
+        resolver_v4 = isp_base_v4 + 53
+        resolver_v6 = isp_base_v6 + 0x53
+    else:
+        resolver_v4 = HOSTED_DNS_V4_PREFIX.network_address + 53
+        resolver_v6 = HOSTED_DNS_V6_PREFIX.network_address + 0x53
+    isp_resolver = RecursiveResolverNode(
+        "isp-resolver",
+        addresses=[resolver_v4, resolver_v6],
+        directory=directory,
+        software=resolver_software(spec.isp.resolver_software_key),
+        asn=org.asn if inside_as else None,
+    )
+
+    # -- home -----------------------------------------------------------------
+    host = Host(
+        "host",
+        addresses=["192.168.1.100"]
+        + ([home_v6.network_address + 0x100] if spec.has_ipv6 else []),
+        gateway="cpe",
+        asn=org.asn,
+    )
+    forwarder = None
+    if spec.firmware.software is not None:
+        forwarder = ForwarderEngine(
+            software=spec.firmware.software,
+            upstream_v4=resolver_v4,
+            upstream_v6=resolver_v6,
+        )
+    cpe = CpeDevice(
+        "cpe",
+        lan_v4_prefix="192.168.1.0/24",
+        wan_v4=wan_v4,
+        wan_gateway="access",
+        lan_host="host",
+        wan_v6=(home_v6.network_address + 1) if spec.has_ipv6 else None,
+        lan_v6_prefix=home_v6 if spec.has_ipv6 else None,
+        forwarder=forwarder,
+        wan_port53_open=spec.firmware.wan_port53_open,
+        model=spec.firmware.model,
+        asn=org.asn,
+    )
+    if spec.firmware.intercepts_v4:
+        cpe.enable_interception(family=4)
+    if spec.firmware.intercepts_v6 and spec.has_ipv6:
+        cpe.enable_interception(family=6)
+
+    # -- ISP fabric ---------------------------------------------------------------
+    access = Router("access", addresses=[isp_base_v4 + 2], asn=org.asn)
+    border = Router(
+        "border",
+        addresses=[isp_base_v4 + 4, isp_base_v6 + 4],
+        asn=org.asn,
+        drop_bogons=True,
+    )
+    middlebox: Optional[MiddleboxRouter] = None
+    if spec.isp.middlebox_policies:
+        middlebox = MiddleboxRouter(
+            "middlebox",
+            policies=spec.isp.middlebox_policies,
+            alternate_resolver_v4=resolver_v4,
+            alternate_resolver_v6=resolver_v6,
+            addresses=[isp_base_v4 + 3],
+            asn=org.asn,
+        )
+
+    # -- beyond the AS -----------------------------------------------------------
+    core = Router(
+        "core",
+        addresses=["198.32.0.1", "2001:500:a8::1"],
+        drop_bogons=True,
+    )
+    external: Optional[ExternalInterceptor] = None
+    off_as_resolver: Optional[RecursiveResolverNode] = None
+    if spec.external_policies:
+        off_v4 = TRANSIT_V4_PREFIX.network_address + 0x153
+        off_v6 = TRANSIT_V6_PREFIX.network_address + 0x153
+        off_as_resolver = RecursiveResolverNode(
+            "offas-resolver",
+            addresses=[off_v4, off_v6],
+            directory=directory,
+            software=unbound("1.13.1", identity="open-resolver.example"),
+        )
+        external = ExternalInterceptor(
+            "external",
+            policies=spec.external_policies,
+            alternate_resolver_v4=off_v4,
+            alternate_resolver_v6=off_v6,
+            addresses=[TRANSIT_V4_PREFIX.network_address + 1],
+        )
+
+    providers = {
+        provider: PublicResolverNode(provider, directory)
+        for provider in Provider
+    }
+
+    # -- attach everything --------------------------------------------------------
+    for node in [host, cpe, access, border, core, isp_resolver]:
+        net.add_node(node)
+    if middlebox is not None:
+        net.add_node(middlebox)
+    if external is not None:
+        assert off_as_resolver is not None
+        net.add_node(external)
+        net.add_node(off_as_resolver)
+    for node in providers.values():
+        net.add_node(node)
+
+    # -- links ---------------------------------------------------------------------
+    # When the ISP hosts its DNS infrastructure outside the client AS
+    # (§6 limitation), its interception middlebox sits with that
+    # infrastructure — beyond the border, where bogon queries cannot
+    # reach it.
+    middlebox_inside = middlebox is not None and inside_as
+    middlebox_outside = middlebox is not None and not inside_as
+
+    net.connect("host", "cpe", 0.5)
+    net.connect("cpe", "access", 4.0)
+    if middlebox_inside:
+        net.connect("access", "middlebox", 0.5)
+        net.connect("middlebox", "border", 0.5)
+    else:
+        net.connect("access", "border", 1.0)
+    if inside_as:
+        net.connect("border", "isp-resolver", 1.5)
+    elif middlebox_outside:
+        net.connect("border", "middlebox", 6.0)
+        net.connect("middlebox", "core", 6.0)
+        net.connect("middlebox", "isp-resolver", 2.0)
+        net.connect("core", "isp-resolver", 5.0)
+    else:
+        net.connect("core", "isp-resolver", 5.0)
+    if external is not None:
+        net.connect("border", "external", 8.0)
+        net.connect("external", "core", 8.0)
+        net.connect("external", "offas-resolver", 3.0)
+        net.connect("core", "offas-resolver", 3.0)
+    else:
+        net.connect("border", "core", 15.0)
+    for provider, node in providers.items():
+        net.connect("core", node.name, 6.0)
+
+    # -- routes -----------------------------------------------------------------------
+    wan_host_route = f"{wan_v4}/32"
+    access.routes.add(wan_host_route, "cpe")
+    if spec.has_ipv6:
+        access.routes.add(str(home_v6), "cpe")
+    upstream_of_access = "middlebox" if middlebox_inside else "border"
+    access.routes.add_default(upstream_of_access, family=4)
+    access.routes.add_default(upstream_of_access, family=6)
+    if inside_as:
+        # The resolver's address falls inside the org prefix; without
+        # these host routes the org-prefix routes would bounce resolver
+        # traffic back toward the access layer.
+        access.routes.add(f"{resolver_v4}/32", upstream_of_access)
+        access.routes.add(f"{resolver_v6}/128", upstream_of_access)
+
+    if middlebox_inside:
+        middlebox.routes.add(str(v4_net), "access")
+        middlebox.routes.add(str(v6_net), "access")
+        middlebox.routes.add_default("border", family=4)
+        middlebox.routes.add_default("border", family=6)
+        middlebox.routes.add(f"{resolver_v4}/32", "border")
+        middlebox.routes.add(f"{resolver_v6}/128", "border")
+    elif middlebox_outside:
+        middlebox.routes.add(str(v4_net), "border")
+        middlebox.routes.add(str(v6_net), "border")
+        middlebox.routes.add(f"{resolver_v4}/32", "isp-resolver")
+        middlebox.routes.add(f"{resolver_v6}/128", "isp-resolver")
+        middlebox.routes.add_default("core", family=4)
+        middlebox.routes.add_default("core", family=6)
+
+    toward_access = "middlebox" if middlebox_inside else "access"
+    border.routes.add(str(v4_net), toward_access)
+    border.routes.add(str(v6_net), toward_access)
+    if inside_as:
+        border.routes.add(f"{resolver_v4}/32", "isp-resolver")
+        border.routes.add(f"{resolver_v6}/128", "isp-resolver")
+        isp_resolver.gateway = "border"
+    else:
+        core.routes.add(f"{resolver_v4}/32", "isp-resolver")
+        core.routes.add(f"{resolver_v6}/128", "isp-resolver")
+        isp_resolver.gateway = "middlebox" if middlebox_outside else "core"
+    if external is not None:
+        upstream_of_border = "external"
+    elif middlebox_outside:
+        upstream_of_border = "middlebox"
+    else:
+        upstream_of_border = "core"
+    border.routes.add_default(upstream_of_border, family=4)
+    border.routes.add_default(upstream_of_border, family=6)
+
+    if external is not None:
+        assert off_as_resolver is not None
+        external.routes.add(str(v4_net), "border")
+        external.routes.add(str(v6_net), "border")
+        off_v4, off_v6 = sorted(off_as_resolver.addresses(), key=lambda a: a.version)
+        external.routes.add(f"{off_v4}/32", "offas-resolver")
+        external.routes.add(f"{off_v6}/128", "offas-resolver")
+        external.routes.add_default("core", family=4)
+        external.routes.add_default("core", family=6)
+        core.routes.add(f"{off_v4}/32", "offas-resolver")
+        core.routes.add(f"{off_v6}/128", "offas-resolver")
+        off_as_resolver.gateway = "core"
+        core.routes.add(str(TRANSIT_V4_PREFIX), "external")
+        core.routes.add(str(TRANSIT_V6_PREFIX), "external")
+
+    if external is not None:
+        toward_isp = "external"
+    elif middlebox_outside:
+        toward_isp = "middlebox"
+    else:
+        toward_isp = "border"
+    core.routes.add(str(v4_net), toward_isp)
+    core.routes.add(str(v6_net), toward_isp)
+
+    for provider, node in providers.items():
+        for address in node.addresses():
+            suffix = 32 if address.version == 4 else 128
+            core.routes.add(f"{address}/{suffix}", node.name)
+        node.gateway = "core"
+
+    scenario = Scenario(
+        spec=spec,
+        network=net,
+        host=host,
+        cpe=cpe,
+        directory=directory,
+        isp_resolver=isp_resolver,
+        providers=providers,
+        middlebox=middlebox,
+        external=external,
+    )
+    return scenario

@@ -1,0 +1,335 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``catalog``
+    Print the location-query catalog (Table 1).
+``diagnose``
+    Build an archetype household and run the three-step pipeline.
+``example``
+    The §3.4 worked example: Tables 2 and 3, measured live.
+``study``
+    The §4 pilot study over the calibrated fleet: Tables 4-5,
+    Figures 3-4, and the accuracy report.
+``case-study``
+    The §5 XB6 walk-through with a packet trace.
+``ttl``
+    The §6 TTL-probing extension against a chosen household.
+``dot``
+    The §6 DoT privacy-profile matrix against a chosen household.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro import diagnose_household
+from repro.analysis import (
+    build_example_tables,
+    build_figure3,
+    build_figure4_countries,
+    build_figure4_organizations,
+    build_location_summary,
+    build_table4,
+    build_table5,
+    measure_example_probes,
+    render_table,
+)
+from repro.analysis.accuracy import score_study
+from repro.atlas.geo import ORGANIZATIONS, organization_by_name
+from repro.atlas.measurement import MeasurementClient
+from repro.atlas.population import generate_population
+from repro.atlas.probe import IspBehavior, ProbeSpec
+from repro.atlas.scenario import build_scenario
+from repro.core.catalog import location_query_table
+from repro.core.dot_probe import DotProfile, detect_dot_provider
+from repro.core.study import run_pilot_study
+from repro.core.ttl_probe import ttl_probe
+from repro.cpe.firmware import (
+    dnat_interceptor,
+    honest_router,
+    open_wan_forwarder,
+    pihole_profile,
+    xb6_profile,
+)
+from repro.cpe.xb6 import describe_mechanism
+from repro.dnswire import QType, make_query
+from repro.interceptors.policy import InterceptMode, intercept_all
+from repro.resolvers.public import Provider
+
+_FIRMWARES = {
+    "honest": honest_router,
+    "xb6": xb6_profile,
+    "pihole": pihole_profile,
+    "dnat": dnat_interceptor,
+    "open-forwarder": open_wan_forwarder,
+}
+
+_ISP_MODES = {
+    "none": None,
+    "redirect": InterceptMode.REDIRECT,
+    "block": InterceptMode.BLOCK,
+    "drop": InterceptMode.DROP,
+    "replicate": InterceptMode.REPLICATE,
+}
+
+
+def _spec_from_args(args: argparse.Namespace) -> ProbeSpec:
+    organization = organization_by_name(args.org)
+    firmware = _FIRMWARES[args.firmware]()
+    policies = ()
+    mode = _ISP_MODES[args.isp]
+    if mode is not None:
+        policy = intercept_all(mode=mode, intercept_bogons=not args.bogon_blind)
+        if args.dot:
+            policy = replace(policy, intercept_dot=True)
+        policies = (policy,)
+    external = (intercept_all(),) if args.external else ()
+    return ProbeSpec(
+        probe_id=args.probe_id,
+        organization=organization,
+        firmware=firmware,
+        isp=IspBehavior(middlebox_policies=policies),
+        external_policies=external,
+        has_ipv6=args.ipv6,
+    )
+
+
+def _add_household_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--org",
+        default="Comcast",
+        choices=[o.name for o in ORGANIZATIONS],
+        help="access network the household sits in",
+    )
+    parser.add_argument(
+        "--firmware",
+        default="honest",
+        choices=sorted(_FIRMWARES),
+        help="CPE firmware profile",
+    )
+    parser.add_argument(
+        "--isp",
+        default="none",
+        choices=sorted(_ISP_MODES),
+        help="ISP middlebox interception mode",
+    )
+    parser.add_argument(
+        "--external", action="store_true", help="add a beyond-AS interceptor"
+    )
+    parser.add_argument(
+        "--bogon-blind",
+        action="store_true",
+        help="the ISP middlebox discards bogon-destined queries",
+    )
+    parser.add_argument(
+        "--dot",
+        action="store_true",
+        help="the ISP middlebox also terminates DNS-over-TLS",
+    )
+    parser.add_argument("--ipv6", action="store_true", help="dual-stack household")
+    parser.add_argument("--probe-id", type=int, default=1, help="deterministic seed")
+
+
+def cmd_catalog(_args: argparse.Namespace) -> int:
+    print(
+        render_table(
+            ("Public Resolver", "Type", "Location Query", "Example Response"),
+            location_query_table(),
+            title="Table 1: Location queries and expected responses.",
+        )
+    )
+    return 0
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    result = diagnose_household(spec)
+    print(f"household    : org={spec.organization.name} firmware={args.firmware} "
+          f"isp={args.isp}{' +external' if args.external else ''}")
+    print(f"ground truth : {spec.true_location().value}")
+    print(f"verdict      : {result.verdict.value}")
+    if result.intercepted:
+        family = result.analysis_family
+        providers = [p.value for p in result.detection.intercepted_providers(family)]
+        print(f"intercepted  : IPv{family} {providers}")
+        print(f"transparency : {result.transparency_class.value}")
+    if result.cpe_version_string:
+        print(f"version.bind : {result.cpe_version_string!r}")
+    if args.verbose:
+        from repro.core.report import render_diagnosis
+
+        print()
+        print(render_diagnosis(result))
+    return 0
+
+
+def cmd_example(_args: argparse.Namespace) -> int:
+    table2, table3 = build_example_tables(measure_example_probes())
+    print(table2)
+    print()
+    print(table3)
+    return 0
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    if args.load:
+        from repro.analysis.export import load_study
+
+        study = load_study(args.load)
+        print(f"loaded {len(study.records)} records from {args.load}", file=sys.stderr)
+    else:
+        specs = generate_population(size=args.size, seed=args.seed)
+        print(f"measuring {len(specs)} probes (seed {args.seed}) ...", file=sys.stderr)
+        study = run_pilot_study(specs)
+        study.seed = args.seed
+    if args.save:
+        from repro.analysis.export import save_study
+
+        save_study(study, args.save)
+        print(f"saved records to {args.save}", file=sys.stderr)
+    print(build_table4(study).render())
+    print()
+    print(build_table5(study).render())
+    print()
+    print("Location summary:", build_location_summary(study).render())
+    print()
+    from repro.analysis.replication import build_replication_report
+
+    print(build_replication_report(study).render())
+    print()
+    print(build_figure3(study).render())
+    print()
+    print(build_figure4_countries(study).render())
+    print()
+    print(build_figure4_organizations(study).render())
+    if args.accuracy:
+        print()
+        print(score_study(study).render())
+    return 0
+
+
+def cmd_case_study(args: argparse.Namespace) -> int:
+    spec = ProbeSpec(
+        probe_id=args.probe_id,
+        organization=organization_by_name("Comcast"),
+        firmware=xb6_profile(buggy=True),
+    )
+    scenario = build_scenario(spec, trace=True)
+    print(describe_mechanism(scenario.cpe))
+    print()
+    client = MeasurementClient(scenario.network, scenario.host)
+    result = client.exchange(
+        "8.8.8.8", make_query("www.example.com.", QType.A, msg_id=0x5151)
+    )
+    print("Packet trace of one hijacked resolution:")
+    for event in scenario.network.recorder.events:
+        print(" ", event.format())
+    print()
+    assert result.response is not None
+    print("Client-visible response:")
+    print(result.response.to_text())
+    return 0
+
+
+def cmd_ttl(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    scenario = build_scenario(spec)
+    client = MeasurementClient(scenario.network, scenario.host)
+    result = ttl_probe(
+        client,
+        Provider.GOOGLE,
+        rng=random.Random(spec.probe_id),
+        stop_at_answer=not args.full_sweep,
+    )
+    print(result.describe())
+    return 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    scenario = build_scenario(spec)
+    client = MeasurementClient(scenario.network, scenario.host)
+    rng = random.Random(spec.probe_id)
+    rows = []
+    for provider in Provider:
+        statuses = []
+        for profile in (DotProfile.OPPORTUNISTIC, DotProfile.STRICT):
+            verdict = detect_dot_provider(client, provider, profile=profile, rng=rng)
+            statuses.append(verdict.status.value)
+        rows.append((provider.value, *statuses))
+    print(
+        render_table(
+            ("Resolver", "opportunistic", "strict"),
+            rows,
+            title="DoT location-query outcomes by privacy profile.",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Locate DNS interception (IMC'21 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("catalog", help="print Table 1").set_defaults(
+        handler=cmd_catalog
+    )
+
+    diagnose = subparsers.add_parser("diagnose", help="diagnose one household")
+    _add_household_arguments(diagnose)
+    diagnose.add_argument(
+        "-v", "--verbose", action="store_true", help="narrative step-by-step report"
+    )
+    diagnose.set_defaults(handler=cmd_diagnose)
+
+    subparsers.add_parser(
+        "example", help="the §3.4 worked example (Tables 2-3)"
+    ).set_defaults(handler=cmd_example)
+
+    study = subparsers.add_parser("study", help="the §4 pilot study")
+    study.add_argument("--size", type=int, default=2000)
+    study.add_argument("--seed", type=int, default=2021)
+    study.add_argument(
+        "--accuracy", action="store_true", help="score verdicts vs ground truth"
+    )
+    study.add_argument("--save", metavar="PATH", help="write records as JSON")
+    study.add_argument(
+        "--load", metavar="PATH", help="analyse previously saved records"
+    )
+    study.set_defaults(handler=cmd_study)
+
+    case = subparsers.add_parser("case-study", help="the §5 XB6 walk-through")
+    case.add_argument("--probe-id", type=int, default=5150)
+    case.set_defaults(handler=cmd_case_study)
+
+    ttl = subparsers.add_parser("ttl", help="the §6 TTL-probing extension")
+    _add_household_arguments(ttl)
+    ttl.add_argument(
+        "--full-sweep", action="store_true", help="continue past the first answer"
+    )
+    ttl.set_defaults(handler=cmd_ttl)
+
+    dot = subparsers.add_parser("dot", help="the §6 DoT privacy-profile matrix")
+    _add_household_arguments(dot)
+    dot.set_defaults(handler=cmd_dot)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""``repro.core`` — the paper's contribution: locating DNS interception.
+
+The three-step technique of Figure 2 (location queries, the version.bind
+CPE comparison, bogon queries), the §4.1.2 transparency check, the
+probe-fleet pilot study, and the §6 future-work TTL-probing extension.
+"""
+
+from .catalog import (
+    LOCATION_QUERIES,
+    PROVIDER_ORDER,
+    LocationQuerySpec,
+    location_query_table,
+    provider_addresses,
+)
+from .matchers import (
+    MatchResult,
+    describe_response,
+    match_cloudflare,
+    match_google,
+    match_location_response,
+    match_opendns,
+    match_quad9,
+)
+from .detector import (
+    DetectionReport,
+    InterceptionStatus,
+    LocationProbe,
+    ProviderVerdict,
+    detect_all,
+    detect_provider,
+)
+from .cpe_check import CpeCheckResult, VersionBindObservation, check_cpe
+from .isp_check import BogonProbe, IspCheckResult, check_isp, default_bogon
+from .transparency import (
+    ProbeTransparency,
+    ProviderTransparency,
+    TransparencyResult,
+    WhoamiObservation,
+    check_transparency,
+)
+from .classifier import InterceptionLocator, LocatorVerdict, ProbeClassification
+from .dot_probe import (
+    DotProfile,
+    DotReport,
+    DotStatus,
+    DotVerdict,
+    detect_dot_all,
+    detect_dot_provider,
+)
+from .baseline import (
+    AuthoritativeObservation,
+    BaselineStatus,
+    BaselineVerdict,
+    PrevalenceExperiment,
+)
+from .report import render_diagnosis
+from .ttl_probe import DEFAULT_MAX_TTL, TtlProbeResult, TtlStep, ttl_probe
+from .study import (
+    ProbeRecord,
+    StudyResult,
+    classification_to_record,
+    measure_probe,
+    run_pilot_study,
+)
+
+__all__ = [
+    "LOCATION_QUERIES",
+    "PROVIDER_ORDER",
+    "LocationQuerySpec",
+    "location_query_table",
+    "provider_addresses",
+    "MatchResult",
+    "describe_response",
+    "match_cloudflare",
+    "match_google",
+    "match_location_response",
+    "match_opendns",
+    "match_quad9",
+    "DetectionReport",
+    "InterceptionStatus",
+    "LocationProbe",
+    "ProviderVerdict",
+    "detect_all",
+    "detect_provider",
+    "CpeCheckResult",
+    "VersionBindObservation",
+    "check_cpe",
+    "BogonProbe",
+    "IspCheckResult",
+    "check_isp",
+    "default_bogon",
+    "ProbeTransparency",
+    "ProviderTransparency",
+    "TransparencyResult",
+    "WhoamiObservation",
+    "check_transparency",
+    "DotProfile",
+    "DotReport",
+    "DotStatus",
+    "DotVerdict",
+    "detect_dot_all",
+    "detect_dot_provider",
+    "InterceptionLocator",
+    "LocatorVerdict",
+    "ProbeClassification",
+    "AuthoritativeObservation",
+    "BaselineStatus",
+    "BaselineVerdict",
+    "PrevalenceExperiment",
+    "render_diagnosis",
+    "DEFAULT_MAX_TTL",
+    "TtlProbeResult",
+    "TtlStep",
+    "ttl_probe",
+    "ProbeRecord",
+    "StudyResult",
+    "classification_to_record",
+    "measure_probe",
+    "run_pilot_study",
+]

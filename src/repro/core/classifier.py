@@ -1,0 +1,158 @@
+"""The three-step interception locator (Figure 2 of the paper).
+
+``InterceptionLocator`` composes the three techniques:
+
+1. :mod:`~repro.core.detector` — *are* queries intercepted? (location
+   queries, all four providers, primary + secondary, both families);
+2. :mod:`~repro.core.cpe_check` — is the CPE the interceptor?
+   (version.bind comparison);
+3. :mod:`~repro.core.isp_check` — failing that, is the interceptor
+   inside the ISP? (bogon queries);
+
+plus the §4.1.2 transparency check. The output mirrors the paper's
+classification: ``NOT_INTERCEPTED``, ``CPE``, ``WITHIN_ISP``, or
+``UNKNOWN`` (potentially beyond the ISP).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.atlas.measurement import MeasurementClient
+from repro.net.addr import IPAddress
+
+from .cpe_check import CpeCheckResult, check_cpe
+from .detector import DetectionReport, detect_all
+from .isp_check import IspCheckResult, check_isp
+from .transparency import ProbeTransparency, TransparencyResult, check_transparency
+
+
+class LocatorVerdict(enum.Enum):
+    """Where the interceptor was found."""
+
+    NOT_INTERCEPTED = "not-intercepted"
+    CPE = "cpe"
+    WITHIN_ISP = "within-isp"
+    UNKNOWN = "unknown"  # beyond the ISP, or a bogon-discarding interceptor
+    NO_DATA = "no-data"  # the probe never answered any measurement
+
+
+@dataclass
+class ProbeClassification:
+    """Full record of one probe's journey through the pipeline."""
+
+    detection: DetectionReport
+    verdict: LocatorVerdict
+    analysis_family: Optional[int] = None
+    cpe_check: Optional[CpeCheckResult] = None
+    isp_check: Optional[IspCheckResult] = None
+    transparency: Optional[TransparencyResult] = None
+
+    @property
+    def intercepted(self) -> bool:
+        return self.verdict not in (
+            LocatorVerdict.NOT_INTERCEPTED,
+            LocatorVerdict.NO_DATA,
+        )
+
+    @property
+    def transparency_class(self) -> ProbeTransparency:
+        if self.transparency is None:
+            return ProbeTransparency.UNKNOWN
+        return self.transparency.classification
+
+    @property
+    def cpe_version_string(self) -> Optional[str]:
+        """The Table-5 string, for CPE-attributed probes."""
+        if self.verdict is not LocatorVerdict.CPE or self.cpe_check is None:
+            return None
+        return self.cpe_check.cpe_version
+
+
+class InterceptionLocator:
+    """Runs the pipeline for one probe.
+
+    Parameters mirror what a real deployment knows: a way to send DNS
+    queries (``client``) and the probe's public address (every RIPE Atlas
+    probe reports its own). Nothing else — no root access, no
+    authoritative server, no traceroute.
+    """
+
+    def __init__(
+        self,
+        client: MeasurementClient,
+        cpe_public_v4: "str | IPAddress | None" = None,
+        cpe_public_v6: "str | IPAddress | None" = None,
+        families: tuple[int, ...] = (4, 6),
+        rng: Optional[random.Random] = None,
+        run_transparency: bool = True,
+        both_addresses: bool = True,
+        skip=None,
+    ) -> None:
+        self.client = client
+        self.cpe_public = {4: cpe_public_v4, 6: cpe_public_v6}
+        self.families = families
+        self.rng = rng
+        self.run_transparency = run_transparency
+        self.both_addresses = both_addresses
+        self.skip = skip
+
+    def classify(self) -> ProbeClassification:
+        detection = detect_all(
+            self.client,
+            families=self.families,
+            rng=self.rng,
+            both_addresses=self.both_addresses,
+            skip=self.skip,
+        )
+
+        family = self._analysis_family(detection)
+        if family is None:
+            responded = any(v.responded for v in detection.verdicts.values())
+            verdict = (
+                LocatorVerdict.NOT_INTERCEPTED if responded else LocatorVerdict.NO_DATA
+            )
+            return ProbeClassification(detection=detection, verdict=verdict)
+
+        result = ProbeClassification(
+            detection=detection,
+            verdict=LocatorVerdict.UNKNOWN,
+            analysis_family=family,
+        )
+        intercepted = detection.intercepted_providers(family)
+
+        # Step 2: the CPE check (needs the probe's public address).
+        cpe_address = self.cpe_public.get(family)
+        if cpe_address is not None:
+            result.cpe_check = check_cpe(
+                self.client, cpe_address, intercepted, family=family, rng=self.rng
+            )
+            if result.cpe_check.cpe_is_interceptor:
+                result.verdict = LocatorVerdict.CPE
+
+        # Step 3: the bogon check, only if the CPE was not implicated.
+        if result.verdict is not LocatorVerdict.CPE:
+            result.isp_check = check_isp(self.client, family=family, rng=self.rng)
+            result.verdict = (
+                LocatorVerdict.WITHIN_ISP
+                if result.isp_check.within_isp
+                else LocatorVerdict.UNKNOWN
+            )
+
+        # Transparency (§4.1.2) over the intercepted providers.
+        if self.run_transparency:
+            result.transparency = check_transparency(
+                self.client, intercepted, family=family, rng=self.rng
+            )
+        return result
+
+    def _analysis_family(self, detection: DetectionReport) -> Optional[int]:
+        """Pick the family to localise in: IPv4 first (IPv6 interception
+        is rare enough that the paper analyses the families jointly)."""
+        for family in (4, 6):
+            if family in self.families and detection.any_intercepted(family):
+                return family
+        return None

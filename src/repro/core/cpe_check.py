@@ -1,0 +1,142 @@
+"""Step 2 — is the CPE the interceptor? (§3.2, Appendix A).
+
+The check sends ``version.bind`` CHAOS TXT queries:
+
+1. to the CPE's own public (WAN) address — by ordinary routing rules
+   this packet can never travel beyond the CPE;
+2. to each public resolver that Step 1 found intercepted.
+
+If the CPE is a DNAT interceptor, *all* of these land on the same
+embedded forwarder and return the same version string. Identical,
+non-empty strings from the CPE and from the "resolvers" ⇒ the CPE is the
+interceptor. (A mere answer from the CPE is not enough — an honest CPE
+with port 53 open also answers; the *comparison* is the test, which is
+why a high-entropy string like a version.bind answer is required —
+Appendix A.)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.atlas.measurement import ExchangeResult, MeasurementClient
+from repro.dnswire import RCode
+from repro.dnswire.chaosnames import VERSION_BIND, make_chaos_query
+from repro.net.addr import IPAddress
+from repro.resolvers.public import Provider
+
+from .catalog import provider_addresses
+from .matchers import describe_response
+
+
+@dataclass(frozen=True)
+class VersionBindObservation:
+    """One version.bind answer (or lack of one)."""
+
+    target: str  # address queried
+    label: str  # "cpe" or the provider name
+    exchange: ExchangeResult
+
+    @property
+    def answered(self) -> bool:
+        return self.exchange.response is not None
+
+    @property
+    def version_string(self) -> Optional[str]:
+        """The TXT payload, or None for timeouts *and* error statuses.
+
+        Error statuses (NOTIMP/NXDOMAIN/REFUSED) carry far less identity
+        than a version string; the comparison below only trusts string
+        matches, mirroring the paper's reliance on string uniqueness.
+        """
+        response = self.exchange.response
+        if response is None or response.rcode != RCode.NOERROR:
+            return None
+        strings = response.txt_strings()
+        return strings[0] if strings else None
+
+    def observed_text(self) -> str:
+        return describe_response(self.exchange.response)
+
+
+@dataclass
+class CpeCheckResult:
+    """Outcome of Step 2 for one probe."""
+
+    cpe_observation: Optional[VersionBindObservation] = None
+    resolver_observations: list[VersionBindObservation] = field(default_factory=list)
+
+    @property
+    def cpe_version(self) -> Optional[str]:
+        if self.cpe_observation is None:
+            return None
+        return self.cpe_observation.version_string
+
+    def matching_resolvers(self) -> list[VersionBindObservation]:
+        """Resolver observations whose string equals the CPE's."""
+        cpe_version = self.cpe_version
+        if cpe_version is None:
+            return []
+        return [
+            obs
+            for obs in self.resolver_observations
+            if obs.version_string == cpe_version
+        ]
+
+    @property
+    def cpe_is_interceptor(self) -> bool:
+        """The paper's criterion: identical version.bind strings."""
+        return bool(self.matching_resolvers())
+
+    def summary_rows(self) -> list[tuple[str, str]]:
+        rows = [
+            (obs.label, obs.observed_text()) for obs in self.resolver_observations
+        ]
+        if self.cpe_observation is not None:
+            rows.append(("CPE Public IP", self.cpe_observation.observed_text()))
+        return rows
+
+
+def check_cpe(
+    client: MeasurementClient,
+    cpe_public_address: "str | IPAddress",
+    intercepted_providers: list[Provider],
+    family: int = 4,
+    rng: Optional[random.Random] = None,
+    chaos_name=VERSION_BIND,
+) -> CpeCheckResult:
+    """Run Step 2.
+
+    ``intercepted_providers`` is Step 1's output: a CHAOS TXT query for
+    ``chaos_name`` (``version.bind`` by default) is sent to each such
+    provider's primary address and to the CPE's public address, and the
+    answer strings are compared.
+
+    ``chaos_name`` exists for the §7 comparison with prior work: Jones
+    et al. used ``hostname.bind``, but many CPE forwarders (dnsmasq
+    above all) answer only ``version.bind`` — the reason the paper
+    "found version.bind to be better suited".
+    """
+    def next_id() -> Optional[int]:
+        return rng.randint(0, 0xFFFF) if rng is not None else None
+
+    result = CpeCheckResult()
+    exchange = client.exchange(
+        cpe_public_address, make_chaos_query(chaos_name, msg_id=next_id())
+    )
+    result.cpe_observation = VersionBindObservation(
+        target=str(cpe_public_address), label="cpe", exchange=exchange
+    )
+    for provider in intercepted_providers:
+        address = provider_addresses(provider, family)[0]
+        exchange = client.exchange(
+            address, make_chaos_query(chaos_name, msg_id=next_id())
+        )
+        result.resolver_observations.append(
+            VersionBindObservation(
+                target=address, label=provider.value, exchange=exchange
+            )
+        )
+    return result

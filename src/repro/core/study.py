@@ -1,0 +1,182 @@
+"""The pilot study: running the locator over the whole probe fleet (§4).
+
+For every probe the study builds its scenario, runs the three-step
+pipeline plus the transparency check, and records a compact
+:class:`ProbeRecord` — the raw material from which the analysis package
+regenerates every table and figure of the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.atlas.measurement import MeasurementClient
+from repro.atlas.population import PROVIDERS
+from repro.atlas.probe import InterceptorLocation, ProbeSpec
+from repro.atlas.scenario import Scenario, build_scenario
+from repro.resolvers.public import Provider
+
+from .classifier import InterceptionLocator, LocatorVerdict, ProbeClassification
+from .detector import InterceptionStatus
+from .transparency import ProbeTransparency
+
+
+@dataclass(frozen=True)
+class ProbeRecord:
+    """Compact per-probe study outcome (everything the analysis needs)."""
+
+    probe_id: int
+    organization: str
+    asn: int
+    country: str
+    online: bool
+    #: Step-1 status per (provider value, family); missing = not measured.
+    provider_status: tuple[tuple[str, int, str], ...] = ()
+    verdict: str = LocatorVerdict.NO_DATA.value
+    transparency: str = ProbeTransparency.UNKNOWN.value
+    cpe_version_string: Optional[str] = None
+    replication_seen: bool = False
+    true_location: str = InterceptorLocation.NONE.value
+
+    # -- per-provider helpers ----------------------------------------------
+
+    def status_of(self, provider: Provider, family: int) -> Optional[str]:
+        for name, fam, status in self.provider_status:
+            if name == provider.value and fam == family:
+                return status
+        return None
+
+    def responded(self, provider: Provider, family: int) -> bool:
+        status = self.status_of(provider, family)
+        return status is not None and status != InterceptionStatus.NO_RESPONSE.value
+
+    def intercepted_for(self, provider: Provider, family: int) -> bool:
+        return self.status_of(provider, family) == InterceptionStatus.INTERCEPTED.value
+
+    def responded_all(self, family: int) -> bool:
+        return all(self.responded(p, family) for p in PROVIDERS)
+
+    def intercepted_all(self, family: int) -> bool:
+        return all(self.intercepted_for(p, family) for p in PROVIDERS)
+
+    def intercepted_any(self, family: Optional[int] = None) -> bool:
+        return any(
+            status == InterceptionStatus.INTERCEPTED.value
+            for _name, fam, status in self.provider_status
+            if family is None or fam == family
+        )
+
+    @property
+    def is_intercepted(self) -> bool:
+        return self.intercepted_any()
+
+
+@dataclass
+class StudyResult:
+    """All probe records plus bookkeeping."""
+
+    records: list[ProbeRecord] = field(default_factory=list)
+    fleet_size: int = 0
+    seed: int = 0
+
+    def intercepted_records(self) -> list[ProbeRecord]:
+        return [r for r in self.records if r.is_intercepted]
+
+    def records_with_verdict(self, verdict: LocatorVerdict) -> list[ProbeRecord]:
+        return [r for r in self.records if r.verdict == verdict.value]
+
+
+def classification_to_record(
+    spec: ProbeSpec, classification: Optional[ProbeClassification]
+) -> ProbeRecord:
+    """Flatten one probe's pipeline output into a record."""
+    if classification is None:
+        return ProbeRecord(
+            probe_id=spec.probe_id,
+            organization=spec.organization.name,
+            asn=spec.asn,
+            country=spec.country,
+            online=False,
+            true_location=spec.true_location().value,
+        )
+    statuses = []
+    replication = False
+    for (provider, family), verdict in classification.detection.verdicts.items():
+        statuses.append((provider.value, family, verdict.status.value))
+        replication = replication or any(
+            p.exchange.replicated for p in verdict.probes
+        )
+    return ProbeRecord(
+        probe_id=spec.probe_id,
+        organization=spec.organization.name,
+        asn=spec.asn,
+        country=spec.country,
+        online=True,
+        provider_status=tuple(sorted(statuses)),
+        verdict=classification.verdict.value,
+        transparency=classification.transparency_class.value,
+        cpe_version_string=classification.cpe_version_string,
+        replication_seen=replication,
+        true_location=spec.true_location().value,
+    )
+
+
+def measure_probe(
+    spec: ProbeSpec,
+    scenario: Optional[Scenario] = None,
+    run_transparency: bool = True,
+    directory=None,
+) -> Optional[ProbeClassification]:
+    """Run the full pipeline for one probe; None when the probe is offline.
+
+    ``directory`` lets callers share one authoritative
+    :class:`~repro.resolvers.directory.NameDirectory` across probes —
+    safe because the pipeline only reads it, and it saves rebuilding the
+    zones ten thousand times in a fleet study.
+    """
+    if not spec.online:
+        return None
+    scenario = scenario or build_scenario(spec, directory=directory)
+    client = MeasurementClient(scenario.network, scenario.host)
+    rng = random.Random(spec.probe_id * 7919 + 13)
+
+    skip: set[tuple[Provider, int]] = set()
+    for index, provider in enumerate(PROVIDERS):
+        if not spec.responds_v4[index]:
+            skip.add((provider, 4))
+        if not spec.responds_v6[index]:
+            skip.add((provider, 6))
+
+    locator = InterceptionLocator(
+        client,
+        cpe_public_v4=scenario.cpe_public_v4,
+        cpe_public_v6=scenario.cpe_public_v6,
+        families=(4, 6) if spec.has_ipv6 else (4,),
+        rng=rng,
+        run_transparency=run_transparency,
+        skip=skip,
+    )
+    return locator.classify()
+
+
+def run_pilot_study(
+    specs: Iterable[ProbeSpec],
+    run_transparency: bool = True,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> StudyResult:
+    """Measure every probe; return the full record set."""
+    from repro.resolvers.directory import build_default_directory
+
+    specs = list(specs)
+    result = StudyResult(fleet_size=len(specs))
+    shared_directory = build_default_directory()
+    for index, spec in enumerate(specs):
+        classification = measure_probe(
+            spec, run_transparency=run_transparency, directory=shared_directory
+        )
+        result.records.append(classification_to_record(spec, classification))
+        if progress is not None:
+            progress(index + 1, len(specs))
+    return result

@@ -1,0 +1,41 @@
+"""``repro.cpe`` — customer-premises equipment models.
+
+Home routers with NAT, embedded DNS forwarders, iptables-style DNAT
+interception, declarative firmware profiles for fleet generation, and a
+faithful model of the XB6/RDK-B/XDNS mechanism from the paper's §5 case
+study.
+"""
+
+from .device import CpeDevice
+from .forwarder import UPSTREAM_PORT, ForwarderEngine, PendingQuery
+from .firmware import (
+    FirmwareProfile,
+    TABLE5_SOFTWARE_MIX,
+    dnat_interceptor,
+    honest_forwarder,
+    honest_router,
+    open_wan_forwarder,
+    pihole_profile,
+    table5_total,
+    xb6_profile,
+)
+from .xb6 import RDKB_FIREWALL_EXCERPT, build_xb6, describe_mechanism
+
+__all__ = [
+    "CpeDevice",
+    "UPSTREAM_PORT",
+    "ForwarderEngine",
+    "PendingQuery",
+    "FirmwareProfile",
+    "TABLE5_SOFTWARE_MIX",
+    "dnat_interceptor",
+    "honest_forwarder",
+    "honest_router",
+    "open_wan_forwarder",
+    "pihole_profile",
+    "table5_total",
+    "xb6_profile",
+    "RDKB_FIREWALL_EXCERPT",
+    "build_xb6",
+    "describe_mechanism",
+]

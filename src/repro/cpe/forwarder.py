@@ -1,0 +1,169 @@
+"""The embedded DNS forwarder that runs inside a CPE.
+
+This is the component the paper's Step 2 fingerprints. It terminates
+client queries (answering CHAOS debugging queries per its software
+personality), forwards everything else to its pre-configured upstream —
+typically the ISP resolver — and relays responses back. When a query was
+*hijacked* (DNAT'd) rather than addressed to the CPE, the relay spoofs
+the response source to the original destination, which is what makes the
+interception transparent (§2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.dnswire import DNS_PORT, Message, RCode, decode_or_none
+from repro.net import Packet, make_udp
+from repro.net.addr import IPAddress, parse_ip
+from repro.resolvers.base import ChaosOutcome, chaos_respond
+from repro.resolvers.software import ServerSoftware
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .device import CpeDevice
+
+#: WAN source port the forwarder uses for its own upstream queries.
+UPSTREAM_PORT = 3053
+
+
+@dataclass
+class PendingQuery:
+    """Book-keeping for one query relayed upstream."""
+
+    client_addr: IPAddress
+    client_port: int
+    original_id: int
+    reply_src: IPAddress  # spoofed to the original destination when hijacked
+    qname_text: str
+
+
+class ForwarderEngine:
+    """Per-CPE DNS forwarder state machine."""
+
+    def __init__(
+        self,
+        software: ServerSoftware,
+        upstream_v4: "str | IPAddress | None" = None,
+        upstream_v6: "str | IPAddress | None" = None,
+    ) -> None:
+        self.software = software
+        self.upstream_v4 = parse_ip(upstream_v4) if upstream_v4 else None
+        self.upstream_v6 = parse_ip(upstream_v6) if upstream_v6 else None
+        self._pending: dict[int, PendingQuery] = {}
+        self._next_upstream_id = 0x1000
+        self.client_queries = 0
+        self.upstream_queries = 0
+
+    def upstream_for_family(self, family: int) -> Optional[IPAddress]:
+        return self.upstream_v4 if family == 4 else self.upstream_v6
+
+    # -- client side --------------------------------------------------------
+
+    def handle_client_query(
+        self, cpe: "CpeDevice", packet: Packet, reply_src: IPAddress
+    ) -> None:
+        """Process a query that reached the forwarder.
+
+        ``reply_src`` is the address the response must claim to come from:
+        the CPE's own address for queries *addressed to* the CPE, or the
+        original (hijacked) destination for DNAT'd queries.
+        """
+        assert packet.udp is not None
+        self.client_queries += 1
+        query = decode_or_none(packet.udp.payload)
+        if query is None or query.is_response or query.question is None:
+            cpe.trace("drop", packet, "forwarder: not a query")
+            return
+
+        outcome = chaos_respond(self.software, query)
+        if isinstance(outcome, Message):
+            self._reply(cpe, packet, outcome, reply_src)
+            return
+        if outcome is ChaosOutcome.IGNORE:
+            cpe.trace("drop", packet, "forwarder: chaos ignored")
+            return
+        # NOT_CHAOS or FORWARD: relay upstream.
+        self._forward_upstream(cpe, packet, query, reply_src)
+
+    def _forward_upstream(
+        self, cpe: "CpeDevice", packet: Packet, query: Message, reply_src: IPAddress
+    ) -> None:
+        upstream = self.upstream_for_family(packet.family)
+        if upstream is None:
+            self._reply(cpe, packet, query.reply(rcode=RCode.SERVFAIL), reply_src)
+            return
+        source = cpe.wan_address(packet.family)
+        if source is None:
+            self._reply(cpe, packet, query.reply(rcode=RCode.SERVFAIL), reply_src)
+            return
+        upstream_id = self._allocate_id()
+        assert packet.udp is not None
+        self._pending[upstream_id] = PendingQuery(
+            client_addr=packet.src,
+            client_port=packet.udp.sport,
+            original_id=query.msg_id,
+            reply_src=reply_src,
+            qname_text=query.question.qname.to_text() if query.question else ".",
+        )
+        self.upstream_queries += 1
+        relay = make_udp(
+            source, UPSTREAM_PORT, upstream, DNS_PORT, query.with_id(upstream_id).encode()
+        )
+        cpe.trace("forward", relay, f"forwarder -> upstream {upstream}")
+        cpe.emit_wan(relay)
+
+    # -- upstream side ----------------------------------------------------
+
+    def handle_upstream_response(self, cpe: "CpeDevice", packet: Packet) -> None:
+        assert packet.udp is not None
+        response = decode_or_none(packet.udp.payload)
+        if response is None or not response.is_response:
+            cpe.trace("drop", packet, "forwarder: bad upstream response")
+            return
+        pending = self._pending.pop(response.msg_id, None)
+        if pending is None:
+            cpe.trace("drop", packet, "forwarder: unexpected upstream id")
+            return
+        relayed = response.with_id(pending.original_id)
+        reply = make_udp(
+            pending.reply_src,
+            DNS_PORT,
+            pending.client_addr,
+            pending.client_port,
+            relayed.encode(),
+        )
+        spoofed = pending.reply_src not in cpe.addresses()
+        cpe.trace(
+            "send",
+            reply,
+            "forwarder reply" + (" (spoofed source)" if spoofed else ""),
+        )
+        cpe.emit_lan(reply)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _reply(
+        self, cpe: "CpeDevice", packet: Packet, response: Message, reply_src: IPAddress
+    ) -> None:
+        assert packet.udp is not None
+        reply = make_udp(
+            reply_src, DNS_PORT, packet.src, packet.udp.sport, response.encode()
+        )
+        spoofed = reply_src not in cpe.addresses()
+        cpe.trace(
+            "send",
+            reply,
+            "forwarder local answer" + (" (spoofed source)" if spoofed else ""),
+        )
+        cpe.emit_lan(reply)
+
+    def _allocate_id(self) -> int:
+        self._next_upstream_id = (self._next_upstream_id + 1) & 0xFFFF
+        while self._next_upstream_id in self._pending:
+            self._next_upstream_id = (self._next_upstream_id + 1) & 0xFFFF
+        return self._next_upstream_id
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,105 @@
+"""The Arris/Technicolor XB6 gateway — the paper's §5 case study.
+
+The XB6 (and its successor XB7) is a DOCSIS gateway designed by Comcast,
+manufactured by Arris and Technicolor, and rented to customers by many
+ISPs (Comcast, Shaw, Vodafone, Liberty Global, ...). It runs RDK-B, the
+Reference Design Kit for Broadband, whose DNS component — **XDNS**
+("Xfinity DNS", CcspXDNS) — can redirect DNS with a firewall DNAT rule.
+The feature exists to implement opt-in malware filtering; the paper found
+units where a bug left the redirection on for *all* queries, silently
+overriding the user's resolver choice.
+
+This module reproduces the mechanism at the packet level: the same
+PREROUTING rule shape as RDK-B's ``firewall.c``, the XDNS forwarder
+answering ``version.bind``, and the spoofed-source reply that makes the
+hijack invisible to the client.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.addr import IPAddress, IPNetwork
+
+from .device import CpeDevice
+from .forwarder import ForwarderEngine
+from repro.resolvers.software import xdns
+
+#: The RDK-B firewall source the paper cites (CcspUtopia firewall.c).
+RDKB_FIREWALL_EXCERPT = """\
+# RDK-B (CcspUtopia) source/firewall/firewall.c — DNS redirection,
+# as generated on an affected XB6 (paraphrased):
+#   iptables -t nat -A PREROUTING -i brlan0 -p udp --dport 53 \\
+#       -j DNAT --to-destination <gateway-ip>
+#   iptables -t nat -A PREROUTING -i brlan0 -p tcp --dport 53 \\
+#       -j DNAT --to-destination <gateway-ip>
+# Every DNS packet entering from the LAN bridge is rewritten to the
+# gateway itself, where the XDNS forwarder relays it to the ISP resolver."""
+
+
+def build_xb6(
+    name: str,
+    lan_v4_prefix: "str | IPNetwork",
+    wan_v4: "str | IPAddress",
+    wan_gateway: str,
+    lan_host: str,
+    isp_resolver_v4: "str | IPAddress",
+    isp_resolver_v6: "str | IPAddress | None" = None,
+    wan_v6: "str | IPAddress | None" = None,
+    lan_v6_prefix: "str | IPNetwork | None" = None,
+    buggy: bool = True,
+    xdns_version: str = "1.0",
+    asn: Optional[int] = None,
+) -> CpeDevice:
+    """Instantiate an XB6 gateway.
+
+    With ``buggy=True`` (the units §5 describes) the XDNS DNAT rule is
+    installed unconditionally, so every IPv4 DNS query from the home is
+    redirected to ``isp_resolver_v4`` regardless of its destination. With
+    ``buggy=False`` the filtering service is present but dormant, and the
+    gateway behaves like any honest router.
+    """
+    engine = ForwarderEngine(
+        software=xdns(xdns_version),
+        upstream_v4=isp_resolver_v4,
+        upstream_v6=isp_resolver_v6,
+    )
+    device = CpeDevice(
+        name=name,
+        lan_v4_prefix=lan_v4_prefix,
+        wan_v4=wan_v4,
+        wan_gateway=wan_gateway,
+        lan_host=lan_host,
+        wan_v6=wan_v6,
+        lan_v6_prefix=lan_v6_prefix,
+        forwarder=engine,
+        wan_port53_open=False,
+        model="XB6",
+        asn=asn,
+    )
+    if buggy:
+        device.enable_interception(family=4)
+    return device
+
+
+def describe_mechanism(device: CpeDevice) -> str:
+    """Human-readable description of an XB6's interception state."""
+    lines = [
+        f"Model: {device.model} (RDK-B / XDNS)",
+        f"WAN address: {device.wan_v4}",
+        f"LAN gateway: {device.lan_gateway_v4}",
+        f"Intercepting IPv4: {device.intercepts_family(4)}",
+        f"Intercepting IPv6: {device.intercepts_family(6)}",
+        "",
+        RDKB_FIREWALL_EXCERPT,
+        "",
+        "Active PREROUTING chain:",
+        device.render_firewall(),
+    ]
+    if device.forwarder is not None:
+        lines.append("")
+        lines.append(
+            f"XDNS forwarder: {device.forwarder.software.label}, "
+            f"upstream {device.forwarder.upstream_v4}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,269 @@
+"""DNS message: header, question, and the four record sections.
+
+This is a complete RFC 1035 message codec. All server and client models in
+the reproduction exchange *encoded* messages over the simulated network —
+exactly like the real system — so parser behaviour (including on hostile
+or malformed responses from interceptors) is part of what is under test.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from .enums import Opcode, QClass, QType, RCode
+from .name import DnsName, name
+from .rr import ResourceRecord
+from .wire import WireError, WireReader, WireWriter
+
+_FLAG_QR = 0x8000
+_FLAG_AA = 0x0400
+_FLAG_TC = 0x0200
+_FLAG_RD = 0x0100
+_FLAG_RA = 0x0080
+_OPCODE_SHIFT = 11
+_OPCODE_MASK = 0xF
+_RCODE_MASK = 0xF
+
+
+@dataclass(frozen=True)
+class Flags:
+    """Decoded DNS header flag word."""
+
+    qr: bool = False
+    opcode: int = Opcode.QUERY
+    aa: bool = False
+    tc: bool = False
+    rd: bool = True
+    ra: bool = False
+    rcode: int = RCode.NOERROR
+
+    def encode(self) -> int:
+        word = 0
+        if self.qr:
+            word |= _FLAG_QR
+        word |= (int(self.opcode) & _OPCODE_MASK) << _OPCODE_SHIFT
+        if self.aa:
+            word |= _FLAG_AA
+        if self.tc:
+            word |= _FLAG_TC
+        if self.rd:
+            word |= _FLAG_RD
+        if self.ra:
+            word |= _FLAG_RA
+        word |= int(self.rcode) & _RCODE_MASK
+        return word
+
+    @classmethod
+    def decode(cls, word: int) -> "Flags":
+        return cls(
+            qr=bool(word & _FLAG_QR),
+            opcode=Opcode.decode((word >> _OPCODE_SHIFT) & _OPCODE_MASK),
+            aa=bool(word & _FLAG_AA),
+            tc=bool(word & _FLAG_TC),
+            rd=bool(word & _FLAG_RD),
+            ra=bool(word & _FLAG_RA),
+            rcode=RCode.decode(word & _RCODE_MASK),
+        )
+
+
+@dataclass(frozen=True)
+class Question:
+    """A question-section entry."""
+
+    qname: DnsName
+    qtype: int
+    qclass: int = QClass.IN
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qname", name(self.qname))
+
+    def encode(self, writer: WireWriter) -> None:
+        self.qname.encode(writer)
+        writer.write_u16(int(self.qtype))
+        writer.write_u16(int(self.qclass))
+
+    @classmethod
+    def decode(cls, reader: WireReader) -> "Question":
+        qname = DnsName.decode(reader)
+        qtype = QType.decode(reader.read_u16())
+        qclass = QClass.decode(reader.read_u16())
+        return cls(qname, qtype, qclass)
+
+    def to_text(self) -> str:
+        return (
+            f"{self.qname.to_text()} {QClass.label(self.qclass)} "
+            f"{QType.label(self.qtype)}"
+        )
+
+
+@dataclass(frozen=True)
+class Message:
+    """A DNS message (query or response)."""
+
+    msg_id: int = 0
+    flags: Flags = field(default_factory=Flags)
+    questions: tuple[Question, ...] = ()
+    answers: tuple[ResourceRecord, ...] = ()
+    authorities: tuple[ResourceRecord, ...] = ()
+    additionals: tuple[ResourceRecord, ...] = ()
+
+    # -- convenience accessors -------------------------------------------
+
+    @property
+    def is_response(self) -> bool:
+        return self.flags.qr
+
+    @property
+    def rcode(self) -> int:
+        return self.flags.rcode
+
+    @property
+    def question(self) -> Question | None:
+        """The first (and in practice only) question, or None."""
+        return self.questions[0] if self.questions else None
+
+    def answer_texts(self) -> list[str]:
+        """Presentation-format RDATA of each answer record."""
+        return [rr.rdata.to_text() for rr in self.answers]
+
+    def txt_strings(self) -> list[str]:
+        """Joined TXT payloads of all TXT answers, in order.
+
+        This is the view the interception detector consumes: the answer
+        to a location query or a ``version.bind`` query is the
+        concatenated character-strings of its TXT answer.
+        """
+        out: list[str] = []
+        for rr in self.answers:
+            joined = getattr(rr.rdata, "joined", None)
+            if joined is not None:
+                out.append(joined)
+        return out
+
+    def a_addresses(self) -> list[str]:
+        """Dotted-quad strings of all A answers (for whoami checks)."""
+        return [
+            str(rr.rdata.address)
+            for rr in self.answers
+            if rr.rdtype == QType.A
+        ]
+
+    def aaaa_addresses(self) -> list[str]:
+        return [
+            str(rr.rdata.address)
+            for rr in self.answers
+            if rr.rdtype == QType.AAAA
+        ]
+
+    # -- wire format -------------------------------------------------------
+
+    def encode(self) -> bytes:
+        writer = WireWriter()
+        writer.write_u16(self.msg_id)
+        writer.write_u16(self.flags.encode())
+        writer.write_u16(len(self.questions))
+        writer.write_u16(len(self.answers))
+        writer.write_u16(len(self.authorities))
+        writer.write_u16(len(self.additionals))
+        for question in self.questions:
+            question.encode(writer)
+        for section in (self.answers, self.authorities, self.additionals):
+            for record in section:
+                record.encode(writer)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Message":
+        reader = WireReader(data)
+        msg_id = reader.read_u16()
+        flags = Flags.decode(reader.read_u16())
+        qdcount = reader.read_u16()
+        ancount = reader.read_u16()
+        nscount = reader.read_u16()
+        arcount = reader.read_u16()
+        questions = tuple(Question.decode(reader) for _ in range(qdcount))
+        answers = tuple(ResourceRecord.decode(reader) for _ in range(ancount))
+        authorities = tuple(ResourceRecord.decode(reader) for _ in range(nscount))
+        additionals = tuple(ResourceRecord.decode(reader) for _ in range(arcount))
+        return cls(msg_id, flags, questions, answers, authorities, additionals)
+
+    # -- builders ------------------------------------------------------------
+
+    def reply(
+        self,
+        rcode: int = RCode.NOERROR,
+        answers: tuple[ResourceRecord, ...] = (),
+        authoritative: bool = False,
+        recursion_available: bool = True,
+    ) -> "Message":
+        """Build a response to this query, echoing id and question."""
+        return Message(
+            msg_id=self.msg_id,
+            flags=Flags(
+                qr=True,
+                opcode=self.flags.opcode,
+                aa=authoritative,
+                rd=self.flags.rd,
+                ra=recursion_available,
+                rcode=rcode,
+            ),
+            questions=self.questions,
+            answers=tuple(answers),
+        )
+
+    def with_id(self, msg_id: int) -> "Message":
+        return replace(self, msg_id=msg_id)
+
+    def to_text(self) -> str:
+        lines = [
+            f";; id {self.msg_id} opcode {Opcode.label(self.flags.opcode)} "
+            f"rcode {RCode.label(self.flags.rcode)}"
+            + (" qr" if self.flags.qr else "")
+            + (" aa" if self.flags.aa else "")
+            + (" rd" if self.flags.rd else "")
+            + (" ra" if self.flags.ra else "")
+        ]
+        if self.questions:
+            lines.append(";; QUESTION")
+            lines.extend("  " + q.to_text() for q in self.questions)
+        for title, section in (
+            ("ANSWER", self.answers),
+            ("AUTHORITY", self.authorities),
+            ("ADDITIONAL", self.additionals),
+        ):
+            if section:
+                lines.append(f";; {title}")
+                lines.extend("  " + rr.to_text() for rr in section)
+        return "\n".join(lines)
+
+
+def make_query(
+    qname: "str | DnsName",
+    qtype: int,
+    qclass: int = QClass.IN,
+    msg_id: int | None = None,
+    recursion_desired: bool = True,
+    rng: random.Random | None = None,
+) -> Message:
+    """Construct a standard single-question query message."""
+    if msg_id is None:
+        msg_id = (rng or random).randint(0, 0xFFFF)
+    return Message(
+        msg_id=msg_id,
+        flags=Flags(qr=False, rd=recursion_desired),
+        questions=(Question(name(qname), qtype, qclass),),
+    )
+
+
+def decode_or_none(data: bytes) -> Message | None:
+    """Decode ``data``; return None (rather than raising) on garbage.
+
+    Client code uses this at the measurement edge: a hostile or broken
+    interceptor may emit bytes that are not a DNS message at all, which the
+    measurement must treat as "no usable response", not a crash.
+    """
+    try:
+        return Message.decode(data)
+    except (WireError, IndexError):
+        return None

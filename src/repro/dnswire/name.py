@@ -1,0 +1,213 @@
+"""Domain names with RFC 1035 wire encoding, including compression.
+
+``DnsName`` is an immutable sequence of labels. Comparison and hashing are
+case-insensitive, as DNS requires, but the original spelling is preserved
+for presentation — this matters when an interceptor echoes a query name
+back and we want to show exactly what appeared on the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .enums import MAX_LABEL_LENGTH, MAX_NAME_LENGTH
+from .wire import TruncatedMessageError, WireError, WireReader, WireWriter
+
+#: Compression pointer marker bits (RFC 1035 §4.1.4).
+_POINTER_MASK = 0xC0
+#: Safety bound on pointer chases, far above any legal message's need.
+_MAX_POINTER_HOPS = 128
+
+
+class NameError_(WireError):
+    """Raised for malformed domain names."""
+
+
+def _unescape(text: str) -> list[str]:
+    """Split presentation-format ``text`` into labels, honouring ``\\.``."""
+    labels: list[str] = []
+    current: list[str] = []
+    it = iter(text)
+    for ch in it:
+        if ch == "\\":
+            nxt = next(it, None)
+            if nxt is None:
+                raise NameError_(f"dangling escape in name: {text!r}")
+            current.append(nxt)
+        elif ch == ".":
+            labels.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    labels.append("".join(current))
+    return labels
+
+
+class DnsName:
+    """An immutable, case-insensitively-compared domain name."""
+
+    __slots__ = ("_labels", "_key")
+
+    def __init__(self, labels: Iterable[str] = ()) -> None:
+        labels = tuple(labels)
+        for label in labels:
+            if not label:
+                raise NameError_("empty label inside a name")
+            if len(label.encode("utf-8", "surrogateescape")) > MAX_LABEL_LENGTH:
+                raise NameError_(f"label too long: {label!r}")
+        encoded_len = sum(len(lb) + 1 for lb in labels) + 1
+        if encoded_len > MAX_NAME_LENGTH:
+            raise NameError_(f"name too long ({encoded_len} bytes)")
+        self._labels = labels
+        self._key = tuple(label.lower() for label in labels)
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_text(cls, text: str) -> "DnsName":
+        """Parse presentation format, e.g. ``"id.server."``.
+
+        A single ``"."`` (or ``""``) is the root name.
+        """
+        text = text.strip()
+        if text in ("", "."):
+            return cls(())
+        if text.endswith(".") and not text.endswith("\\."):
+            text = text[:-1]
+        return cls(_unescape(text))
+
+    @classmethod
+    def root(cls) -> "DnsName":
+        return cls(())
+
+    # -- properties -----------------------------------------------------
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return self._labels
+
+    @property
+    def is_root(self) -> bool:
+        return not self._labels
+
+    def to_text(self) -> str:
+        """Presentation format with a trailing dot (root is ``"."``)."""
+        if not self._labels:
+            return "."
+        escaped = [
+            label.replace("\\", "\\\\").replace(".", "\\.")
+            for label in self._labels
+        ]
+        return ".".join(escaped) + "."
+
+    def parent(self) -> "DnsName":
+        """The name with its leftmost label removed; root's parent is root."""
+        if not self._labels:
+            return self
+        return DnsName(self._labels[1:])
+
+    def is_subdomain_of(self, other: "DnsName") -> bool:
+        """True if ``self`` equals or falls under ``other``."""
+        if len(other._key) > len(self._key):
+            return False
+        if not other._key:
+            return True
+        return self._key[-len(other._key):] == other._key
+
+    def relativize(self, origin: "DnsName") -> tuple[str, ...]:
+        """Labels of ``self`` left of ``origin`` (``self`` must be under it)."""
+        if not self.is_subdomain_of(origin):
+            raise NameError_(f"{self.to_text()} is not under {origin.to_text()}")
+        if not origin._labels:
+            return self._labels
+        return self._labels[: len(self._labels) - len(origin._labels)]
+
+    def prepend(self, label: str) -> "DnsName":
+        return DnsName((label,) + self._labels)
+
+    def concatenate(self, suffix: "DnsName") -> "DnsName":
+        return DnsName(self._labels + suffix._labels)
+
+    # -- wire format ----------------------------------------------------
+
+    def encode(self, writer: WireWriter, compress: bool = True) -> None:
+        """Append this name, using compression pointers where possible."""
+        labels = self._labels
+        for index in range(len(labels)):
+            suffix_key = ".".join(self._key[index:])
+            if compress:
+                pointer = writer.lookup_name(suffix_key)
+                if pointer is not None:
+                    writer.write_u16(_POINTER_MASK << 8 | pointer)
+                    return
+            writer.remember_name(suffix_key, writer.offset)
+            raw = labels[index].encode("utf-8", "surrogateescape")
+            writer.write_u8(len(raw))
+            writer.write_bytes(raw)
+        writer.write_u8(0)
+
+    @classmethod
+    def decode(cls, reader: WireReader) -> "DnsName":
+        """Read a (possibly compressed) name at the reader's cursor."""
+        labels: list[str] = []
+        hops = 0
+        return_offset: int | None = None
+        while True:
+            length = reader.read_u8()
+            if length & _POINTER_MASK == _POINTER_MASK:
+                low = reader.read_u8()
+                target = (length & ~_POINTER_MASK) << 8 | low
+                if return_offset is None:
+                    return_offset = reader.offset
+                if target >= len(reader.data):
+                    raise TruncatedMessageError("pointer beyond buffer")
+                hops += 1
+                if hops > _MAX_POINTER_HOPS:
+                    raise NameError_("compression pointer loop")
+                reader.seek(target)
+                continue
+            if length & _POINTER_MASK:
+                raise NameError_(f"reserved label type: {length:#x}")
+            if length == 0:
+                break
+            raw = reader.read_bytes(length)
+            labels.append(raw.decode("utf-8", "surrogateescape"))
+            if len(labels) > MAX_NAME_LENGTH:
+                raise NameError_("runaway name decode")
+        if return_offset is not None:
+            reader.seek(return_offset)
+        return cls(labels)
+
+    # -- dunder ----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DnsName):
+            return self._key == other._key
+        if isinstance(other, str):
+            return self._key == DnsName.from_text(other)._key
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __lt__(self, other: "DnsName") -> bool:
+        return self._key < other._key
+
+    def __repr__(self) -> str:
+        return f"DnsName({self.to_text()!r})"
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def name(text: "str | DnsName") -> DnsName:
+    """Coerce ``text`` to a :class:`DnsName` (identity for DnsName input)."""
+    if isinstance(text, DnsName):
+        return text
+    return DnsName.from_text(text)

@@ -1,0 +1,125 @@
+"""Low-level byte readers and writers for DNS wire encoding.
+
+The DNS wire format mixes fixed-width big-endian integers, length-prefixed
+labels and backward compression pointers. :class:`WireWriter` and
+:class:`WireReader` provide a small, explicit API over a byte buffer so
+the higher-level encoders stay readable.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+class WireError(ValueError):
+    """Raised when a DNS message cannot be encoded or decoded."""
+
+
+class TruncatedMessageError(WireError):
+    """Raised when the wire buffer ends before a field is complete."""
+
+
+class WireWriter:
+    """Append-only writer producing a DNS wire-format byte string."""
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+        self._length = 0
+        # Name compression state: dotted lowercase suffix -> offset.
+        self._name_offsets: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def offset(self) -> int:
+        """Current write offset (== number of bytes written so far)."""
+        return self._length
+
+    def write_bytes(self, data: bytes) -> None:
+        self._chunks.append(bytes(data))
+        self._length += len(data)
+
+    def write_u8(self, value: int) -> None:
+        if not 0 <= value <= 0xFF:
+            raise WireError(f"u8 out of range: {value}")
+        self.write_bytes(struct.pack("!B", value))
+
+    def write_u16(self, value: int) -> None:
+        if not 0 <= value <= 0xFFFF:
+            raise WireError(f"u16 out of range: {value}")
+        self.write_bytes(struct.pack("!H", value))
+
+    def write_u32(self, value: int) -> None:
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise WireError(f"u32 out of range: {value}")
+        self.write_bytes(struct.pack("!I", value))
+
+    def remember_name(self, key: str, offset: int) -> None:
+        """Record that the name suffix ``key`` was encoded at ``offset``.
+
+        Compression pointers can only target the first 0x3FFF bytes;
+        suffixes beyond that are silently not remembered.
+        """
+        if offset <= 0x3FFF and key not in self._name_offsets:
+            self._name_offsets[key] = offset
+
+    def lookup_name(self, key: str) -> int | None:
+        """Return a previously remembered offset for ``key``, if any."""
+        return self._name_offsets.get(key)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+class WireReader:
+    """Cursor-based reader over a DNS wire-format byte string."""
+
+    def __init__(self, data: bytes, offset: int = 0) -> None:
+        self._data = bytes(data)
+        self._offset = offset
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    @property
+    def data(self) -> bytes:
+        return self._data
+
+    def remaining(self) -> int:
+        return len(self._data) - self._offset
+
+    def at_end(self) -> bool:
+        return self._offset >= len(self._data)
+
+    def seek(self, offset: int) -> None:
+        if not 0 <= offset <= len(self._data):
+            raise TruncatedMessageError(f"seek out of range: {offset}")
+        self._offset = offset
+
+    def read_bytes(self, count: int) -> bytes:
+        if count < 0:
+            raise WireError(f"negative read: {count}")
+        if self.remaining() < count:
+            raise TruncatedMessageError(
+                f"need {count} bytes at offset {self._offset}, "
+                f"have {self.remaining()}"
+            )
+        chunk = self._data[self._offset : self._offset + count]
+        self._offset += count
+        return chunk
+
+    def read_u8(self) -> int:
+        return self.read_bytes(1)[0]
+
+    def read_u16(self) -> int:
+        return struct.unpack("!H", self.read_bytes(2))[0]
+
+    def read_u32(self) -> int:
+        return struct.unpack("!I", self.read_bytes(4))[0]
+
+    def peek_u8(self) -> int:
+        if self.at_end():
+            raise TruncatedMessageError("peek past end of buffer")
+        return self._data[self._offset]

@@ -1,0 +1,208 @@
+"""A zone-file (master file, RFC 1035 §5) parser.
+
+Supports the subset a measurement tool needs: ``$ORIGIN`` and ``$TTL``
+directives, ``;`` comments, ``@`` for the origin, relative and absolute
+owner names, owner inheritance from the previous record, optional TTL
+and class fields in either order, and the record types the simulator
+serves (A, AAAA, TXT with quoted strings, NS, CNAME, PTR, MX, SOA).
+
+Example::
+
+    zone = parse_zone('''
+        $ORIGIN example.com.
+        $TTL 300
+        @        IN SOA ns1 hostmaster 1 3600 600 86400 300
+        @        IN NS  ns1
+        ns1      IN A   192.0.2.1
+        www      IN A   192.0.2.80
+                 IN AAAA 2001:db8::80
+        alias    IN CNAME www
+        txt      IN TXT "hello world" "second string"
+    ''')
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Optional
+
+from .enums import QClass, QType
+from .name import DnsName, name
+from .rr import (
+    AAAAData,
+    AData,
+    CnameData,
+    MxData,
+    NsData,
+    PtrData,
+    RData,
+    ResourceRecord,
+    SoaData,
+    TxtData,
+)
+from .zone import Zone
+
+
+class ZoneFileError(ValueError):
+    """Raised on malformed zone-file input, with a line number."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_TYPE_NAMES = {"A", "AAAA", "TXT", "NS", "CNAME", "PTR", "MX", "SOA"}
+_CLASS_NAMES = {"IN": QClass.IN, "CH": QClass.CH, "HS": QClass.HS}
+
+
+def _split(line: str, line_no: int) -> list[str]:
+    """Tokenize one line, honouring quotes and ; comments."""
+    lexer = shlex.shlex(line, posix=True)
+    lexer.whitespace_split = True
+    lexer.commenters = ";"
+    try:
+        return list(lexer)
+    except ValueError as exc:
+        raise ZoneFileError(line_no, f"bad quoting: {exc}") from exc
+
+
+def _absolute(text: str, origin: Optional[DnsName], line_no: int) -> DnsName:
+    if text == "@":
+        if origin is None:
+            raise ZoneFileError(line_no, "@ used before $ORIGIN")
+        return origin
+    if text.endswith("."):
+        return name(text)
+    if origin is None:
+        raise ZoneFileError(line_no, f"relative name {text!r} before $ORIGIN")
+    return name(text).concatenate(origin)
+
+
+def _parse_rdata(
+    rtype: str,
+    fields: list[str],
+    origin: Optional[DnsName],
+    line_no: int,
+) -> RData:
+    def need(count: int) -> None:
+        if len(fields) < count:
+            raise ZoneFileError(line_no, f"{rtype} needs {count} field(s)")
+
+    if rtype == "A":
+        need(1)
+        return AData(fields[0])
+    if rtype == "AAAA":
+        need(1)
+        return AAAAData(fields[0])
+    if rtype == "TXT":
+        need(1)
+        return TxtData(tuple(f.encode("utf-8") for f in fields))
+    if rtype == "NS":
+        need(1)
+        return NsData(_absolute(fields[0], origin, line_no))
+    if rtype == "CNAME":
+        need(1)
+        return CnameData(_absolute(fields[0], origin, line_no))
+    if rtype == "PTR":
+        need(1)
+        return PtrData(_absolute(fields[0], origin, line_no))
+    if rtype == "MX":
+        need(2)
+        try:
+            preference = int(fields[0])
+        except ValueError:
+            raise ZoneFileError(line_no, f"bad MX preference {fields[0]!r}") from None
+        return MxData(preference, _absolute(fields[1], origin, line_no))
+    if rtype == "SOA":
+        need(7)
+        try:
+            numbers = [int(f) for f in fields[2:7]]
+        except ValueError:
+            raise ZoneFileError(line_no, "SOA numeric fields must be integers") from None
+        return SoaData(
+            _absolute(fields[0], origin, line_no),
+            _absolute(fields[1], origin, line_no),
+            *numbers,
+        )
+    raise ZoneFileError(line_no, f"unsupported type {rtype}")
+
+
+def parse_zone(text: str, origin: "str | DnsName | None" = None) -> Zone:
+    """Parse ``text`` into a :class:`~repro.dnswire.zone.Zone`.
+
+    ``origin`` seeds the origin before any ``$ORIGIN`` directive; the
+    zone object is rooted at the first origin seen.
+    """
+    current_origin: Optional[DnsName] = name(origin) if origin else None
+    default_ttl = 300
+    zone: Optional[Zone] = None
+    previous_owner: Optional[DnsName] = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        tokens = _split(raw, line_no)
+        if not tokens:
+            continue
+
+        if tokens[0] == "$ORIGIN":
+            if len(tokens) != 2:
+                raise ZoneFileError(line_no, "$ORIGIN needs one argument")
+            current_origin = name(tokens[1])
+            continue
+        if tokens[0] == "$TTL":
+            if len(tokens) != 2:
+                raise ZoneFileError(line_no, "$TTL needs one argument")
+            try:
+                default_ttl = int(tokens[1])
+            except ValueError:
+                raise ZoneFileError(line_no, f"bad TTL {tokens[1]!r}") from None
+            continue
+        if tokens[0].startswith("$"):
+            raise ZoneFileError(line_no, f"unknown directive {tokens[0]}")
+
+        # Owner: present unless the raw line starts with whitespace.
+        if raw[:1] in (" ", "\t"):
+            owner = previous_owner
+            if owner is None:
+                raise ZoneFileError(line_no, "record with no previous owner")
+        else:
+            owner = _absolute(tokens[0], current_origin, line_no)
+            tokens = tokens[1:]
+            if not tokens:
+                raise ZoneFileError(line_no, "owner with no record data")
+        previous_owner = owner
+
+        # Optional TTL and class, in either order, then the type.
+        ttl = default_ttl
+        rdclass = QClass.IN
+        index = 0
+        while index < len(tokens):
+            token = tokens[index].upper()
+            if token in _TYPE_NAMES:
+                break
+            if token in _CLASS_NAMES:
+                rdclass = _CLASS_NAMES[token]
+                index += 1
+                continue
+            if tokens[index].isdigit():
+                ttl = int(tokens[index])
+                index += 1
+                continue
+            break  # an unknown type name; _parse_rdata reports it
+        if index >= len(tokens):
+            raise ZoneFileError(line_no, "missing record type")
+        rtype = tokens[index].upper()
+        rdata = _parse_rdata(rtype, tokens[index + 1 :], current_origin, line_no)
+
+        if zone is None:
+            if current_origin is None:
+                raise ZoneFileError(line_no, "record before any origin")
+            zone = Zone(current_origin)
+        zone.add(
+            ResourceRecord(owner, int(QType[rtype]), int(rdclass), ttl, rdata)
+        )
+
+    if zone is None:
+        if current_origin is None:
+            raise ZoneFileError(0, "empty zone file with no origin")
+        zone = Zone(current_origin)
+    return zone

@@ -1,0 +1,27 @@
+"""``repro.interceptors`` — on-path DNS interception middleboxes.
+
+ISP middleboxes and beyond-AS transit interceptors, configured by
+policies covering every behaviour the pilot study observed: redirect,
+block, drop, replicate; all resolvers, a subset, or all-but-one; IPv4,
+IPv6, or both.
+"""
+
+from .middlebox import ExternalInterceptor, InterceptedFlow, MiddleboxRouter
+from .policy import (
+    InterceptMode,
+    InterceptionPolicy,
+    allow_only,
+    intercept_all,
+    intercept_only,
+)
+
+__all__ = [
+    "ExternalInterceptor",
+    "InterceptedFlow",
+    "MiddleboxRouter",
+    "InterceptMode",
+    "InterceptionPolicy",
+    "allow_only",
+    "intercept_all",
+    "intercept_only",
+]

@@ -1,0 +1,218 @@
+"""Transparent DNS-intercepting middleboxes.
+
+A :class:`MiddleboxRouter` is an on-path router that applies an
+:class:`~repro.interceptors.policy.InterceptionPolicy` to transiting
+UDP/53 traffic. In REDIRECT mode it performs flow-tracked DNAT: the query
+is rewritten toward the alternate resolver, and the resolver's reply —
+which transits the same box on its way back — has its source rewritten to
+the address the client originally queried. The client sees a response
+"from" 8.8.8.8 that Google never sent.
+
+Placed inside the client's ISP this models ISP-policy interception
+(§3.3/§4.3); placed beyond the AS border (see
+:class:`ExternalInterceptor`) it models interception the bogon test
+cannot localise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dnswire import DNS_PORT, decode_or_none
+from repro.net import Packet, Protocol, make_reply
+from repro.net.addr import IPAddress, parse_ip
+from repro.net.dot import DOT_PORT, unwrap_dot, wrap_dot
+from repro.net.router import Router
+
+from .policy import InterceptMode, InterceptionPolicy
+
+#: Identity the middlebox's TLS termination presents; never the target's.
+MIDDLEBOX_TLS_IDENTITY = "dns-proxy.invalid"
+
+
+@dataclass(frozen=True)
+class InterceptedFlow:
+    """Original destination of one hijacked client flow."""
+
+    original_dst: IPAddress
+
+
+class MiddleboxRouter(Router):
+    """An on-path interceptor."""
+
+    def __init__(
+        self,
+        name: str,
+        policy: "InterceptionPolicy | None" = None,
+        alternate_resolver_v4: "str | IPAddress | None" = None,
+        alternate_resolver_v6: "str | IPAddress | None" = None,
+        addresses=None,
+        asn: Optional[int] = None,
+        drop_bogons: bool = False,
+        policies: "tuple[InterceptionPolicy, ...] | None" = None,
+    ) -> None:
+        super().__init__(name, addresses=addresses or [], asn=asn, drop_bogons=drop_bogons)
+        if policy is not None and policies:
+            raise ValueError("pass either policy or policies, not both")
+        if policy is not None:
+            policies = (policy,)
+        if not policies:
+            raise ValueError("a middlebox needs at least one policy")
+        self.policies: tuple[InterceptionPolicy, ...] = tuple(policies)
+        self.alternate_v4 = (
+            parse_ip(alternate_resolver_v4) if alternate_resolver_v4 else None
+        )
+        self.alternate_v6 = (
+            parse_ip(alternate_resolver_v6) if alternate_resolver_v6 else None
+        )
+        # (client addr, client port) -> original destination.
+        self._flows: dict[tuple[IPAddress, int], InterceptedFlow] = {}
+        self.intercepted_queries = 0
+
+    def alternate_for_family(self, family: int) -> Optional[IPAddress]:
+        return self.alternate_v4 if family == 4 else self.alternate_v6
+
+    # -- transit inspection -----------------------------------------------
+
+    def forward(self, packet: Packet) -> None:
+        """Proxy-style actions (BLOCK/DROP) happen before the TTL check.
+
+        Like a PREROUTING rule, a middlebox that *answers locally* takes
+        the packet off the wire without a forwarding decision, so even a
+        TTL=1-on-arrival query gets its spoofed error. REDIRECT continues
+        through normal forwarding (the rewritten packet still travels to
+        the alternate resolver, TTL applying per hop) — this asymmetry is
+        what the TTL-probing extension observes.
+        """
+        if (
+            packet.protocol is Protocol.UDP
+            and packet.udp is not None
+            and packet.udp.dport in (DNS_PORT, DOT_PORT)
+        ):
+            policy = self._matching_policy(packet)
+            if policy is not None and policy.mode in (
+                InterceptMode.BLOCK,
+                InterceptMode.DROP,
+            ):
+                alternate = self.alternate_for_family(packet.family)
+                if alternate is None or packet.dst != alternate:
+                    if policy.mode is InterceptMode.DROP:
+                        self.trace("drop", packet, "policy DROP")
+                    else:
+                        self._answer_error(packet, policy)
+                    self.intercepted_queries += 1
+                    return
+        super().forward(packet)
+
+    def inspect_transit(self, packet: Packet) -> bool:
+        if packet.protocol is not Protocol.UDP or packet.udp is None:
+            return False
+        if packet.udp.dport in (DNS_PORT, DOT_PORT):
+            return self._inspect_query(packet)
+        if packet.udp.sport in (DNS_PORT, DOT_PORT):
+            return self._inspect_reply(packet)
+        return False
+
+    @property
+    def policy(self) -> InterceptionPolicy:
+        """The first policy (convenience for single-policy middleboxes)."""
+        return self.policies[0]
+
+    def _matching_policy(self, packet: Packet) -> Optional[InterceptionPolicy]:
+        is_dot = packet.udp is not None and packet.udp.dport == DOT_PORT
+        for policy in self.policies:
+            if is_dot and not policy.intercept_dot:
+                continue
+            if policy.matches(packet):
+                return policy
+        return None
+
+    def _inspect_query(self, packet: Packet) -> bool:
+        assert packet.udp is not None
+        alternate = self.alternate_for_family(packet.family)
+        if alternate is not None and packet.dst == alternate:
+            return False  # queries already headed to the alternate: hands off
+        policy = self._matching_policy(packet)
+        if policy is None:
+            return False
+
+        mode = policy.mode
+        if mode is InterceptMode.DROP:
+            self.trace("drop", packet, "policy DROP")
+            self.intercepted_queries += 1
+            return True
+        if mode is InterceptMode.BLOCK:
+            self._answer_error(packet, policy)
+            self.intercepted_queries += 1
+            return True
+
+        # REDIRECT / REPLICATE need an alternate resolver to hand off to.
+        if alternate is None:
+            return False
+        if mode is InterceptMode.REPLICATE:
+            # The original continues untouched; a hijacked copy races it.
+            self.forward_by_route(packet)
+        self._flows[(packet.src, packet.udp.sport)] = InterceptedFlow(packet.dst)
+        hijacked = packet.with_dst(alternate)
+        self.intercepted_queries += 1
+        self.trace("intercept", hijacked, f"DNAT {packet.dst} -> {alternate}")
+        self.forward_by_route(hijacked)
+        return True
+
+    def _inspect_reply(self, packet: Packet) -> bool:
+        assert packet.udp is not None
+        alternate = self.alternate_for_family(packet.family)
+        if alternate is None or packet.src != alternate:
+            return False
+        flow = self._flows.get((packet.dst, packet.udp.dport))
+        if flow is None:
+            return False
+        spoofed = packet.with_src(flow.original_dst)
+        self.trace(
+            "rewrite", spoofed, f"un-DNAT reply src {packet.src} -> {flow.original_dst}"
+        )
+        self.forward_by_route(spoofed)
+        return True
+
+    # -- BLOCK mode ------------------------------------------------------------
+
+    def _answer_error(self, packet: Packet, policy: InterceptionPolicy) -> None:
+        assert packet.udp is not None
+        payload = packet.udp.payload
+        is_dot = packet.udp.dport == DOT_PORT
+        if is_dot:
+            frame = unwrap_dot(payload)
+            if frame is None:
+                self.trace("drop", packet, "BLOCK: malformed DoT frame")
+                return
+            payload = frame.dns_payload
+        query = decode_or_none(payload)
+        if query is None or query.question is None:
+            self.trace("drop", packet, "BLOCK: unparseable query")
+            return
+        wire = query.reply(rcode=policy.block_rcode).encode()
+        if is_dot:
+            # The middlebox terminates the TLS session with its own
+            # certificate: the identity in the frame cannot be the
+            # target's. Strict-profile clients will reject this.
+            wire = wrap_dot(wire, MIDDLEBOX_TLS_IDENTITY)
+        reply = make_reply(packet, wire)  # src = original dst (spoofed)
+        self.trace("intercept", reply, "policy BLOCK (spoofed error)")
+        self.forward_by_route(reply)
+
+
+class ExternalInterceptor(MiddleboxRouter):
+    """An interceptor on a transit path *outside* the client's AS.
+
+    Because bogon-addressed queries never leave the client's AS, this
+    interceptor never sees them: Step 3 yields no answer and the paper's
+    classification is "unknown (potentially beyond the ISP)". Transit
+    routers filter bogons, hence ``drop_bogons=True``.
+    """
+
+    def __init__(
+        self, name: str, policy: "InterceptionPolicy | None" = None, **kwargs
+    ) -> None:
+        kwargs.setdefault("drop_bogons", True)
+        super().__init__(name, policy, **kwargs)

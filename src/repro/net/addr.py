@@ -1,0 +1,121 @@
+"""Addressing helpers and bogon address space.
+
+The third step of the paper's methodology sends DNS queries to *bogon*
+addresses — space that must never be routable on the public Internet
+(RFC 1918, the documentation TEST-NETs, CGN space, class E, IPv6 ULA and
+documentation prefixes). A query addressed to a bogon cannot leave the
+client's AS, so any answer proves an in-AS interceptor.
+
+This module centralises "what counts as a bogon" for both the simulator
+(routers have no route to bogons) and the measurement core (which picks
+the probe addresses).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Union
+
+IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
+IPNetwork = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
+
+#: IPv4 prefixes that must not appear on the public Internet.
+BOGON_V4_PREFIXES: tuple[ipaddress.IPv4Network, ...] = tuple(
+    ipaddress.IPv4Network(p)
+    for p in (
+        "0.0.0.0/8",
+        "10.0.0.0/8",
+        "100.64.0.0/10",  # carrier-grade NAT (RFC 6598)
+        "127.0.0.0/8",
+        "169.254.0.0/16",
+        "172.16.0.0/12",
+        "192.0.0.0/24",
+        "192.0.2.0/24",  # TEST-NET-1
+        "192.168.0.0/16",
+        "198.18.0.0/15",  # benchmarking
+        "198.51.100.0/24",  # TEST-NET-2
+        "203.0.113.0/24",  # TEST-NET-3
+        "240.0.0.0/4",  # class E
+    )
+)
+
+#: IPv6 prefixes that must not appear on the public Internet.
+BOGON_V6_PREFIXES: tuple[ipaddress.IPv6Network, ...] = tuple(
+    ipaddress.IPv6Network(p)
+    for p in (
+        "::/8",
+        "100::/64",  # discard-only
+        "2001:db8::/32",  # documentation
+        "fc00::/7",  # ULA
+        "fe80::/10",  # link-local
+    )
+)
+
+#: The concrete bogon destinations the measurement uses (one per family),
+#: mirroring the paper's "one IPv4 and one IPv6 bogon address" (§3.3).
+DEFAULT_BOGON_V4 = ipaddress.IPv4Address("192.0.2.53")
+DEFAULT_BOGON_V6 = ipaddress.IPv6Address("2001:db8::53")
+
+
+def parse_ip(value: "str | IPAddress") -> IPAddress:
+    """Coerce ``value`` to an address object (identity for address input)."""
+    if isinstance(value, (ipaddress.IPv4Address, ipaddress.IPv6Address)):
+        return value
+    return ipaddress.ip_address(value)
+
+
+def is_ipv6(value: "str | IPAddress") -> bool:
+    return parse_ip(value).version == 6
+
+
+def is_bogon(value: "str | IPAddress") -> bool:
+    """True if ``value`` falls in unroutable (bogon) space."""
+    address = parse_ip(value)
+    prefixes = BOGON_V4_PREFIXES if address.version == 4 else BOGON_V6_PREFIXES
+    return any(address in prefix for prefix in prefixes)
+
+
+def is_private(value: "str | IPAddress") -> bool:
+    """True for RFC 1918 / ULA space (a subset of bogons)."""
+    return parse_ip(value).is_private
+
+
+class PrefixPool:
+    """Sequential allocator of host addresses from a prefix.
+
+    Used to hand out public WAN addresses inside an ISP's prefix and
+    private LAN subnets inside homes. Allocation is deterministic, which
+    keeps the whole pilot study reproducible under a fixed seed.
+    """
+
+    def __init__(self, prefix: "str | IPNetwork", first_offset: int = 1) -> None:
+        self.prefix = (
+            prefix
+            if isinstance(prefix, (ipaddress.IPv4Network, ipaddress.IPv6Network))
+            else ipaddress.ip_network(prefix)
+        )
+        self._next = first_offset
+        self._capacity = self.prefix.num_addresses
+
+    def allocate(self) -> IPAddress:
+        """Return the next unused host address in the prefix."""
+        if self._next >= self._capacity - (1 if self.prefix.version == 4 else 0):
+            raise RuntimeError(f"prefix {self.prefix} exhausted")
+        address = self.prefix.network_address + self._next
+        self._next += 1
+        return address
+
+    def allocate_subnet(self, new_prefix_len: int) -> IPNetwork:
+        """Carve the next aligned subnet of the requested length."""
+        step = 2 ** (self.prefix.max_prefixlen - new_prefix_len)
+        # Round the cursor up to subnet alignment.
+        start = (self._next + step - 1) // step * step
+        if start + step > self._capacity:
+            raise RuntimeError(f"prefix {self.prefix} exhausted for /{new_prefix_len}")
+        self._next = start + step
+        network_address = self.prefix.network_address + start
+        return ipaddress.ip_network(f"{network_address}/{new_prefix_len}")
+
+    def __contains__(self, value: "str | IPAddress") -> bool:
+        address = parse_ip(value)
+        return address.version == self.prefix.version and address in self.prefix

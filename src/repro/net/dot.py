@@ -1,0 +1,63 @@
+"""DNS-over-TLS framing for the simulator (RFC 7858, abstracted).
+
+The paper's §6 observes that the technique *should* detect DoT
+interception — but only the **opportunistic privacy profile** is
+interceptable at all: it "disables client certificate validation, so
+this configuration could allow interception", while the strict profile
+(and DoH) defeats on-path hijacking outright.
+
+The simulator abstracts the TLS handshake to its one security-relevant
+outcome: *whose certificate did the client see?* A DoT payload is the
+DNS message prefixed with the serving resolver's authenticated identity.
+An interceptor can terminate the session and answer — but it cannot
+forge the target resolver's identity, so the frame it returns carries
+the *alternate* resolver's name. A strict-profile client compares the
+identity against the name it dialed and rejects mismatches; an
+opportunistic client accepts whatever it got. That is exactly the
+real-world trust calculus, minus the cryptography.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: DNS-over-TLS port (RFC 7858).
+DOT_PORT = 853
+
+_MAGIC = b"DoT1"
+
+
+@dataclass(frozen=True)
+class DotFrame:
+    """An abstracted DoT record: authenticated server identity + DNS bytes."""
+
+    server_identity: str
+    dns_payload: bytes
+
+    def encode(self) -> bytes:
+        identity = self.server_identity.encode("utf-8")
+        if len(identity) > 255:
+            raise ValueError("server identity too long")
+        return _MAGIC + bytes([len(identity)]) + identity + self.dns_payload
+
+
+def wrap_dot(dns_payload: bytes, server_identity: str) -> bytes:
+    """Frame ``dns_payload`` as served by ``server_identity``."""
+    return DotFrame(server_identity, dns_payload).encode()
+
+
+def unwrap_dot(data: bytes) -> Optional[DotFrame]:
+    """Parse a DoT frame; None if ``data`` is not one."""
+    if len(data) < len(_MAGIC) + 1 or not data.startswith(_MAGIC):
+        return None
+    length = data[len(_MAGIC)]
+    start = len(_MAGIC) + 1
+    if len(data) < start + length:
+        return None
+    identity = data[start : start + length].decode("utf-8", "replace")
+    return DotFrame(identity, data[start + length :])
+
+
+def is_dot_payload(data: bytes) -> bool:
+    return data.startswith(_MAGIC)

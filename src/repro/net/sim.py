@@ -1,0 +1,216 @@
+"""The network simulator core: nodes, links, and the event loop.
+
+The simulator is a discrete-event system with a millisecond clock. Nodes
+exchange immutable :class:`~repro.net.packet.Packet` objects over links
+with configurable latency. Forwarding decisions live in the nodes
+themselves (hosts, routers, CPE, middleboxes); the network only moves
+packets between adjacent nodes and keeps time.
+
+Determinism: given the same topology and the same sequence of
+``send``/``run`` calls, the event order is fully reproducible (ties in
+the event queue are broken by a sequence number, never by object ids).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Callable, Optional
+
+from .addr import IPAddress, parse_ip
+from .packet import Packet
+from .trace import TraceRecorder
+
+#: Default one-way link latency in milliseconds.
+DEFAULT_LATENCY_MS = 1.0
+#: Hard cap on events per ``run`` call; a loop guard, not a tuning knob.
+MAX_EVENTS_PER_RUN = 1_000_000
+
+
+class SimulationError(RuntimeError):
+    """Raised on topology or event-loop misuse."""
+
+
+class Node:
+    """Base class for everything attached to the network."""
+
+    def __init__(self, name: str, asn: Optional[int] = None) -> None:
+        self.name = name
+        self.asn = asn
+        self.network: Optional["Network"] = None
+
+    # -- wiring -----------------------------------------------------------
+
+    def attached(self, network: "Network") -> None:
+        """Called when the node joins a network."""
+        self.network = network
+
+    def addresses(self) -> set[IPAddress]:
+        """Addresses owned by this node (local delivery targets)."""
+        return set()
+
+    # -- packet handling ----------------------------------------------------
+
+    def receive(self, packet: Packet) -> None:
+        """Entry point for a packet arriving at this node."""
+        if packet.dst in self.addresses():
+            self.deliver_local(packet)
+        else:
+            self.forward(packet)
+
+    def deliver_local(self, packet: Packet) -> None:
+        """Handle a packet addressed to this node. Default: drop."""
+        self.trace("drop", packet, "no local handler")
+
+    def forward(self, packet: Packet) -> None:
+        """Handle a transit packet. Default: drop (end hosts don't route)."""
+        self.trace("drop", packet, "not a router")
+
+    # -- helpers -------------------------------------------------------------
+
+    def send(self, next_hop: str, packet: Packet) -> None:
+        """Hand ``packet`` to the adjacent node ``next_hop``."""
+        if self.network is None:
+            raise SimulationError(f"{self.name} is not attached to a network")
+        self.network.transmit(self.name, next_hop, packet)
+
+    def trace(self, action: str, packet: Packet, detail: str = "") -> None:
+        if self.network is not None:
+            self.network.recorder.record(
+                self.network.now, self.name, action, packet, detail
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Network:
+    """Node registry, link table and discrete-event loop."""
+
+    def __init__(self, trace: bool = False, loss_seed: int = 0) -> None:
+        self.nodes: dict[str, Node] = {}
+        self._links: dict[tuple[str, str], float] = {}
+        self._link_loss: dict[tuple[str, str], float] = {}
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.recorder = TraceRecorder(enabled=trace)
+        self._address_index: dict[IPAddress, str] = {}
+        #: Deterministic randomness for link-loss decisions only.
+        self.loss_rng = random.Random(loss_seed)
+
+    # -- topology -----------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise SimulationError(f"duplicate node name: {node.name}")
+        self.nodes[node.name] = node
+        node.attached(self)
+        for address in node.addresses():
+            self._address_index[address] = node.name
+        return node
+
+    def reindex(self, node: Node) -> None:
+        """Refresh the address index after a node gains addresses."""
+        for address in node.addresses():
+            self._address_index[address] = node.name
+
+    def node_for_address(self, address: "str | IPAddress") -> Optional[Node]:
+        name = self._address_index.get(parse_ip(address))
+        return self.nodes.get(name) if name else None
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        latency_ms: float = DEFAULT_LATENCY_MS,
+        loss: float = 0.0,
+    ) -> None:
+        """Create a bidirectional link between nodes ``a`` and ``b``.
+
+        ``loss`` is the per-packet drop probability on the link (both
+        directions), decided by the network's seeded ``loss_rng`` so runs
+        stay reproducible. Use it for failure-injection experiments.
+        """
+        for name in (a, b):
+            if name not in self.nodes:
+                raise SimulationError(f"unknown node: {name}")
+        if not 0.0 <= loss < 1.0:
+            raise SimulationError(f"loss must be in [0, 1): {loss}")
+        self._links[(a, b)] = latency_ms
+        self._links[(b, a)] = latency_ms
+        if loss:
+            self._link_loss[(a, b)] = loss
+            self._link_loss[(b, a)] = loss
+
+    def set_link_loss(self, a: str, b: str, loss: float) -> None:
+        """Adjust a link's loss rate after creation (failure injection)."""
+        if (a, b) not in self._links:
+            raise SimulationError(f"no link {a} <-> {b}")
+        for key in ((a, b), (b, a)):
+            if loss:
+                self._link_loss[key] = loss
+            else:
+                self._link_loss.pop(key, None)
+
+    def are_connected(self, a: str, b: str) -> bool:
+        return (a, b) in self._links
+
+    def neighbors(self, name: str) -> list[str]:
+        return sorted(b for (a, b) in self._links if a == name)
+
+    def latency(self, a: str, b: str) -> float:
+        try:
+            return self._links[(a, b)]
+        except KeyError:
+            raise SimulationError(f"no link {a} <-> {b}") from None
+
+    # -- event loop ---------------------------------------------------------
+
+    def schedule(self, delay_ms: float, action: Callable[[], None]) -> None:
+        if delay_ms < 0:
+            raise SimulationError(f"negative delay: {delay_ms}")
+        heapq.heappush(self._queue, (self.now + delay_ms, next(self._seq), action))
+
+    def transmit(self, sender: str, receiver: str, packet: Packet) -> None:
+        """Move ``packet`` from ``sender`` to adjacent ``receiver``."""
+        latency = self.latency(sender, receiver)
+        loss = self._link_loss.get((sender, receiver), 0.0)
+        if loss and self.loss_rng.random() < loss:
+            self.recorder.record(
+                self.now, sender, "drop", packet, f"link loss -> {receiver}"
+            )
+            return
+        self.recorder.record(self.now, sender, "send", packet, f"-> {receiver}")
+        node = self.nodes[receiver]
+        self.schedule(latency, lambda: node.receive(packet))
+
+    def inject(self, at: str, packet: Packet, delay_ms: float = 0.0) -> None:
+        """Deliver ``packet`` directly to node ``at`` (test/measurement hook)."""
+        node = self.nodes[at]
+        self.schedule(delay_ms, lambda: node.receive(packet))
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Process events (up to simulated time ``until``); return count."""
+        processed = 0
+        while self._queue:
+            time, _seq, action = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = max(self.now, time)
+            action()
+            processed += 1
+            if processed > MAX_EVENTS_PER_RUN:
+                raise SimulationError("event-loop runaway (routing loop?)")
+        if until is not None and until > self.now:
+            self.now = until
+        return processed
+
+    def run_until_idle(self) -> int:
+        return self.run()
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

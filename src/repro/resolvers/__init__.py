@@ -1,0 +1,92 @@
+"""``repro.resolvers`` — the DNS server zoo.
+
+Public anycast resolvers with location-query support, ISP recursive
+resolvers, authoritative servers, and the software-personality catalog
+whose ``version.bind`` strings drive the paper's Step-2 fingerprinting.
+"""
+
+from .base import ChaosOutcome, DnsServerNode, chaos_respond
+from .directory import (
+    AKAMAI_WHOAMI,
+    CONTROL_DOMAIN,
+    GOOGLE_MYADDR,
+    OPENDNS_DEBUG,
+    NameDirectory,
+    build_akamai_zone,
+    build_control_zone,
+    build_default_directory,
+    build_example_zone,
+    build_google_zone,
+    build_opendns_zone,
+)
+from .public import (
+    ANYCAST_SITES,
+    PROVIDER_SPECS,
+    Provider,
+    ProviderSpec,
+    PublicResolverNode,
+    default_catchment,
+)
+from .recursive import RecursiveResolverNode
+from .authoritative import AuthoritativeServerNode
+from .software import (
+    ChaosAction,
+    ChaosBehavior,
+    QUIRKY_STRINGS,
+    ServerSoftware,
+    bind_debian,
+    bind_redhat,
+    bind_vanilla,
+    dnsmasq,
+    microsoft,
+    mute,
+    pi_hole,
+    powerdns,
+    quirky,
+    silent_forwarder,
+    unbound,
+    windows_ns,
+    xdns,
+)
+
+__all__ = [
+    "ChaosOutcome",
+    "DnsServerNode",
+    "chaos_respond",
+    "AKAMAI_WHOAMI",
+    "CONTROL_DOMAIN",
+    "GOOGLE_MYADDR",
+    "OPENDNS_DEBUG",
+    "NameDirectory",
+    "build_akamai_zone",
+    "build_control_zone",
+    "build_default_directory",
+    "build_example_zone",
+    "build_google_zone",
+    "build_opendns_zone",
+    "ANYCAST_SITES",
+    "PROVIDER_SPECS",
+    "Provider",
+    "ProviderSpec",
+    "PublicResolverNode",
+    "default_catchment",
+    "RecursiveResolverNode",
+    "AuthoritativeServerNode",
+    "ChaosAction",
+    "ChaosBehavior",
+    "QUIRKY_STRINGS",
+    "ServerSoftware",
+    "bind_debian",
+    "bind_redhat",
+    "bind_vanilla",
+    "dnsmasq",
+    "microsoft",
+    "mute",
+    "pi_hole",
+    "powerdns",
+    "quirky",
+    "silent_forwarder",
+    "unbound",
+    "windows_ns",
+    "xdns",
+]

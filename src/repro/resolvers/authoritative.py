@@ -1,0 +1,58 @@
+"""Authoritative-only servers.
+
+Most resolution in the reproduction is abstracted through the
+:class:`~repro.resolvers.directory.NameDirectory`, but a packet-level
+authoritative server is still needed in two places: tests that exercise
+full client->server DNS exchanges, and topologies where the experimenter
+wants to watch their *own* authoritative server (the Vallina-Rodriguez
+style prevalence technique we compare against in the docs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.dnswire import Message, QClass, RCode, Zone
+from repro.net import Packet
+from repro.net.addr import IPAddress
+
+from .base import DnsServerNode
+from .software import ServerSoftware, bind_vanilla
+
+
+class AuthoritativeServerNode(DnsServerNode):
+    """Serves one or more zones, authoritatively, with no recursion."""
+
+    def __init__(
+        self,
+        name: str,
+        addresses: "list[str | IPAddress]",
+        zones: Iterable[Zone],
+        software: Optional[ServerSoftware] = None,
+        asn: Optional[int] = None,
+    ) -> None:
+        super().__init__(name, addresses, software=software or bind_vanilla(), asn=asn)
+        self.zones = list(zones)
+
+    def zone_for(self, qname) -> Optional[Zone]:
+        best: Optional[Zone] = None
+        for zone in self.zones:
+            if zone.covers(qname):
+                if best is None or len(zone.origin) > len(best.origin):
+                    best = zone
+        return best
+
+    def respond_standard(self, query: Message, packet: Packet) -> Optional[Message]:
+        question = query.question
+        assert question is not None
+        if int(question.qclass) != int(QClass.IN):
+            return query.reply(rcode=RCode.NOTIMP)
+        zone = self.zone_for(question.qname)
+        if zone is None:
+            return query.reply(rcode=RCode.REFUSED)
+        result = zone.lookup(
+            question.qname, question.qtype, question.qclass, source=str(packet.src)
+        )
+        return query.reply(
+            rcode=result.rcode, answers=tuple(result.records), authoritative=True
+        )

@@ -1,0 +1,161 @@
+"""Base class for DNS server nodes attached to the simulated network.
+
+A :class:`DnsServerNode` terminates UDP/53 on its addresses, decodes the
+wire message, and dispatches to ``respond``. CHAOS-class debugging
+queries are dispatched through the node's software personality so every
+server in the zoo — public resolver, ISP resolver, embedded forwarder —
+answers ``version.bind``/``id.server`` the way its software would.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Union
+
+from repro.dnswire import (
+    DNS_PORT,
+    Message,
+    QClass,
+    QType,
+    RCode,
+    decode_or_none,
+    txt_record,
+)
+from repro.dnswire.chaosnames import HOSTNAME_BIND, ID_SERVER, VERSION_BIND
+from repro.net import Packet, Protocol, make_reply
+from repro.net.addr import IPAddress
+from repro.net.dot import DOT_PORT, unwrap_dot, wrap_dot
+from repro.net.sim import Node
+
+from .software import ChaosAction, ChaosBehavior, ServerSoftware, mute
+
+
+class ChaosOutcome(enum.Enum):
+    """Sentinel returned when the personality wants special handling."""
+
+    FORWARD = "forward"
+    IGNORE = "ignore"
+    NOT_CHAOS = "not-chaos"
+
+
+def chaos_respond(
+    software: ServerSoftware, query: Message
+) -> Union[Message, ChaosOutcome]:
+    """Answer a CHAOS debugging query per ``software``'s personality.
+
+    Returns a :class:`Message` when the software answers (or errors)
+    locally, ``ChaosOutcome.FORWARD``/``IGNORE`` for those actions, and
+    ``NOT_CHAOS`` when the query is not a CHAOS debugging query at all.
+    """
+    question = query.question
+    if question is None or int(question.qclass) != int(QClass.CH):
+        return ChaosOutcome.NOT_CHAOS
+    if int(question.qtype) != int(QType.TXT):
+        return query.reply(rcode=RCode.NOTIMP)
+    behaviors = {
+        VERSION_BIND: software.version_bind,
+        ID_SERVER: software.id_server,
+        HOSTNAME_BIND: software.hostname_bind,
+    }
+    behavior: Optional[ChaosBehavior] = behaviors.get(question.qname)
+    if behavior is None:
+        # Unknown CHAOS name: servers conventionally refuse.
+        return query.reply(rcode=RCode.REFUSED)
+    if behavior.action is ChaosAction.ANSWER:
+        assert behavior.text is not None
+        record = txt_record(
+            question.qname, behavior.text, rdclass=int(QClass.CH), ttl=0
+        )
+        return query.reply(answers=(record,), authoritative=True)
+    if behavior.action is ChaosAction.RCODE:
+        return query.reply(rcode=behavior.rcode)
+    if behavior.action is ChaosAction.FORWARD:
+        return ChaosOutcome.FORWARD
+    return ChaosOutcome.IGNORE
+
+
+class DnsServerNode(Node):
+    """A network node that serves DNS on UDP/53."""
+
+    def __init__(
+        self,
+        name: str,
+        addresses: "list[str | IPAddress]",
+        software: Optional[ServerSoftware] = None,
+        asn: Optional[int] = None,
+        tls_identity: Optional[str] = None,
+    ) -> None:
+        super().__init__(name, asn=asn)
+        from repro.net.addr import parse_ip
+
+        self._addresses = {parse_ip(a) for a in addresses}
+        self.software = software or mute()
+        self.gateway: Optional[str] = None
+        self.queries_seen = 0
+        #: Name presented on the server's DoT certificate. None disables
+        #: DoT service (port 853 closed).
+        self.tls_identity = tls_identity
+
+    def addresses(self) -> set[IPAddress]:
+        return set(self._addresses)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def deliver_local(self, packet: Packet) -> None:
+        if packet.protocol is not Protocol.UDP:
+            self.trace("drop", packet, "icmp at server")
+            return
+        assert packet.udp is not None
+        if packet.udp.dport == DNS_PORT:
+            self._serve(packet, packet.udp.payload, dot=False)
+            return
+        if packet.udp.dport == DOT_PORT and self.tls_identity is not None:
+            frame = unwrap_dot(packet.udp.payload)
+            if frame is None:
+                self.trace("drop", packet, "malformed DoT frame")
+                return
+            self._serve(packet, frame.dns_payload, dot=True)
+            return
+        self.trace("drop", packet, f"closed port {packet.udp.dport}")
+
+    def _serve(self, packet: Packet, payload: bytes, dot: bool) -> None:
+        query = decode_or_none(payload)
+        if query is None or query.is_response or query.question is None:
+            self.trace("drop", packet, "not a DNS query")
+            return
+        self.queries_seen += 1
+        response = self.respond(query, packet)
+        if response is None:
+            self.trace("drop", packet, "server chose not to answer")
+            return
+        wire = response.encode()
+        if dot:
+            assert self.tls_identity is not None
+            wire = wrap_dot(wire, self.tls_identity)
+        reply = make_reply(packet, wire)
+        self.trace("send", reply, "dns response" + (" (DoT)" if dot else ""))
+        self.emit(reply)
+
+    def emit(self, packet: Packet) -> None:
+        """Send a locally generated packet toward its destination."""
+        if self.gateway is None:
+            raise RuntimeError(f"{self.name} has no gateway configured")
+        self.send(self.gateway, packet)
+
+    # -- behaviour ----------------------------------------------------------
+
+    def respond(self, query: Message, packet: Packet) -> Optional[Message]:
+        """Compute the response message; None means drop (timeout)."""
+        outcome = chaos_respond(self.software, query)
+        if isinstance(outcome, Message):
+            return outcome
+        if outcome is ChaosOutcome.IGNORE:
+            return None
+        if outcome is ChaosOutcome.FORWARD:
+            # Plain servers have no upstream; refuse rather than loop.
+            return query.reply(rcode=RCode.REFUSED)
+        return self.respond_standard(query, packet)
+
+    def respond_standard(self, query: Message, packet: Packet) -> Optional[Message]:
+        """Handle a non-CHAOS query. Default: REFUSED (no recursion here)."""
+        return query.reply(rcode=RCode.REFUSED)

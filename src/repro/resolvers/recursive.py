@@ -1,0 +1,96 @@
+"""Recursive resolvers operated by ISPs.
+
+When a residential query is hijacked — by the CPE's DNAT rule or by an
+ISP middlebox — the *alternate resolver* that actually answers is almost
+always the ISP's own recursive resolver. Its software personality is
+what leaks through Step 2 (``version.bind``) and its egress address is
+what the transparency check sees in the ``whoami.akamai.com`` answer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dnswire import Message, QClass, QType, RCode
+from repro.net import Packet
+from repro.net.addr import IPAddress, parse_ip
+
+from .base import DnsServerNode
+from .directory import NameDirectory
+from .software import ServerSoftware, unbound
+
+
+class RecursiveResolverNode(DnsServerNode):
+    """An ISP recursive resolver resolving through the name directory.
+
+    ``blocked_names`` supports filtering deployments (the malware
+    filtering XDNS was built for): queries for those names return the
+    configured ``block_rcode`` instead of an answer.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        addresses: "list[str | IPAddress]",
+        directory: NameDirectory,
+        software: Optional[ServerSoftware] = None,
+        egress: "str | IPAddress | None" = None,
+        asn: Optional[int] = None,
+        blocked_names: Optional[set[str]] = None,
+        block_rcode: int = RCode.REFUSED,
+        tls_identity: Optional[str] = None,
+        nxdomain_wildcard_to: "str | IPAddress | None" = None,
+    ) -> None:
+        super().__init__(
+            name,
+            addresses,
+            software=software or unbound(),
+            asn=asn,
+            # ISP resolvers increasingly offer DoT; the identity is the
+            # resolver's own name, never a public resolver's.
+            tls_identity=tls_identity or f"dot.{name}.example.net",
+        )
+        self.directory = directory
+        self._egress = parse_ip(egress) if egress else None
+        self.blocked_names = {n.lower().rstrip(".") + "." for n in (blocked_names or set())}
+        self.block_rcode = block_rcode
+        #: NXDOMAIN wildcarding (Kreibich et al., Weaver et al.): rewrite
+        #: name-error responses into an A record pointing at an ad/search
+        #: server. This is DNS *redirection*, the related-but-different
+        #: manipulation §2 distinguishes from interception — modelled so
+        #: the boundary of the paper's technique can be tested.
+        self.nxdomain_wildcard_to = (
+            parse_ip(nxdomain_wildcard_to) if nxdomain_wildcard_to else None
+        )
+
+    def egress_address(self, family: int) -> IPAddress:
+        if self._egress is not None and self._egress.version == family:
+            return self._egress
+        for address in sorted(self.addresses(), key=str):
+            if address.version == family:
+                return address
+        raise RuntimeError(f"{self.name} has no IPv{family} address")
+
+    def respond_standard(self, query: Message, packet: Packet) -> Optional[Message]:
+        question = query.question
+        assert question is not None
+        if int(question.qclass) != int(QClass.IN):
+            return query.reply(rcode=RCode.NOTIMP)
+        qname_text = question.qname.to_text().lower()
+        if qname_text in self.blocked_names:
+            return query.reply(rcode=self.block_rcode)
+        egress = self.egress_address(packet.src.version)
+        result = self.directory.resolve(
+            question.qname, question.qtype, question.qclass, str(egress)
+        )
+        if (
+            result.rcode == RCode.NXDOMAIN
+            and self.nxdomain_wildcard_to is not None
+            and int(question.qtype) == int(QType.A)
+            and self.nxdomain_wildcard_to.version == 4
+        ):
+            from repro.dnswire import a_record
+
+            forged = a_record(question.qname, str(self.nxdomain_wildcard_to), ttl=60)
+            return query.reply(rcode=RCode.NOERROR, answers=(forged,))
+        return query.reply(rcode=result.rcode, answers=tuple(result.records))

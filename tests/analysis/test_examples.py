@@ -1,0 +1,58 @@
+"""The live §3.4 worked example (Tables 2-3 cells)."""
+
+import pytest
+
+from repro.analysis.examples import measure_example_probes
+from repro.analysis.tables import build_example_tables
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return measure_example_probes()
+
+
+class TestTable2Cells:
+    def test_probe_1053_standard(self, rows):
+        cells = rows[1053]
+        assert len(cells["cloudflare_loc"]) == 3  # an IATA code
+        assert cells["cloudflare_loc"].isupper()
+        # Google cell is a Google IP.
+        assert cells["google_loc"].startswith(("172.253.", "74.125."))
+
+    def test_probe_11992_nonstandard(self, rows):
+        cells = rows[11992]
+        assert cells["cloudflare_loc"] == "NOTIMP"
+        # A non-Google address (the ISP resolver's egress).
+        assert not cells["google_loc"].startswith(("172.253.", "74.125."))
+
+    def test_probe_21823_identity_string(self, rows):
+        cells = rows[21823]
+        assert cells["cloudflare_loc"] == "routing.v2.pw"
+
+
+class TestTable3Cells:
+    def test_probe_1053_dashes(self, rows):
+        cells = rows[1053]
+        assert cells["cloudflare_vb"] == cells["google_vb"] == cells["cpe_vb"] == "-"
+
+    def test_probe_11992_mix(self, rows):
+        cells = rows[11992]
+        assert cells["cloudflare_vb"] == "NOTIMP"
+        assert cells["google_vb"] == "NOTIMP"
+        assert cells["cpe_vb"] == "NXDOMAIN"
+
+    def test_probe_21823_identical_strings(self, rows):
+        cells = rows[21823]
+        assert (
+            cells["cloudflare_vb"]
+            == cells["google_vb"]
+            == cells["cpe_vb"]
+            == "unbound 1.9.0"
+        )
+
+
+class TestRendering:
+    def test_tables_render(self, rows):
+        t2, t3 = build_example_tables(rows)
+        assert "1053" in t2 and "21823" in t3
+        assert "NXDOMAIN" in t3

@@ -1,0 +1,72 @@
+"""JSON round-trips of study results."""
+
+import pytest
+
+from repro.analysis.export import (
+    SCHEMA_VERSION,
+    load_study,
+    record_from_dict,
+    record_to_dict,
+    save_study,
+    study_from_json,
+    study_to_json,
+)
+from repro.analysis.tables import build_table4, build_table5
+from repro.atlas.population import generate_population
+from repro.core.study import ProbeRecord, StudyResult, run_pilot_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    result = run_pilot_study(generate_population(size=150, seed=19))
+    result.seed = 19
+    return result
+
+
+class TestRoundTrip:
+    def test_records_identical(self, study):
+        back = study_from_json(study_to_json(study))
+        assert back.records == study.records
+        assert back.fleet_size == study.fleet_size
+        assert back.seed == study.seed
+
+    def test_analysis_identical_after_roundtrip(self, study):
+        back = study_from_json(study_to_json(study))
+        assert build_table4(back).render() == build_table4(study).render()
+        assert build_table5(back).render() == build_table5(study).render()
+
+    def test_file_round_trip(self, study, tmp_path):
+        path = str(tmp_path / "study.json")
+        save_study(study, path)
+        assert load_study(path).records == study.records
+
+    def test_indent_option_is_valid_json(self, study):
+        import json
+
+        json.loads(study_to_json(study, indent=2))
+
+
+class TestSchema:
+    def test_schema_version_written(self, study):
+        import json
+
+        assert json.loads(study_to_json(study))["schema"] == SCHEMA_VERSION
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError):
+            study_from_json('{"schema": 99, "records": []}')
+
+    def test_unknown_field_rejected(self):
+        record = record_to_dict(
+            ProbeRecord(probe_id=1, organization="X", asn=1, country="US", online=True)
+        )
+        record["surprise"] = True
+        with pytest.raises(ValueError):
+            record_from_dict(record)
+
+    def test_provider_status_tuples_restored(self, study):
+        record = next(r for r in study.records if r.provider_status)
+        back = record_from_dict(record_to_dict(record))
+        assert isinstance(back.provider_status, tuple)
+        assert isinstance(back.provider_status[0], tuple)
+        assert back == record

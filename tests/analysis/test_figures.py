@@ -1,0 +1,123 @@
+"""Figure 3 / Figure 4 data series."""
+
+import pytest
+
+from repro.analysis.figures import (
+    LOCATION_CATEGORIES,
+    TRANSPARENCY_CATEGORIES,
+    build_figure3,
+    build_figure4_countries,
+    build_figure4_organizations,
+    build_location_summary,
+)
+from repro.atlas.population import generate_population
+from repro.core.detector import InterceptionStatus
+from repro.core.study import ProbeRecord, StudyResult, run_pilot_study
+from repro.resolvers.public import Provider
+
+INT = InterceptionStatus.INTERCEPTED.value
+
+
+def intercepted_record(probe_id, org, country="US", verdict="within-isp",
+                       transparency="Transparent"):
+    return ProbeRecord(
+        probe_id=probe_id,
+        organization=org,
+        asn=1,
+        country=country,
+        online=True,
+        provider_status=tuple((p.value, 4, INT) for p in Provider),
+        verdict=verdict,
+        transparency=transparency,
+    )
+
+
+class TestFigure3:
+    def test_counts_by_transparency(self):
+        study = StudyResult(
+            records=[
+                intercepted_record(1, "Comcast", transparency="Transparent"),
+                intercepted_record(2, "Comcast", transparency="Status Modified"),
+                intercepted_record(3, "Shaw", transparency="Both"),
+            ]
+        )
+        fig = build_figure3(study)
+        comcast = dict(fig.rows)["Comcast"]
+        assert comcast["Transparent"] == 1
+        assert comcast["Status Modified"] == 1
+        assert fig.totals()["Both"] == 1
+
+    def test_top15_limit(self):
+        study = StudyResult(
+            records=[
+                intercepted_record(i, f"org{i % 20}") for i in range(60)
+            ]
+        )
+        assert len(build_figure3(study).rows) == 15
+
+    def test_render(self):
+        study = StudyResult(records=[intercepted_record(1, "Comcast")])
+        text = build_figure3(study).render()
+        assert "Figure 3" in text and "Comcast" in text
+
+
+class TestFigure4:
+    def test_by_country_and_org(self):
+        study = StudyResult(
+            records=[
+                intercepted_record(1, "Comcast", country="US", verdict="cpe"),
+                intercepted_record(2, "Comcast", country="US", verdict="within-isp"),
+                intercepted_record(3, "Ziggo", country="NL", verdict="unknown"),
+            ]
+        )
+        countries = build_figure4_countries(study)
+        us = dict(countries.rows)["US"]
+        assert us["cpe"] == 1 and us["within-isp"] == 1
+        orgs = build_figure4_organizations(study)
+        assert dict(orgs.rows)["Ziggo"]["unknown"] == 1
+
+    def test_categories_constant(self):
+        assert LOCATION_CATEGORIES == ("cpe", "within-isp", "unknown")
+        assert TRANSPARENCY_CATEGORIES == (
+            "Transparent",
+            "Status Modified",
+            "Both",
+        )
+
+
+class TestLocationSummary:
+    def test_counts(self):
+        study = StudyResult(
+            records=[
+                intercepted_record(1, "A", verdict="cpe"),
+                intercepted_record(2, "A", verdict="within-isp"),
+                intercepted_record(3, "A", verdict="within-isp"),
+                intercepted_record(4, "A", verdict="unknown"),
+            ]
+        )
+        summary = build_location_summary(study)
+        assert summary.total_intercepted == 4
+        assert summary.cpe == 1
+        assert summary.within_isp == 2
+        assert summary.unknown == 1
+        assert summary.close_to_client == 3
+        assert "close-to-client=3" in summary.render()
+
+
+class TestOnRealStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_pilot_study(generate_population(size=250, seed=31))
+
+    def test_summary_consistent_with_figures(self, study):
+        summary = build_location_summary(study)
+        fig = build_figure4_organizations(study, limit=1000)
+        totals = fig.totals()
+        assert totals.get("cpe", 0) == summary.cpe
+        assert totals.get("within-isp", 0) == summary.within_isp
+
+    def test_majority_close_to_client(self, study):
+        """§4.3's headline finding must hold in the calibrated fleet."""
+        summary = build_location_summary(study)
+        if summary.total_intercepted:
+            assert summary.close_to_client > summary.total_intercepted / 2

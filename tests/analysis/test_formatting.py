@@ -1,0 +1,70 @@
+"""Plain-text table and bar-chart rendering."""
+
+from repro.analysis.formatting import render_bar_chart, render_table
+
+
+class TestRenderTable:
+    def test_columns_aligned(self):
+        text = render_table(
+            ("Name", "Count"),
+            [("alpha", 1), ("a-much-longer-name", 22)],
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("Name")
+        # All rows aligned on the second column.
+        positions = {line.rstrip().rfind(" ") for line in lines[2:]}
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = render_table(("A",), [("x",)], title="Table X")
+        assert text.splitlines()[0] == "Table X"
+
+    def test_separator_row(self):
+        text = render_table(("A", "B"), [("1", "2")])
+        assert set(text.splitlines()[1].replace("  ", " ")) <= {"-", " "}
+
+    def test_numbers_coerced(self):
+        text = render_table(("N",), [(42,)])
+        assert "42" in text
+
+    def test_empty_rows(self):
+        text = render_table(("A",), [])
+        assert "A" in text
+
+
+class TestRenderBarChart:
+    def test_legend_and_bars(self):
+        text = render_bar_chart(
+            [("Comcast", {"t": 10, "s": 2}), ("Shaw", {"t": 3, "s": 0})],
+            categories=("t", "s"),
+            symbols=("#", "x"),
+        )
+        assert "[#=t  x=s]" in text
+        assert "Comcast" in text and "(12)" in text
+        assert "Shaw" in text and "(3)" in text
+
+    def test_scaling_longest_bar(self):
+        text = render_bar_chart(
+            [("big", {"c": 100}), ("small", {"c": 1})],
+            categories=("c",),
+            symbols=("#",),
+            width=40,
+        )
+        big_line = next(l for l in text.splitlines() if l.startswith("big"))
+        assert big_line.count("#") == 40
+
+    def test_empty_rows_no_crash(self):
+        text = render_bar_chart([], categories=("c",), symbols=("#",))
+        assert "[#=c]" in text
+
+    def test_missing_category_counts_as_zero(self):
+        text = render_bar_chart(
+            [("x", {"a": 1})], categories=("a", "b"), symbols=("#", "o")
+        )
+        assert "(1)" in text
+
+    def test_title_line(self):
+        text = render_bar_chart(
+            [("x", {"a": 1})], categories=("a",), symbols=("#",), title="Figure"
+        )
+        assert text.splitlines()[0] == "Figure"

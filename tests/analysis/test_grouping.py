@@ -1,0 +1,92 @@
+"""Version-string families and top-group ranking."""
+
+import pytest
+
+from repro.analysis.grouping import (
+    count_version_families,
+    top_groups,
+    version_string_family,
+)
+from repro.core.study import ProbeRecord
+
+
+def record(org="Comcast", country="US", version=None, probe_id=1):
+    return ProbeRecord(
+        probe_id=probe_id,
+        organization=org,
+        asn=7922,
+        country=country,
+        online=True,
+        cpe_version_string=version,
+    )
+
+
+class TestVersionFamilies:
+    @pytest.mark.parametrize(
+        "version,family",
+        [
+            ("dnsmasq-2.80", "dnsmasq-*"),
+            ("dnsmasq-2.85", "dnsmasq-*"),
+            ("dnsmasq-pi-hole-2.81", "dnsmasq-pi-hole-*"),
+            ("unbound 1.9.0", "unbound*"),
+            ("9.11.4-P2-RedHat-9.11.4-26.P2.el7", "*-RedHat"),
+            ("PowerDNS Recursor 4.1.11", "PowerDNS Recursor*"),
+            ("Q9-U-6.6", "Q9-*"),
+            ("9.11.5-P4-5.1+deb10u5-Debian", "*-Debian"),
+            ("9.16.15", "9.16.15"),
+            ("Windows NS", "Windows NS"),
+            ("Microsoft", "Microsoft"),
+            ("huuh?", "huuh?"),
+            ("new", "new"),
+        ],
+    )
+    def test_family_mapping(self, version, family):
+        assert version_string_family(version) == family
+
+    def test_pi_hole_checked_before_dnsmasq(self):
+        """Ordering matters: pi-hole strings start with 'dnsmasq'."""
+        assert version_string_family("dnsmasq-pi-hole-2.84") == "dnsmasq-pi-hole-*"
+
+    def test_count_families(self):
+        records = [
+            record(version="dnsmasq-2.80", probe_id=1),
+            record(version="dnsmasq-2.85", probe_id=2),
+            record(version="unbound 1.9.0", probe_id=3),
+            record(version=None, probe_id=4),
+        ]
+        counts = count_version_families(records)
+        assert counts["dnsmasq-*"] == 2
+        assert counts["unbound*"] == 1
+        assert sum(counts.values()) == 3  # None excluded
+
+
+class TestTopGroups:
+    def test_ranked_by_size_desc(self):
+        records = (
+            [record(org="Comcast", probe_id=i) for i in range(5)]
+            + [record(org="Shaw", probe_id=10 + i) for i in range(3)]
+            + [record(org="BT", probe_id=20)]
+        )
+        groups = top_groups(records, "organization")
+        assert [g[0] for g in groups] == ["Comcast", "Shaw", "BT"]
+
+    def test_limit(self):
+        records = [record(org=f"org{i}", probe_id=i) for i in range(20)]
+        assert len(top_groups(records, "organization", limit=15)) == 15
+
+    def test_ties_alphabetical(self):
+        records = [record(org="Zeta", probe_id=1), record(org="Alpha", probe_id=2)]
+        groups = top_groups(records, "organization")
+        assert [g[0] for g in groups] == ["Alpha", "Zeta"]
+
+    def test_predicate_filters(self):
+        records = [record(org="Comcast", probe_id=1), record(org="Shaw", probe_id=2)]
+        groups = top_groups(
+            records, "organization", predicate=lambda r: r.organization == "Shaw"
+        )
+        assert [g[0] for g in groups] == ["Shaw"]
+
+    def test_group_by_country(self):
+        records = [record(country="US", probe_id=1), record(country="DE", probe_id=2)]
+        groups = top_groups(records, "country")
+        assert {g[0] for g in groups} == {"US", "DE"}

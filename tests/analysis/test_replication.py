@@ -1,0 +1,52 @@
+"""Replication aggregation, end to end through the study machinery."""
+
+import pytest
+
+from repro.analysis.replication import build_replication_report
+from repro.atlas.geo import organization_by_name
+from repro.core.study import classification_to_record, measure_probe, StudyResult
+from repro.interceptors.policy import InterceptMode, intercept_all
+
+from tests.conftest import make_spec
+
+
+class TestReplicationReport:
+    def test_replicating_probe_recorded(self):
+        org = organization_by_name("Telia")
+        spec = make_spec(
+            org,
+            probe_id=1200,
+            middlebox_policies=[intercept_all(mode=InterceptMode.REPLICATE)],
+        )
+        record = classification_to_record(spec, measure_probe(spec))
+        assert record.replication_seen
+        assert record.is_intercepted  # replication counts as interception
+
+    def test_redirect_probe_not_flagged(self):
+        org = organization_by_name("Telia")
+        spec = make_spec(org, probe_id=1201, middlebox_policies=[intercept_all()])
+        record = classification_to_record(spec, measure_probe(spec))
+        assert not record.replication_seen
+
+    def test_report_shares(self):
+        org = organization_by_name("Telia")
+        records = []
+        for probe_id, mode in (
+            (1202, InterceptMode.REPLICATE),
+            (1203, InterceptMode.REDIRECT),
+        ):
+            spec = make_spec(
+                org, probe_id=probe_id, middlebox_policies=[intercept_all(mode=mode)]
+            )
+            records.append(classification_to_record(spec, measure_probe(spec)))
+        study = StudyResult(records=records)
+        report = build_replication_report(study)
+        assert report.replicated_probes == 1
+        assert report.intercepted_probes == 2
+        assert report.share_of_intercepted == pytest.approx(0.5)
+        assert "Telia" in report.render()
+
+    def test_empty_study(self):
+        report = build_replication_report(StudyResult())
+        assert report.share_of_intercepted == 0.0
+        assert "replicated probes : 0" in report.render()

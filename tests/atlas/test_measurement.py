@@ -1,0 +1,167 @@
+"""The measurement client: validation, timeouts, replication, ICMP."""
+
+import pytest
+
+from repro.atlas.geo import organization_by_name
+from repro.atlas.measurement import MeasurementClient, dns_exchange
+from repro.atlas.scenario import build_scenario
+from repro.cpe.firmware import dnat_interceptor, honest_router
+from repro.dnswire import QType, make_query
+from repro.dnswire.chaosnames import make_id_server_query
+from repro.interceptors.policy import InterceptMode, intercept_all
+from repro.net import make_udp
+
+from tests.conftest import make_spec
+
+
+@pytest.fixture
+def org():
+    return organization_by_name("BT")
+
+
+@pytest.fixture
+def clean(org):
+    return build_scenario(make_spec(org, probe_id=400))
+
+
+class TestValidation:
+    def test_accepts_valid_response(self, clean):
+        result = dns_exchange(
+            clean.network, clean.host, "1.1.1.1", make_id_server_query(msg_id=1)
+        )
+        assert not result.timed_out
+        assert result.rtt_ms is not None and result.rtt_ms > 0
+
+    def test_rejects_wrong_id(self, clean):
+        """An off-path attacker who guesses the port but not the id loses."""
+        query = make_id_server_query(msg_id=10)
+        sock = clean.host.open_socket()
+        sock.sendto(query.encode(), "1.1.1.1", 53)
+        forged = query.with_id(11).reply()
+        clean.network.inject(
+            "host",
+            make_udp("1.1.1.1", 53, "192.168.1.100", sock.port, forged.encode()),
+        )
+        clean.network.run()
+        datagrams = sock.drain()
+        sock.close()
+        from repro.dnswire import decode_or_none
+
+        ids = {decode_or_none(d.payload).msg_id for d in datagrams}
+        assert 11 in ids  # the forgery arrived...
+        # ...but dns_exchange would have rejected it; verify via the API:
+        result = dns_exchange(
+            clean.network, clean.host, "1.1.1.1", make_id_server_query(msg_id=12)
+        )
+        assert result.response.msg_id == 12
+
+    def test_rejects_wrong_source(self, clean):
+        """A response from an address other than the one queried is
+        rejected — the reason interceptors must spoof (§2)."""
+        query = make_id_server_query(msg_id=20)
+
+        # Deliver a response claiming to be from a different resolver.
+        class Injector:
+            def __call__(self):
+                pass
+
+        sock_port_holder = {}
+
+        import repro.atlas.measurement as m
+
+        # Use the real exchange but inject a competing wrong-source answer
+        # right after the query is sent.
+        sock = clean.host.open_socket()
+        sock.sendto(query.encode(), "1.1.1.1", 53)
+        wrong_src = make_udp(
+            "9.9.9.9", 53, "192.168.1.100", sock.port, query.reply().encode()
+        )
+        clean.network.inject("host", wrong_src)
+        clean.network.run()
+        sock.close()
+        result = dns_exchange(
+            clean.network, clean.host, "1.1.1.1", make_id_server_query(msg_id=21)
+        )
+        assert str(result.destination) == "1.1.1.1"
+        assert result.response is not None
+
+    def test_rejected_datagrams_recorded(self, org):
+        sc = build_scenario(make_spec(org, probe_id=401))
+        # Craft an exchange where a wrong-source datagram arrives: query a
+        # dead address while injecting a fake answer from elsewhere.
+        query = make_query("example.com.", QType.A, msg_id=30)
+        sock_port = sc.host._next_port  # the port dns_exchange will use
+        fake = make_udp(
+            "203.0.113.99", 53, "192.168.1.100", sock_port, query.reply().encode()
+        )
+        sc.network.inject("host", fake, delay_ms=10.0)
+        result = dns_exchange(sc.network, sc.host, "198.51.100.99", query)
+        assert result.timed_out
+        assert len(result.rejected) == 1
+
+
+class TestTimeouts:
+    def test_unreachable_destination_times_out(self, clean):
+        result = dns_exchange(
+            clean.network,
+            clean.host,
+            "203.0.113.99",
+            make_query("example.com.", QType.A, msg_id=1),
+        )
+        assert result.timed_out
+        assert result.response is None
+        assert result.rcode is None
+
+    def test_simulated_clock_advances_past_timeout(self, clean):
+        before = clean.network.now
+        dns_exchange(
+            clean.network,
+            clean.host,
+            "203.0.113.99",
+            make_query("example.com.", QType.A, msg_id=2),
+            timeout_ms=750.0,
+        )
+        assert clean.network.now >= before + 750.0
+
+    def test_socket_closed_after_exchange(self, clean):
+        port_before = clean.host._next_port
+        dns_exchange(
+            clean.network, clean.host, "1.1.1.1", make_id_server_query(msg_id=3)
+        )
+        assert len(clean.host._sockets) == 0
+
+
+class TestReplication:
+    def test_replicated_exchange_reports_both(self, org):
+        sc = build_scenario(
+            make_spec(
+                org,
+                probe_id=402,
+                middlebox_policies=[intercept_all(mode=InterceptMode.REPLICATE)],
+            )
+        )
+        result = dns_exchange(
+            sc.network, sc.host, "1.1.1.1", make_id_server_query(msg_id=1)
+        )
+        assert result.replicated
+        assert result.response is result.accepted[0]
+
+
+class TestClientWrapper:
+    def test_family_capability(self, org):
+        v4only = build_scenario(make_spec(org, probe_id=403, has_ipv6=False))
+        client = MeasurementClient(v4only.network, v4only.host)
+        assert client.can_reach_family(4)
+        assert not client.can_reach_family(6)
+
+    def test_custom_timeout(self, clean):
+        client = MeasurementClient(clean.network, clean.host, timeout_ms=100.0)
+        result = client.exchange(
+            "203.0.113.99", make_query("example.com.", QType.A, msg_id=9)
+        )
+        assert result.timed_out
+
+    def test_txt_answer_helper(self, clean):
+        client = MeasurementClient(clean.network, clean.host)
+        result = client.exchange("1.1.1.1", make_id_server_query(msg_id=5))
+        assert result.txt_answer() is not None

@@ -1,0 +1,70 @@
+"""The Table-1 location-query catalog."""
+
+from repro.core.catalog import (
+    LOCATION_QUERIES,
+    PROVIDER_ORDER,
+    location_query_table,
+    provider_addresses,
+)
+from repro.dnswire import QClass, QType
+from repro.resolvers.public import Provider
+
+
+class TestCatalog:
+    def test_all_four_providers_present(self):
+        assert set(LOCATION_QUERIES) == set(Provider)
+
+    def test_cloudflare_row(self):
+        spec = LOCATION_QUERIES[Provider.CLOUDFLARE]
+        assert spec.qname == "id.server."
+        assert int(spec.qclass) == int(QClass.CH)
+        assert spec.type_label == "CHAOS TXT"
+
+    def test_google_row(self):
+        spec = LOCATION_QUERIES[Provider.GOOGLE]
+        assert spec.qname == "o-o.myaddr.l.google.com."
+        assert int(spec.qclass) == int(QClass.IN)
+        assert spec.type_label == "TXT"
+
+    def test_quad9_row(self):
+        spec = LOCATION_QUERIES[Provider.QUAD9]
+        assert spec.qname == "id.server."
+        assert "pch.net" in spec.example_response
+
+    def test_opendns_row(self):
+        spec = LOCATION_QUERIES[Provider.OPENDNS]
+        assert spec.qname == "debug.opendns.com."
+        assert spec.example_response.startswith("server m")
+
+    def test_build_query_shape(self):
+        query = LOCATION_QUERIES[Provider.CLOUDFLARE].build_query(msg_id=5)
+        assert query.msg_id == 5
+        assert int(query.question.qtype) == int(QType.TXT)
+
+    def test_build_query_deterministic_with_rng(self):
+        import random
+
+        spec = LOCATION_QUERIES[Provider.GOOGLE]
+        a = spec.build_query(rng=random.Random(9))
+        b = spec.build_query(rng=random.Random(9))
+        assert a.msg_id == b.msg_id
+
+    def test_table_rendering_rows(self):
+        rows = location_query_table()
+        assert len(rows) == 4
+        assert rows[0][0] == "Cloudflare DNS"
+        assert rows[1][2] == "o-o.myaddr.l.google.com"
+
+    def test_provider_addresses_both_families(self):
+        v4 = provider_addresses(Provider.GOOGLE, 4)
+        v6 = provider_addresses(Provider.GOOGLE, 6)
+        assert v4 == ("8.8.8.8", "8.8.4.4")
+        assert len(v6) == 2
+
+    def test_provider_order_matches_paper(self):
+        assert [p.value for p in PROVIDER_ORDER] == [
+            "Cloudflare DNS",
+            "Google DNS",
+            "Quad9",
+            "OpenDNS",
+        ]

@@ -1,0 +1,148 @@
+"""The full three-step pipeline (Figure 2)."""
+
+import random
+
+import pytest
+
+from repro import diagnose_household
+from repro.atlas.geo import organization_by_name
+from repro.atlas.measurement import MeasurementClient
+from repro.atlas.population import example_probe_specs
+from repro.atlas.scenario import build_scenario
+from repro.core.classifier import InterceptionLocator, LocatorVerdict
+from repro.cpe.firmware import dnat_interceptor, honest_router, open_wan_forwarder
+from repro.interceptors.policy import InterceptMode, intercept_all, intercept_only
+from repro.resolvers.public import Provider
+
+from tests.conftest import make_spec
+
+
+@pytest.fixture
+def org():
+    return organization_by_name("Comcast")
+
+
+def classify(org, probe_id, **spec_kw):
+    spec = make_spec(org, probe_id=probe_id, **spec_kw)
+    return diagnose_household(spec)
+
+
+class TestVerdicts:
+    def test_clean_probe(self, org):
+        result = classify(org, 900)
+        assert result.verdict is LocatorVerdict.NOT_INTERCEPTED
+        assert not result.intercepted
+        assert result.cpe_check is None  # Step 2 never ran
+        assert result.isp_check is None
+
+    def test_cpe_interceptor(self, org):
+        result = classify(org, 901, firmware=dnat_interceptor())
+        assert result.verdict is LocatorVerdict.CPE
+        assert result.cpe_version_string is not None
+        assert result.isp_check is None  # Step 3 skipped after Step 2 hit
+
+    def test_isp_interceptor(self, org):
+        result = classify(org, 902, middlebox_policies=[intercept_all()])
+        assert result.verdict is LocatorVerdict.WITHIN_ISP
+        assert result.cpe_check is not None  # Step 2 ran and cleared the CPE
+        assert result.isp_check is not None
+
+    def test_external_interceptor_unknown(self, org):
+        result = classify(org, 903, external_policies=[intercept_all()])
+        assert result.verdict is LocatorVerdict.UNKNOWN
+
+    def test_bogon_blind_isp_is_unknown(self, org):
+        """The §3.3 ambiguity: in-ISP interceptor, but Step 3 can't see it."""
+        result = classify(
+            org, 904, middlebox_policies=[intercept_all(intercept_bogons=False)]
+        )
+        assert result.verdict is LocatorVerdict.UNKNOWN
+
+    def test_resolver_outside_as_limitation(self, org):
+        """§6: if the ISP resolver lives outside the client AS, the
+        redirected bogon query cannot reach it, so WITHIN_ISP cannot be
+        proven."""
+        result = classify(
+            org,
+            905,
+            middlebox_policies=[intercept_all()],
+            resolver_outside_as=True,
+        )
+        assert result.verdict is LocatorVerdict.UNKNOWN
+
+
+class TestPipelineMechanics:
+    def test_transparency_runs_for_intercepted(self, org):
+        result = classify(org, 906, middlebox_policies=[intercept_all()])
+        assert result.transparency is not None
+        assert result.transparency.interception_confirmed
+
+    def test_transparency_optional(self, org):
+        spec = make_spec(org, probe_id=907, firmware=dnat_interceptor())
+        result = diagnose_household(spec, run_transparency=False)
+        assert result.transparency is None
+
+    def test_cpe_version_string_only_for_cpe_verdicts(self, org):
+        isp = classify(org, 908, middlebox_policies=[intercept_all()])
+        assert isp.cpe_version_string is None
+
+    def test_analysis_family_v4_preferred(self, org):
+        result = classify(
+            org, 909, firmware=dnat_interceptor(), has_ipv6=True
+        )
+        assert result.analysis_family == 4
+
+    def test_v6_only_interception_analysed_in_v6(self, org):
+        google_v6 = ["2001:4860:4860::8888", "2001:4860:4860::8844"]
+        result = classify(
+            org,
+            910,
+            middlebox_policies=[intercept_only(google_v6, families={6})],
+            has_ipv6=True,
+        )
+        assert result.analysis_family == 6
+        assert result.intercepted
+
+    def test_no_data_when_everything_drops(self, org):
+        result = classify(
+            org, 911, middlebox_policies=[intercept_all(mode=InterceptMode.DROP)]
+        )
+        # Location queries all timed out; conservatively NOT intercepted…
+        # and since *some* measurement (none) responded — verdict reflects
+        # that nothing was observed at all? No: bogus — v6 absent, v4 all
+        # timeouts. NO_DATA.
+        assert result.verdict is LocatorVerdict.NO_DATA
+
+
+class TestWorkedExample:
+    """§3.4's three probes end-to-end."""
+
+    def test_probe_1053(self):
+        result = diagnose_household(example_probe_specs()[1053])
+        assert result.verdict is LocatorVerdict.NOT_INTERCEPTED
+
+    def test_probe_11992(self):
+        result = diagnose_household(example_probe_specs()[11992])
+        assert result.verdict is LocatorVerdict.WITHIN_ISP
+
+    def test_probe_21823(self):
+        result = diagnose_household(example_probe_specs()[21823])
+        assert result.verdict is LocatorVerdict.CPE
+        assert result.cpe_version_string == "unbound 1.9.0"
+
+
+class TestKnownLimitations:
+    def test_open_forwarder_misclassified_as_cpe(self, org):
+        """§6: the documented false positive."""
+        from repro.resolvers.software import silent_forwarder
+        from repro.cpe.firmware import FirmwareProfile
+
+        firmware = FirmwareProfile(
+            model="open-forwarder",
+            software=silent_forwarder(),
+            wan_port53_open=True,
+        )
+        result = classify(
+            org, 912, firmware=firmware, middlebox_policies=[intercept_all()]
+        )
+        assert result.verdict is LocatorVerdict.CPE  # wrong by design

@@ -1,0 +1,132 @@
+"""Step 2: the version.bind CPE comparison (§3.2, Appendix A)."""
+
+import random
+
+import pytest
+
+from repro.atlas.geo import organization_by_name
+from repro.atlas.measurement import MeasurementClient
+from repro.atlas.scenario import build_scenario
+from repro.core.cpe_check import check_cpe
+from repro.cpe.firmware import (
+    dnat_interceptor,
+    honest_forwarder,
+    honest_router,
+    open_wan_forwarder,
+)
+from repro.interceptors.policy import intercept_all
+from repro.resolvers.public import Provider
+from repro.resolvers.software import dnsmasq, silent_forwarder, unbound
+
+from tests.conftest import make_spec
+
+ALL = [Provider.CLOUDFLARE, Provider.GOOGLE, Provider.QUAD9, Provider.OPENDNS]
+
+
+@pytest.fixture
+def org():
+    return organization_by_name("Shaw")
+
+
+def run_check(org, probe_id, firmware=None, middlebox_policies=(), providers=ALL,
+              resolver_key="unbound-1.9.0"):
+    sc = build_scenario(
+        make_spec(
+            org,
+            probe_id=probe_id,
+            firmware=firmware,
+            middlebox_policies=middlebox_policies,
+            resolver_key=resolver_key,
+        )
+    )
+    client = MeasurementClient(sc.network, sc.host)
+    return check_cpe(
+        client, sc.cpe_public_v4, providers, rng=random.Random(probe_id)
+    )
+
+
+class TestCpeInterceptor:
+    def test_identical_strings_convict_cpe(self, org):
+        result = run_check(org, 600, firmware=dnat_interceptor(software=dnsmasq("2.85")))
+        assert result.cpe_version == "dnsmasq-2.85"
+        assert result.cpe_is_interceptor
+        assert len(result.matching_resolvers()) == len(ALL)
+
+    def test_summary_rows_shape(self, org):
+        result = run_check(org, 601, firmware=dnat_interceptor())
+        rows = result.summary_rows()
+        assert rows[-1][0] == "CPE Public IP"
+        assert len(rows) == len(ALL) + 1
+
+
+class TestHonestCpe:
+    def test_closed_port_no_cpe_verdict(self, org):
+        result = run_check(org, 602, firmware=honest_router())
+        assert result.cpe_version is None
+        assert not result.cpe_is_interceptor
+
+    def test_open_forwarder_not_convicted(self, org):
+        """Appendix A's central case: the CPE answers version.bind on its
+        WAN IP with its own string, but the resolvers' answers differ, so
+        the comparison clears it."""
+        result = run_check(org, 603, firmware=open_wan_forwarder(software=dnsmasq("2.78")))
+        assert result.cpe_version == "dnsmasq-2.78"
+        assert not result.cpe_is_interceptor
+
+    def test_lan_only_forwarder_not_convicted(self, org):
+        result = run_check(org, 604, firmware=honest_forwarder())
+        assert result.cpe_version is None
+        assert not result.cpe_is_interceptor
+
+
+class TestIspInterceptionBehindHonestCpe:
+    def test_isp_interceptor_not_blamed_on_cpe(self, org):
+        """ISP middlebox intercepts; CPE port closed: resolver queries
+        return the ISP resolver's string but the CPE returns nothing."""
+        result = run_check(
+            org, 605, firmware=honest_router(), middlebox_policies=[intercept_all()]
+        )
+        assert result.cpe_version is None
+        assert not result.cpe_is_interceptor
+
+    def test_error_statuses_do_not_count_as_strings(self, org):
+        """NOTIMP == NOTIMP must not convict (probe 11992's pattern):
+        only *string* equality counts."""
+        result = run_check(
+            org,
+            606,
+            firmware=honest_router(),
+            middlebox_policies=[intercept_all()],
+            resolver_key="unbound-hidden",
+        )
+        # Resolver observations are all NOTIMP; CPE times out.
+        assert all(o.version_string is None for o in result.resolver_observations)
+        assert not result.cpe_is_interceptor
+
+
+class TestKnownMisclassification:
+    def test_open_forwarder_behind_matching_isp_redirect(self, org):
+        """The documented §6 false positive, faithfully reproduced:
+        the CPE forwards version.bind to the ISP resolver, the middlebox
+        hijacks resolver-bound queries to the same resolver, and the
+        strings match."""
+        result = run_check(
+            org,
+            607,
+            firmware=honest_forwarder(software=silent_forwarder(), wan_open=True),
+            middlebox_policies=[intercept_all()],
+        )
+        assert result.cpe_is_interceptor  # wrong, and documented as such
+
+    def test_same_software_different_boxes_still_convicts(self, org):
+        """A subtler limitation: if the CPE and the alternate resolver
+        happen to run the same software *version*, the comparison cannot
+        distinguish them. unbound 1.9.0 on both -> convicted as CPE."""
+        result = run_check(
+            org,
+            608,
+            firmware=open_wan_forwarder(software=unbound("1.9.0")),
+            middlebox_policies=[intercept_all()],
+            resolver_key="unbound-1.9.0",
+        )
+        assert result.cpe_is_interceptor

@@ -1,0 +1,145 @@
+"""DoT interception detection (§6 future work #2)."""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.atlas.geo import organization_by_name
+from repro.atlas.measurement import MeasurementClient
+from repro.atlas.scenario import build_scenario
+from repro.core.dot_probe import (
+    DotProfile,
+    DotStatus,
+    detect_dot_all,
+    detect_dot_provider,
+)
+from repro.cpe.firmware import dnat_interceptor
+from repro.interceptors.policy import InterceptMode, intercept_all
+from repro.resolvers.public import Provider
+
+from tests.conftest import make_spec
+
+
+@pytest.fixture
+def org():
+    return organization_by_name("Comcast")
+
+
+def client_for(org, probe_id, **spec_kw):
+    sc = build_scenario(make_spec(org, probe_id=probe_id, **spec_kw))
+    return MeasurementClient(sc.network, sc.host)
+
+
+def dot_policy(**kw):
+    return replace(intercept_all(**kw), intercept_dot=True)
+
+
+class TestCleanPath:
+    @pytest.mark.parametrize("profile", list(DotProfile))
+    def test_standard_everywhere(self, org, profile):
+        client = client_for(org, 1100)
+        report = detect_dot_all(client, profiles=(profile,), rng=random.Random(1))
+        for provider in Provider:
+            assert report.status_of(provider, profile) is DotStatus.NOT_INTERCEPTED
+        assert not report.any_intercepted()
+
+
+class TestDotCapableInterceptor:
+    def test_opportunistic_profile_intercepted(self, org):
+        client = client_for(org, 1101, middlebox_policies=[dot_policy()])
+        verdict = detect_dot_provider(
+            client,
+            Provider.GOOGLE,
+            profile=DotProfile.OPPORTUNISTIC,
+            rng=random.Random(2),
+        )
+        assert verdict.status is DotStatus.INTERCEPTED
+
+    def test_strict_profile_defeats_hijack(self, org):
+        """The §6 point: strict certificate validation turns interception
+        into a visible failure instead of a silent hijack."""
+        client = client_for(org, 1102, middlebox_policies=[dot_policy()])
+        verdict = detect_dot_provider(
+            client, Provider.GOOGLE, profile=DotProfile.STRICT, rng=random.Random(3)
+        )
+        assert verdict.status is DotStatus.HIJACK_DEFEATED
+        assert verdict.exchange.identity_rejected
+        assert verdict.exchange.response is None
+
+    def test_observed_identity_is_not_target(self, org):
+        client = client_for(org, 1103, middlebox_policies=[dot_policy()])
+        verdict = detect_dot_provider(
+            client,
+            Provider.CLOUDFLARE,
+            profile=DotProfile.OPPORTUNISTIC,
+            rng=random.Random(4),
+        )
+        assert verdict.exchange.observed_identity != "one.one.one.one"
+
+    def test_block_mode_dot(self, org):
+        policy = replace(
+            intercept_all(mode=InterceptMode.BLOCK), intercept_dot=True
+        )
+        client = client_for(org, 1104, middlebox_policies=[policy])
+        strict = detect_dot_provider(
+            client, Provider.QUAD9, profile=DotProfile.STRICT, rng=random.Random(5)
+        )
+        assert strict.status is DotStatus.HIJACK_DEFEATED
+        opportunistic = detect_dot_provider(
+            client,
+            Provider.QUAD9,
+            profile=DotProfile.OPPORTUNISTIC,
+            rng=random.Random(6),
+        )
+        assert opportunistic.status is DotStatus.INTERCEPTED
+
+
+class TestUdpOnlyInterceptors:
+    def test_udp_middlebox_cannot_touch_dot(self, org):
+        """A port-53-only middlebox is blind to port 853."""
+        client = client_for(org, 1105, middlebox_policies=[intercept_all()])
+        report = detect_dot_all(client, rng=random.Random(7))
+        assert not report.any_intercepted()
+        assert not report.any_hijack_defeated()
+
+    def test_xb6_cannot_touch_dot(self, org):
+        """The XDNS DNAT rule matches UDP/53 only: DoT sails through a
+        hijacking XB6 untouched — the deployment advice the paper's
+        conclusion gestures at."""
+        client = client_for(org, 1106, firmware=dnat_interceptor())
+        report = detect_dot_all(client, rng=random.Random(8))
+        for provider in Provider:
+            for profile in DotProfile:
+                assert (
+                    report.status_of(provider, profile)
+                    is DotStatus.NOT_INTERCEPTED
+                )
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        from repro.net.dot import unwrap_dot, wrap_dot
+
+        frame = unwrap_dot(wrap_dot(b"payload", "dns.google"))
+        assert frame.server_identity == "dns.google"
+        assert frame.dns_payload == b"payload"
+
+    def test_garbage_is_none(self):
+        from repro.net.dot import unwrap_dot
+
+        assert unwrap_dot(b"") is None
+        assert unwrap_dot(b"NOPE....") is None
+        assert unwrap_dot(b"DoT1\xff") is None  # truncated identity
+
+    def test_plain_dns_not_dot(self):
+        from repro.dnswire import QType, make_query
+        from repro.net.dot import is_dot_payload
+
+        assert not is_dot_payload(make_query("x.", QType.A, msg_id=1).encode())
+
+    def test_identity_length_limit(self):
+        from repro.net.dot import wrap_dot
+
+        with pytest.raises(ValueError):
+            wrap_dot(b"", "x" * 300)

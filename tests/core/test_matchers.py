@@ -1,0 +1,144 @@
+"""Standard-response matchers: the 'is this answer genuine?' logic."""
+
+import pytest
+
+from repro.core.matchers import (
+    describe_response,
+    match_cloudflare,
+    match_google,
+    match_location_response,
+    match_opendns,
+    match_quad9,
+)
+from repro.dnswire import QClass, QType, RCode, make_query, txt_record, a_record
+from repro.resolvers.public import Provider
+
+
+def txt_response(qname, text, rdclass=QClass.IN, rcode=RCode.NOERROR):
+    query = make_query(qname, QType.TXT, rdclass, msg_id=1)
+    if rcode != RCode.NOERROR:
+        return query.reply(rcode=rcode)
+    return query.reply(answers=(txt_record(qname, text, rdclass=int(rdclass)),))
+
+
+class TestCloudflare:
+    @pytest.mark.parametrize("code", ["IAD", "SFO", "WAW", "NRT"])
+    def test_iata_codes_standard(self, code):
+        assert match_cloudflare(txt_response("id.server.", code)).standard
+
+    @pytest.mark.parametrize(
+        "text", ["routing.v2.pw", "iad", "IADX", "IA", "dnsmasq-2.80", ""]
+    )
+    def test_non_iata_flagged(self, text):
+        assert not match_cloudflare(txt_response("id.server.", text)).standard
+
+    def test_error_status_flagged(self):
+        result = match_cloudflare(
+            txt_response("id.server.", "", rcode=RCode.NOTIMP)
+        )
+        assert not result.standard
+        assert "NOTIMP" in result.reason
+
+    def test_empty_answer_flagged(self):
+        query = make_query("id.server.", QType.TXT, QClass.CH, msg_id=1)
+        assert not match_cloudflare(query.reply()).standard
+
+
+class TestGoogle:
+    def test_google_egress_standard(self):
+        assert match_google(
+            txt_response("o-o.myaddr.l.google.com.", "172.253.226.35")
+        ).standard
+
+    def test_google_second_range_standard(self):
+        assert match_google(
+            txt_response("o-o.myaddr.l.google.com.", "74.125.47.1")
+        ).standard
+
+    def test_non_google_ip_flagged(self):
+        """Table 2 probe 11992: 62.183.62.69 is not a Google address."""
+        result = match_google(
+            txt_response("o-o.myaddr.l.google.com.", "62.183.62.69")
+        )
+        assert not result.standard
+        assert "not a Google address" in result.reason
+
+    def test_isp_resolver_egress_flagged(self):
+        assert not match_google(
+            txt_response("o-o.myaddr.l.google.com.", "24.0.0.53")
+        ).standard
+
+    def test_non_ip_text_flagged(self):
+        assert not match_google(
+            txt_response("o-o.myaddr.l.google.com.", "hello world")
+        ).standard
+
+    def test_ecs_suffix_tolerated(self):
+        assert match_google(
+            txt_response("o-o.myaddr.l.google.com.", "172.253.226.35 1.2.3.0/24")
+        ).standard
+
+    def test_nxdomain_flagged(self):
+        assert not match_google(
+            txt_response("o-o.myaddr.l.google.com.", "", rcode=RCode.NXDOMAIN)
+        ).standard
+
+
+class TestQuad9:
+    def test_pch_hostname_standard(self):
+        assert match_quad9(
+            txt_response("id.server.", "res100.iad.rrdns.pch.net")
+        ).standard
+
+    @pytest.mark.parametrize(
+        "text", ["res.iad.rrdns.pch.net", "res100.iad.pch.net", "IAD", "unbound 1.9.0"]
+    )
+    def test_other_flagged(self, text):
+        assert not match_quad9(txt_response("id.server.", text)).standard
+
+
+class TestOpenDNS:
+    def test_machine_tag_standard(self):
+        assert match_opendns(
+            txt_response("debug.opendns.com.", "server m84.iad")
+        ).standard
+
+    @pytest.mark.parametrize(
+        "text", ["m84.iad", "server 84.iad", "server m84", "dnsmasq-2.80"]
+    )
+    def test_other_flagged(self, text):
+        assert not match_opendns(txt_response("debug.opendns.com.", text)).standard
+
+    def test_nodata_flagged(self):
+        """An honest non-OpenDNS resolver returns NODATA for the debug
+        name: empty answer -> non-standard -> interception detected."""
+        query = make_query("debug.opendns.com.", QType.TXT, msg_id=1)
+        assert not match_opendns(query.reply()).standard
+
+
+class TestDispatch:
+    def test_dispatch_routes_to_matcher(self):
+        response = txt_response("id.server.", "IAD")
+        assert match_location_response(Provider.CLOUDFLARE, response).standard
+        assert not match_location_response(Provider.QUAD9, response).standard
+
+
+class TestDescribe:
+    def test_none_is_dash(self):
+        assert describe_response(None) == "-"
+
+    def test_error_rcode_name(self):
+        query = make_query("x.", QType.A, msg_id=1)
+        assert describe_response(query.reply(rcode=RCode.NOTIMP)) == "NOTIMP"
+
+    def test_txt_text(self):
+        assert describe_response(txt_response("id.server.", "SFO")) == "SFO"
+
+    def test_a_record_address(self):
+        query = make_query("whoami.akamai.com.", QType.A, msg_id=1)
+        response = query.reply(answers=(a_record("whoami.akamai.com.", "1.2.3.4"),))
+        assert describe_response(response) == "1.2.3.4"
+
+    def test_empty_noerror(self):
+        query = make_query("x.", QType.A, msg_id=1)
+        assert describe_response(query.reply()) == "NOERROR/empty"

@@ -1,0 +1,71 @@
+"""Narrative diagnostic reports."""
+
+import pytest
+
+from repro import diagnose_household
+from repro.atlas.geo import organization_by_name
+from repro.core.report import render_diagnosis
+from repro.cpe.firmware import dnat_interceptor
+from repro.interceptors.policy import InterceptMode, intercept_all
+
+from tests.conftest import make_spec
+
+
+@pytest.fixture
+def org():
+    return organization_by_name("Comcast")
+
+
+class TestRenderDiagnosis:
+    def test_clean_report(self, org):
+        result = diagnose_household(make_spec(org, probe_id=1400))
+        text = render_diagnosis(result)
+        assert "Step 1" in text
+        assert "Step 2 — skipped" in text
+        assert "Step 3 — skipped" in text
+        assert "No interception observed" in text
+
+    def test_cpe_report(self, org):
+        result = diagnose_household(
+            make_spec(org, probe_id=1401, firmware=dnat_interceptor())
+        )
+        text = render_diagnosis(result)
+        assert "identical strings" in text
+        assert "Step 3 — skipped (Step 2 already located" in text
+        assert "Verdict: cpe" in text
+        assert "gateway (CPE) intercepts" in text
+
+    def test_isp_report(self, org):
+        result = diagnose_household(
+            make_spec(org, probe_id=1402, middlebox_policies=[intercept_all()])
+        )
+        text = render_diagnosis(result)
+        assert "bogon queries" in text
+        assert "inside the ISP" in text
+        assert "interception confirmed" in text
+
+    def test_unknown_report(self, org):
+        result = diagnose_household(
+            make_spec(org, probe_id=1403, external_policies=[intercept_all()])
+        )
+        text = render_diagnosis(result)
+        assert "no answer" in text
+        assert "Verdict: unknown" in text
+
+    def test_no_data_report(self, org):
+        result = diagnose_household(
+            make_spec(
+                org,
+                probe_id=1404,
+                middlebox_policies=[intercept_all(mode=InterceptMode.DROP)],
+            )
+        )
+        text = render_diagnosis(result)
+        assert "no response" in text
+        assert "Verdict: no-data" in text
+
+    def test_every_provider_mentioned(self, org):
+        result = diagnose_household(make_spec(org, probe_id=1405))
+        text = render_diagnosis(result)
+        for name in ("Cloudflare DNS", "Google DNS", "Quad9", "OpenDNS"):
+            assert name in text

@@ -1,0 +1,121 @@
+"""The fleet-wide pilot study machinery."""
+
+import pytest
+
+from repro.atlas.geo import organization_by_name
+from repro.atlas.population import example_probe_specs, generate_population
+from repro.atlas.probe import ProbeSpec
+from repro.core.classifier import LocatorVerdict
+from repro.core.study import (
+    classification_to_record,
+    measure_probe,
+    run_pilot_study,
+)
+from repro.cpe.firmware import dnat_interceptor
+from repro.resolvers.public import Provider
+
+from tests.conftest import make_spec
+
+
+@pytest.fixture(scope="module")
+def small_study():
+    specs = generate_population(size=120, seed=11)
+    return specs, run_pilot_study(specs)
+
+
+class TestMeasureProbe:
+    def test_offline_probe_returns_none(self):
+        org = organization_by_name("Comcast")
+        spec = ProbeSpec(probe_id=1, organization=org, online=False)
+        assert measure_probe(spec) is None
+
+    def test_offline_record_flags(self):
+        org = organization_by_name("Comcast")
+        spec = ProbeSpec(probe_id=1, organization=org, online=False)
+        record = classification_to_record(spec, None)
+        assert not record.online
+        assert record.verdict == LocatorVerdict.NO_DATA.value
+        assert not record.is_intercepted
+
+    def test_nonresponding_provider_missing_from_record(self):
+        org = organization_by_name("Comcast")
+        spec = make_spec(org, probe_id=2)
+        spec = ProbeSpec(
+            probe_id=2,
+            organization=org,
+            responds_v4=(True, False, True, True),
+        )
+        record = classification_to_record(spec, measure_probe(spec))
+        assert record.responded(Provider.CLOUDFLARE, 4)
+        assert not record.responded(Provider.GOOGLE, 4)
+        assert not record.responded_all(4)
+
+    def test_deterministic_per_probe(self):
+        org = organization_by_name("Comcast")
+        spec = make_spec(org, probe_id=3, firmware=dnat_interceptor())
+        a = classification_to_record(spec, measure_probe(spec))
+        b = classification_to_record(spec, measure_probe(spec))
+        assert a == b
+
+
+class TestRecords:
+    def test_record_fields(self, small_study):
+        specs, study = small_study
+        record = study.records[0]
+        assert record.organization
+        assert record.country
+        assert record.asn > 0
+
+    def test_record_count_matches_fleet(self, small_study):
+        specs, study = small_study
+        assert len(study.records) == len(specs) == study.fleet_size
+
+    def test_ground_truth_carried(self, small_study):
+        specs, study = small_study
+        by_id = {s.probe_id: s for s in specs}
+        for record in study.records:
+            assert record.true_location == by_id[record.probe_id].true_location().value
+
+    def test_intercepted_records_subset(self, small_study):
+        _specs, study = small_study
+        intercepted = study.intercepted_records()
+        assert all(r.is_intercepted for r in intercepted)
+
+    def test_verdict_accuracy_on_small_fleet(self, small_study):
+        """Every CPE-truth probe must be classified CPE; ISP-truth probes
+        split between WITHIN_ISP and UNKNOWN (bogon-blind policies);
+        BEYOND-truth probes are always UNKNOWN."""
+        _specs, study = small_study
+        for record in study.records:
+            if not record.online:
+                continue
+            if record.true_location == "cpe":
+                assert record.verdict == LocatorVerdict.CPE.value
+            elif record.true_location == "beyond":
+                assert record.verdict == LocatorVerdict.UNKNOWN.value
+            elif record.true_location == "isp":
+                assert record.verdict in (
+                    LocatorVerdict.WITHIN_ISP.value,
+                    LocatorVerdict.UNKNOWN.value,
+                    LocatorVerdict.CPE.value,  # the open-forwarder FP
+                )
+            elif record.true_location == "none":
+                assert record.verdict in (
+                    LocatorVerdict.NOT_INTERCEPTED.value,
+                    LocatorVerdict.NO_DATA.value,
+                )
+
+    def test_progress_callback(self):
+        specs = generate_population(size=10, seed=12)
+        calls = []
+        run_pilot_study(specs, progress=lambda done, total: calls.append((done, total)))
+        assert calls[-1] == (10, 10)
+        assert len(calls) == 10
+
+    def test_example_probes_in_study(self):
+        specs = list(example_probe_specs().values())
+        study = run_pilot_study(specs)
+        verdicts = {r.probe_id: r.verdict for r in study.records}
+        assert verdicts[1053] == LocatorVerdict.NOT_INTERCEPTED.value
+        assert verdicts[11992] == LocatorVerdict.WITHIN_ISP.value
+        assert verdicts[21823] == LocatorVerdict.CPE.value

@@ -1,0 +1,131 @@
+"""The embedded forwarder engine: relay, spoofing, id remapping."""
+
+import pytest
+
+from repro.atlas.geo import organization_by_name
+from repro.atlas.measurement import MeasurementClient
+from repro.atlas.scenario import build_scenario
+from repro.cpe.firmware import dnat_interceptor, honest_forwarder
+from repro.cpe.forwarder import ForwarderEngine, UPSTREAM_PORT
+from repro.dnswire import QType, RCode, make_query
+from repro.dnswire.chaosnames import make_version_bind_query
+from repro.resolvers.software import dnsmasq, silent_forwarder
+
+from tests.conftest import make_spec
+
+
+@pytest.fixture
+def org():
+    return organization_by_name("Ziggo")
+
+
+def build(org, firmware, **kw):
+    sc = build_scenario(make_spec(org, probe_id=200, firmware=firmware, **kw))
+    return sc, MeasurementClient(sc.network, sc.host)
+
+
+class TestEngineState:
+    def test_upstream_selection(self):
+        engine = ForwarderEngine(dnsmasq(), upstream_v4="10.0.0.1", upstream_v6="fd::1")
+        assert str(engine.upstream_for_family(4)) == "10.0.0.1"
+        assert str(engine.upstream_for_family(6)) == "fd::1"
+        assert ForwarderEngine(dnsmasq()).upstream_for_family(4) is None
+
+    def test_counters_start_zero(self):
+        engine = ForwarderEngine(dnsmasq())
+        assert engine.client_queries == 0
+        assert engine.upstream_queries == 0
+        assert engine.pending_count == 0
+
+
+class TestRelay:
+    def test_id_remapping_is_invisible(self, org):
+        """The client's message id must be preserved end-to-end even
+        though the forwarder uses its own id upstream."""
+        sc, client = build(org, dnat_interceptor())
+        result = client.exchange(
+            "8.8.8.8", make_query("www.example.com.", QType.A, msg_id=0x1234)
+        )
+        assert result.response.msg_id == 0x1234
+
+    def test_pending_cleared_after_relay(self, org):
+        sc, client = build(org, dnat_interceptor())
+        client.exchange("8.8.8.8", make_query("www.example.com.", QType.A, msg_id=1))
+        assert sc.cpe.forwarder.pending_count == 0
+
+    def test_counters_increment(self, org):
+        sc, client = build(org, dnat_interceptor(software=dnsmasq()))
+        client.exchange("8.8.8.8", make_query("www.example.com.", QType.A, msg_id=1))
+        client.exchange("8.8.8.8", make_version_bind_query(msg_id=2))
+        engine = sc.cpe.forwarder
+        assert engine.client_queries == 2
+        assert engine.upstream_queries == 1  # version.bind answered locally
+
+    def test_chaos_answered_locally_never_forwarded(self, org):
+        sc, client = build(org, dnat_interceptor(software=dnsmasq("2.85")))
+        result = client.exchange("1.1.1.1", make_version_bind_query(msg_id=3))
+        assert result.response.txt_strings() == ["dnsmasq-2.85"]
+        assert sc.cpe.forwarder.upstream_queries == 0
+
+    def test_silent_forwarder_relays_version_bind(self, org):
+        """The §6 limitation: software without a version.bind answer
+        forwards it, exposing the *upstream's* string."""
+        sc, client = build(
+            org,
+            honest_forwarder(software=silent_forwarder(), wan_open=True),
+        )
+        result = client.exchange(sc.cpe_public_v4, make_version_bind_query(msg_id=4))
+        # Ziggo's resolver personality answers something upstream.
+        assert result.response is not None
+        assert sc.cpe.forwarder.upstream_queries == 1
+
+    def test_garbage_client_payload_dropped(self, org):
+        sc, client = build(org, dnat_interceptor())
+        sock = sc.host.open_socket()
+        sock.sendto(b"junk", "8.8.8.8", 53)
+        sc.network.run()
+        assert sc.cpe.forwarder.pending_count == 0
+
+    def test_unexpected_upstream_response_dropped(self, org):
+        sc, client = build(org, dnat_interceptor())
+        # Inject a stray "upstream response" at the CPE with an unknown id.
+        from repro.net import make_udp
+
+        stray = make_query("x.example.", QType.A, msg_id=999).reply()
+        pkt = make_udp(
+            str(sc.isp_resolver.egress_address(4)),
+            53,
+            str(sc.cpe.wan_v4),
+            UPSTREAM_PORT,
+            stray.encode(),
+        )
+        sc.network.inject("cpe", pkt)
+        sc.network.run()  # must not crash
+
+
+class TestSpoofing:
+    def test_hijacked_reply_claims_original_destination(self, org):
+        """Validated by the stub accepting it: dns_exchange rejects any
+        response whose source differs from the queried address."""
+        sc, client = build(org, dnat_interceptor())
+        for target in ("8.8.8.8", "1.1.1.1", "9.9.9.9", "208.67.222.222"):
+            result = client.exchange(
+                target, make_query("example.com.", QType.A, msg_id=7)
+            )
+            assert not result.timed_out, target
+
+    def test_direct_query_not_spoofed(self, org):
+        sc, client = build(org, dnat_interceptor())
+        result = client.exchange(sc.cpe_public_v4, make_version_bind_query(msg_id=8))
+        assert not result.timed_out
+
+    def test_trace_marks_spoofed_replies(self, org):
+        sc = build_scenario(
+            make_spec(org, probe_id=201, firmware=dnat_interceptor()), trace=True
+        )
+        client = MeasurementClient(sc.network, sc.host)
+        client.exchange("8.8.8.8", make_query("example.com.", QType.A, msg_id=9))
+        spoofed = [
+            e for e in sc.network.recorder.events if "spoofed source" in e.detail
+        ]
+        assert spoofed

@@ -1,0 +1,178 @@
+"""DNS message codec: headers, flags, sections, builders."""
+
+import pytest
+
+from repro.dnswire import (
+    Flags,
+    Message,
+    Opcode,
+    QClass,
+    QType,
+    Question,
+    RCode,
+    decode_or_none,
+    make_query,
+    txt_record,
+    a_record,
+)
+from repro.dnswire.wire import TruncatedMessageError
+
+
+class TestFlags:
+    def test_default_query_flags(self):
+        flags = Flags()
+        assert not flags.qr and flags.rd and not flags.aa
+
+    def test_encode_decode_roundtrip(self):
+        flags = Flags(qr=True, aa=True, tc=True, rd=False, ra=True, rcode=RCode.NXDOMAIN)
+        assert Flags.decode(flags.encode()) == flags
+
+    def test_known_word(self):
+        # QR + RD + RA + NOERROR = 0x8180 (standard response header).
+        assert Flags(qr=True, rd=True, ra=True).encode() == 0x8180
+
+    def test_opcode_bits(self):
+        flags = Flags(opcode=Opcode.STATUS)
+        assert Flags.decode(flags.encode()).opcode == Opcode.STATUS
+
+    def test_unknown_rcode_preserved(self):
+        decoded = Flags.decode(0x000B)
+        assert int(decoded.rcode) == 11
+
+
+class TestQuestion:
+    def test_to_text(self):
+        q = Question("id.server.", QType.TXT, QClass.CH)
+        assert q.to_text() == "id.server. CH TXT"
+
+    def test_string_coercion(self):
+        q = Question("www.example.com", QType.A)
+        assert q.qname == "www.example.com."
+
+
+class TestMessageRoundtrip:
+    def test_query_roundtrip(self):
+        q = make_query("www.example.com", QType.A, msg_id=77)
+        assert Message.decode(q.encode()) == q
+
+    def test_response_roundtrip(self):
+        q = make_query("www.example.com", QType.A, msg_id=78)
+        r = q.reply(answers=(a_record("www.example.com", "1.2.3.4"),))
+        back = Message.decode(r.encode())
+        assert back == r
+        assert back.a_addresses() == ["1.2.3.4"]
+
+    def test_all_sections_roundtrip(self):
+        msg = Message(
+            msg_id=5,
+            flags=Flags(qr=True, aa=True),
+            questions=(Question("example.com.", QType.ANY),),
+            answers=(a_record("example.com.", "1.1.1.1"),),
+            authorities=(a_record("ns.example.com.", "2.2.2.2"),),
+            additionals=(a_record("glue.example.com.", "3.3.3.3"),),
+        )
+        back = Message.decode(msg.encode())
+        assert len(back.answers) == 1
+        assert len(back.authorities) == 1
+        assert len(back.additionals) == 1
+
+    def test_compression_shrinks_message(self):
+        msg = Message(
+            msg_id=1,
+            questions=(Question("www.example.com.", QType.A),),
+            answers=(
+                a_record("www.example.com.", "1.1.1.1"),
+                a_record("www.example.com.", "1.1.1.2"),
+            ),
+        )
+        wire = msg.encode()
+        # The owner names in the answer section are 2-byte pointers.
+        assert wire.count(b"\x03www") == 1
+
+    def test_truncated_rejected(self):
+        q = make_query("www.example.com", QType.A, msg_id=9)
+        wire = q.encode()
+        with pytest.raises((TruncatedMessageError, Exception)):
+            Message.decode(wire[:-3])
+
+
+class TestAccessors:
+    def test_question_property(self):
+        q = make_query("a.example", QType.A, msg_id=1)
+        assert q.question is not None and q.question.qname == "a.example."
+        assert Message().question is None
+
+    def test_txt_strings(self):
+        q = make_query("id.server.", QType.TXT, QClass.CH, msg_id=2)
+        r = q.reply(
+            answers=(txt_record("id.server.", "IAD", rdclass=QClass.CH),)
+        )
+        assert r.txt_strings() == ["IAD"]
+
+    def test_txt_strings_skips_non_txt(self):
+        q = make_query("x.example.", QType.A, msg_id=3)
+        r = q.reply(answers=(a_record("x.example.", "1.2.3.4"),))
+        assert r.txt_strings() == []
+
+    def test_a_and_aaaa_addresses(self):
+        from repro.dnswire import aaaa_record
+
+        q = make_query("x.example.", QType.ANY, msg_id=4)
+        r = q.reply(
+            answers=(
+                a_record("x.example.", "1.2.3.4"),
+                aaaa_record("x.example.", "2001:db8::1"),
+            )
+        )
+        assert r.a_addresses() == ["1.2.3.4"]
+        assert r.aaaa_addresses() == ["2001:db8::1"]
+
+    def test_rcode_property(self):
+        q = make_query("x.example.", QType.A, msg_id=5)
+        assert q.reply(rcode=RCode.REFUSED).rcode == RCode.REFUSED
+
+
+class TestBuilders:
+    def test_reply_echoes_id_and_question(self):
+        q = make_query("x.example.", QType.A, msg_id=4242)
+        r = q.reply()
+        assert r.msg_id == 4242
+        assert r.questions == q.questions
+        assert r.flags.qr
+
+    def test_reply_preserves_rd(self):
+        q = make_query("x.example.", QType.A, msg_id=1, recursion_desired=False)
+        assert not q.reply().flags.rd
+
+    def test_with_id(self):
+        q = make_query("x.example.", QType.A, msg_id=1)
+        assert q.with_id(2).msg_id == 2
+        assert q.with_id(2).questions == q.questions
+
+    def test_make_query_random_id_uses_rng(self):
+        import random
+
+        a = make_query("x.example.", QType.A, rng=random.Random(1))
+        b = make_query("x.example.", QType.A, rng=random.Random(1))
+        assert a.msg_id == b.msg_id
+
+    def test_to_text_mentions_sections(self):
+        q = make_query("x.example.", QType.A, msg_id=1)
+        r = q.reply(answers=(a_record("x.example.", "1.2.3.4"),))
+        text = r.to_text()
+        assert "QUESTION" in text and "ANSWER" in text
+
+
+class TestDecodeOrNone:
+    def test_garbage_returns_none(self):
+        assert decode_or_none(b"not dns at all") is None
+
+    def test_empty_returns_none(self):
+        assert decode_or_none(b"") is None
+
+    def test_valid_returns_message(self):
+        q = make_query("x.example.", QType.A, msg_id=1)
+        assert decode_or_none(q.encode()) == q
+
+    def test_short_header_returns_none(self):
+        assert decode_or_none(b"\x00\x01\x00") is None

@@ -1,0 +1,178 @@
+"""Resource-record RDATA encode/decode."""
+
+import ipaddress
+
+import pytest
+
+from repro.dnswire.enums import QClass, QType
+from repro.dnswire.rr import (
+    AAAAData,
+    AData,
+    CnameData,
+    MxData,
+    NsData,
+    OpaqueData,
+    PtrData,
+    ResourceRecord,
+    SoaData,
+    TxtData,
+    a_record,
+    aaaa_record,
+    txt_record,
+)
+from repro.dnswire.wire import WireError, WireReader, WireWriter
+
+
+def roundtrip(record: ResourceRecord) -> ResourceRecord:
+    writer = WireWriter()
+    record.encode(writer)
+    return ResourceRecord.decode(WireReader(writer.getvalue()))
+
+
+class TestAddressRecords:
+    def test_a_roundtrip(self):
+        rr = a_record("host.example.com", "192.0.2.7", ttl=300)
+        back = roundtrip(rr)
+        assert back == rr
+        assert str(back.rdata.address) == "192.0.2.7"
+
+    def test_aaaa_roundtrip(self):
+        rr = aaaa_record("host.example.com", "2001:db8::1")
+        assert roundtrip(rr) == rr
+
+    def test_a_wrong_length_rejected(self):
+        with pytest.raises(WireError):
+            AData.decode(WireReader(b"\x01\x02\x03"), 3)
+
+    def test_aaaa_wrong_length_rejected(self):
+        with pytest.raises(WireError):
+            AAAAData.decode(WireReader(b"\x01" * 4), 4)
+
+    def test_a_accepts_string(self):
+        assert AData("1.2.3.4").address == ipaddress.IPv4Address("1.2.3.4")
+
+    def test_to_text(self):
+        assert AData("1.2.3.4").to_text() == "1.2.3.4"
+
+
+class TestTxt:
+    def test_roundtrip_single(self):
+        rr = txt_record("id.server", "IAD", rdclass=QClass.CH)
+        back = roundtrip(rr)
+        assert back.rdata.joined == "IAD"
+        assert back.rdclass == QClass.CH
+
+    def test_roundtrip_multiple_strings(self):
+        rr = txt_record("debug.opendns.com", "server m84.iad", "flags 20 0")
+        back = roundtrip(rr)
+        assert back.rdata.strings == (b"server m84.iad", b"flags 20 0")
+
+    def test_joined_concatenates(self):
+        data = TxtData((b"ab", b"cd"))
+        assert data.joined == "abcd"
+
+    def test_to_text_quotes(self):
+        assert TxtData.from_text("x y").to_text() == '"x y"'
+
+    def test_empty_strings_tuple(self):
+        rr = ResourceRecord("t.example.", QType.TXT, QClass.IN, 0, TxtData(()))
+        assert roundtrip(rr).rdata.strings == ()
+
+    def test_character_string_over_255_rejected(self):
+        writer = WireWriter()
+        with pytest.raises(WireError):
+            TxtData((b"x" * 256,)).encode(writer)
+
+    def test_255_byte_string_ok(self):
+        rr = ResourceRecord(
+            "t.example.", QType.TXT, QClass.IN, 0, TxtData((b"x" * 255,))
+        )
+        assert roundtrip(rr).rdata.strings[0] == b"x" * 255
+
+    def test_decode_overrun_rejected(self):
+        # length byte claims 5, rdlength says 3.
+        with pytest.raises((WireError, Exception)):
+            TxtData.decode(WireReader(b"\x05abc"), 3)
+
+
+class TestNameRecords:
+    def test_ns_roundtrip(self):
+        rr = ResourceRecord(
+            "example.com.", QType.NS, QClass.IN, 3600, NsData("ns1.example.com.")
+        )
+        assert roundtrip(rr).rdata.target == "ns1.example.com."
+
+    def test_cname_roundtrip(self):
+        rr = ResourceRecord(
+            "www.example.com.", QType.CNAME, QClass.IN, 60, CnameData("example.com.")
+        )
+        assert roundtrip(rr) == rr
+
+    def test_ptr_roundtrip(self):
+        rr = ResourceRecord(
+            "1.1.1.1.in-addr.arpa.", QType.PTR, QClass.IN, 60, PtrData("one.one.one.one.")
+        )
+        assert roundtrip(rr) == rr
+
+
+class TestSoaMx:
+    def test_soa_roundtrip(self):
+        rr = ResourceRecord(
+            "example.com.",
+            QType.SOA,
+            QClass.IN,
+            3600,
+            SoaData("ns1.example.com.", "admin.example.com.", serial=42),
+        )
+        back = roundtrip(rr)
+        assert back.rdata.serial == 42
+        assert back.rdata.mname == "ns1.example.com."
+
+    def test_mx_roundtrip(self):
+        rr = ResourceRecord(
+            "example.com.", QType.MX, QClass.IN, 60, MxData(10, "mail.example.com.")
+        )
+        back = roundtrip(rr)
+        assert back.rdata.preference == 10
+
+    def test_soa_to_text(self):
+        text = SoaData("m.", "r.", serial=1).to_text()
+        assert "m." in text and " 1 " in text
+
+
+class TestOpaque:
+    def test_unknown_type_roundtrips(self):
+        rr = ResourceRecord(
+            "x.example.", 999, QClass.IN, 0, OpaqueData(b"\x01\x02\x03", 999)
+        )
+        back = roundtrip(rr)
+        assert isinstance(back.rdata, OpaqueData)
+        assert back.rdata.raw == b"\x01\x02\x03"
+        assert back.rdtype == 999
+
+    def test_to_text_rfc3597(self):
+        assert OpaqueData(b"\xab", 999).to_text() == "\\# 1 ab"
+
+
+class TestResourceRecord:
+    def test_rdlength_mismatch_detected(self):
+        # Craft a record whose rdlength is larger than the A rdata.
+        writer = WireWriter()
+        from repro.dnswire.name import DnsName
+
+        DnsName.from_text("x.example.").encode(writer)
+        writer.write_u16(int(QType.A))
+        writer.write_u16(int(QClass.IN))
+        writer.write_u32(0)
+        writer.write_u16(5)  # wrong: A is 4 bytes
+        writer.write_bytes(b"\x01\x02\x03\x04\x05")
+        with pytest.raises(WireError):
+            ResourceRecord.decode(WireReader(writer.getvalue()))
+
+    def test_to_text_format(self):
+        rr = a_record("www.example.com.", "1.2.3.4", ttl=60)
+        assert rr.to_text() == "www.example.com. 60 IN A 1.2.3.4"
+
+    def test_chaos_txt_to_text(self):
+        rr = txt_record("version.bind.", "dnsmasq-2.85", rdclass=QClass.CH)
+        assert "CH TXT" in rr.to_text()

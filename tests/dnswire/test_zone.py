@@ -1,0 +1,156 @@
+"""Zone storage: lookup semantics, NXDOMAIN vs NODATA, wildcards, dynamics."""
+
+import pytest
+
+from repro.dnswire import QClass, QType, RCode, Zone, a_record, txt_record
+from repro.dnswire.rr import CnameData, ResourceRecord
+
+
+@pytest.fixture
+def zone():
+    z = Zone("example.com.")
+    z.add(a_record("example.com.", "1.0.0.1"))
+    z.add(a_record("www.example.com.", "1.0.0.2"))
+    z.add(txt_record("www.example.com.", "hello"))
+    return z
+
+
+class TestBasicLookup:
+    def test_exact_match(self, zone):
+        result = zone.lookup("www.example.com.", QType.A)
+        assert result.found
+        assert str(result.records[0].rdata.address) == "1.0.0.2"
+
+    def test_case_insensitive(self, zone):
+        assert zone.lookup("WWW.EXAMPLE.COM.", QType.A).found
+
+    def test_nxdomain_for_missing_name(self, zone):
+        assert zone.lookup("nope.example.com.", QType.A).rcode == RCode.NXDOMAIN
+
+    def test_nodata_for_missing_type(self, zone):
+        result = zone.lookup("www.example.com.", QType.AAAA)
+        assert result.rcode == RCode.NOERROR
+        assert result.records == []
+
+    def test_refused_outside_zone(self, zone):
+        assert zone.lookup("www.other.org.", QType.A).rcode == RCode.REFUSED
+
+    def test_covers(self, zone):
+        assert zone.covers("deep.sub.example.com.")
+        assert not zone.covers("example.org.")
+
+    def test_add_outside_zone_rejected(self, zone):
+        with pytest.raises(ValueError):
+            zone.add(a_record("other.org.", "9.9.9.9"))
+
+    def test_multiple_records_same_name(self):
+        z = Zone("example.com.")
+        z.add(a_record("multi.example.com.", "1.1.1.1"))
+        z.add(a_record("multi.example.com.", "2.2.2.2"))
+        assert len(z.lookup("multi.example.com.", QType.A).records) == 2
+
+    def test_empty_name_exists_makes_nodata_for_parent(self):
+        # "a.b.example.com" exists, so "b.example.com" is an empty
+        # non-terminal: NODATA, not NXDOMAIN.
+        z = Zone("example.com.")
+        z.add(a_record("a.b.example.com.", "1.1.1.1"))
+        result = z.lookup("b.example.com.", QType.A)
+        assert result.rcode == RCode.NOERROR and not result.records
+
+    def test_len_counts_records(self, zone):
+        assert len(zone) == 3
+
+
+class TestCname:
+    def test_cname_chase_in_zone(self):
+        z = Zone("example.com.")
+        z.add(
+            ResourceRecord(
+                "alias.example.com.", QType.CNAME, QClass.IN, 60,
+                CnameData("www.example.com."),
+            )
+        )
+        z.add(a_record("www.example.com.", "5.5.5.5"))
+        result = z.lookup("alias.example.com.", QType.A)
+        assert result.found
+        types = [rr.rdtype for rr in result.records]
+        assert QType.CNAME in types and QType.A in types
+
+    def test_cname_query_returns_cname_only(self):
+        z = Zone("example.com.")
+        z.add(
+            ResourceRecord(
+                "alias.example.com.", QType.CNAME, QClass.IN, 60,
+                CnameData("www.example.com."),
+            )
+        )
+        result = z.lookup("alias.example.com.", QType.CNAME)
+        assert len(result.records) == 1
+
+    def test_cname_to_external_target(self):
+        z = Zone("example.com.")
+        z.add(
+            ResourceRecord(
+                "alias.example.com.", QType.CNAME, QClass.IN, 60,
+                CnameData("www.other.org."),
+            )
+        )
+        result = z.lookup("alias.example.com.", QType.A)
+        # CNAME is returned; target resolution is the resolver's problem.
+        assert len(result.records) == 1
+
+
+class TestWildcard:
+    def test_wildcard_synthesis(self):
+        z = Zone("example.com.")
+        z.add(a_record("*.wild.example.com.", "7.7.7.7"))
+        result = z.lookup("anything.wild.example.com.", QType.A)
+        assert result.found
+        # Owner is rewritten to the query name.
+        assert result.records[0].name == "anything.wild.example.com."
+
+    def test_explicit_beats_wildcard(self):
+        z = Zone("example.com.")
+        z.add(a_record("*.wild.example.com.", "7.7.7.7"))
+        z.add(a_record("fixed.wild.example.com.", "8.8.8.8"))
+        result = z.lookup("fixed.wild.example.com.", QType.A)
+        assert str(result.records[0].rdata.address) == "8.8.8.8"
+
+    def test_wildcard_wrong_type_misses(self):
+        z = Zone("example.com.")
+        z.add(a_record("*.wild.example.com.", "7.7.7.7"))
+        result = z.lookup("x.wild.example.com.", QType.TXT)
+        assert not result.found
+
+
+class TestDynamic:
+    def test_dynamic_receives_source(self):
+        z = Zone("akamai.com.")
+        seen = []
+
+        def answer(qname, source):
+            seen.append(source)
+            return [a_record(qname, "9.9.9.9")]
+
+        z.add_dynamic("whoami.akamai.com.", QType.A, answer)
+        result = z.lookup("whoami.akamai.com.", QType.A, source="172.253.0.35")
+        assert result.found
+        assert seen == ["172.253.0.35"]
+
+    def test_dynamic_outside_zone_rejected(self):
+        z = Zone("akamai.com.")
+        with pytest.raises(ValueError):
+            z.add_dynamic("x.other.org.", QType.A, lambda q, s: [])
+
+    def test_dynamic_counts_as_existing_name(self):
+        z = Zone("akamai.com.")
+        z.add_dynamic("whoami.akamai.com.", QType.A, lambda q, s: [])
+        # Different type on the same name: NODATA, not NXDOMAIN.
+        result = z.lookup("whoami.akamai.com.", QType.TXT)
+        assert result.rcode == RCode.NOERROR
+
+    def test_dynamic_empty_answer_is_nodata_like(self):
+        z = Zone("akamai.com.")
+        z.add_dynamic("whoami.akamai.com.", QType.A, lambda q, s: [])
+        result = z.lookup("whoami.akamai.com.", QType.A)
+        assert result.rcode == RCode.NOERROR and not result.records

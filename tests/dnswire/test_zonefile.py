@@ -1,0 +1,140 @@
+"""The zone-file parser."""
+
+import pytest
+
+from repro.dnswire import QClass, QType, RCode
+from repro.dnswire.zonefile import ZoneFileError, parse_zone
+
+SAMPLE = """
+$ORIGIN example.com.
+$TTL 300
+@        IN SOA ns1 hostmaster 1 3600 600 86400 300
+@        IN NS  ns1
+ns1      IN A   192.0.2.1
+www      600 IN A 192.0.2.80
+         IN AAAA 2001:db8::80
+alias    IN CNAME www
+txt      IN TXT "hello world" "second string"
+mail     IN MX 10 mx1.example.com.
+"""
+
+
+@pytest.fixture
+def zone():
+    return parse_zone(SAMPLE)
+
+
+class TestParsing:
+    def test_origin(self, zone):
+        assert zone.origin == "example.com."
+
+    def test_a_record(self, zone):
+        result = zone.lookup("ns1.example.com.", QType.A)
+        assert str(result.records[0].rdata.address) == "192.0.2.1"
+
+    def test_ttl_override_and_default(self, zone):
+        www = zone.lookup("www.example.com.", QType.A).records[0]
+        assert www.ttl == 600
+        ns1 = zone.lookup("ns1.example.com.", QType.A).records[0]
+        assert ns1.ttl == 300
+
+    def test_owner_inheritance(self, zone):
+        result = zone.lookup("www.example.com.", QType.AAAA)
+        assert result.found  # the indented AAAA line inherited 'www'
+
+    def test_relative_names_made_absolute(self, zone):
+        result = zone.lookup("alias.example.com.", QType.CNAME)
+        assert result.records[0].rdata.target == "www.example.com."
+
+    def test_txt_quoted_strings(self, zone):
+        result = zone.lookup("txt.example.com.", QType.TXT)
+        assert result.records[0].rdata.strings == (
+            b"hello world",
+            b"second string",
+        )
+
+    def test_mx(self, zone):
+        record = zone.lookup("mail.example.com.", QType.MX).records[0]
+        assert record.rdata.preference == 10
+
+    def test_soa(self, zone):
+        record = zone.lookup("example.com.", QType.SOA).records[0]
+        assert record.rdata.serial == 1
+        assert record.rdata.mname == "ns1.example.com."
+
+    def test_at_is_origin(self, zone):
+        assert zone.lookup("example.com.", QType.NS).found
+
+    def test_comments_ignored(self):
+        zone = parse_zone("$ORIGIN t.\n; full comment line\na IN A 1.2.3.4 ; tail\n")
+        assert zone.lookup("a.t.", QType.A).found
+
+    def test_explicit_origin_argument(self):
+        zone = parse_zone("www IN A 192.0.2.9\n", origin="example.org.")
+        assert zone.lookup("www.example.org.", QType.A).found
+
+    def test_chaos_class(self):
+        zone = parse_zone('$ORIGIN bind.\nversion CH TXT "dnsmasq-2.80"\n')
+        result = zone.lookup("version.bind.", QType.TXT, QClass.CH)
+        assert result.found
+
+    def test_parsed_zone_serves_queries(self, zone):
+        """End-to-end: a parsed zone behind an authoritative server."""
+        from repro.dnswire import make_query
+        from repro.resolvers.authoritative import AuthoritativeServerNode
+        from tests.resolvers.harness import wire_up
+
+        server = AuthoritativeServerNode(
+            "auth", addresses=["198.51.100.53"], zones=[zone]
+        )
+        client = wire_up(server)
+        result = client.exchange(
+            "198.51.100.53", make_query("www.example.com.", QType.A, msg_id=1)
+        )
+        assert result.response.a_addresses() == ["192.0.2.80"]
+
+
+class TestErrors:
+    def test_relative_before_origin(self):
+        with pytest.raises(ZoneFileError, match="before \\$ORIGIN"):
+            parse_zone("www IN A 1.2.3.4\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(ZoneFileError, match="unknown directive"):
+            parse_zone("$BOGUS x\n")
+
+    def test_unsupported_type(self):
+        with pytest.raises(ZoneFileError, match="unsupported type"):
+            parse_zone("$ORIGIN t.\na IN NAPTR x\n")
+
+    def test_missing_type(self):
+        with pytest.raises(ZoneFileError, match="missing record type"):
+            parse_zone("$ORIGIN t.\na IN 300\n")
+
+    def test_bad_ttl_directive(self):
+        with pytest.raises(ZoneFileError, match="bad TTL"):
+            parse_zone("$TTL soon\n")
+
+    def test_bad_mx_preference(self):
+        with pytest.raises(ZoneFileError, match="MX preference"):
+            parse_zone("$ORIGIN t.\na IN MX ten mx1\n")
+
+    def test_inherited_owner_without_previous(self):
+        with pytest.raises(ZoneFileError, match="no previous owner"):
+            parse_zone("$ORIGIN t.\n  IN A 1.2.3.4\n")
+
+    def test_line_numbers_reported(self):
+        try:
+            parse_zone("$ORIGIN t.\n\na IN NAPTR x\n")
+        except ZoneFileError as exc:
+            assert exc.line_no == 3
+        else:  # pragma: no cover
+            pytest.fail("expected ZoneFileError")
+
+    def test_empty_input_without_origin(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("")
+
+    def test_empty_input_with_origin(self):
+        zone = parse_zone("", origin="example.com.")
+        assert zone.lookup("x.example.com.", QType.A).rcode == RCode.NXDOMAIN

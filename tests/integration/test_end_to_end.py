@@ -1,0 +1,136 @@
+"""End-to-end: full pipeline against every interceptor archetype."""
+
+import pytest
+
+from repro import diagnose_household
+from repro.atlas.geo import ORGANIZATIONS, organization_by_name
+from repro.core.classifier import LocatorVerdict
+from repro.core.transparency import ProbeTransparency
+from repro.cpe.firmware import dnat_interceptor, pihole_profile, xb6_profile
+from repro.dnswire import RCode
+from repro.interceptors.policy import (
+    InterceptMode,
+    allow_only,
+    intercept_all,
+    intercept_only,
+)
+from repro.resolvers.public import PROVIDER_SPECS, Provider
+
+from tests.conftest import make_spec
+
+
+@pytest.fixture
+def org():
+    return organization_by_name("Comcast")
+
+
+class TestArchetypes:
+    def test_xb6_household(self, org):
+        result = diagnose_household(
+            make_spec(org, probe_id=2000, firmware=xb6_profile())
+        )
+        assert result.verdict is LocatorVerdict.CPE
+        assert result.cpe_version_string.startswith("dnsmasq-")
+        assert result.transparency_class is ProbeTransparency.TRANSPARENT
+
+    def test_pihole_household(self, org):
+        result = diagnose_household(
+            make_spec(org, probe_id=2001, firmware=pihole_profile())
+        )
+        assert result.verdict is LocatorVerdict.CPE
+        assert "pi-hole" in result.cpe_version_string
+
+    def test_isp_redirect(self, org):
+        result = diagnose_household(
+            make_spec(org, probe_id=2002, middlebox_policies=[intercept_all()])
+        )
+        assert result.verdict is LocatorVerdict.WITHIN_ISP
+        assert result.transparency_class is ProbeTransparency.TRANSPARENT
+
+    def test_isp_block(self, org):
+        result = diagnose_household(
+            make_spec(
+                org,
+                probe_id=2003,
+                middlebox_policies=[
+                    intercept_all(mode=InterceptMode.BLOCK, block_rcode=RCode.REFUSED)
+                ],
+            )
+        )
+        assert result.verdict is LocatorVerdict.WITHIN_ISP
+        assert result.transparency_class is ProbeTransparency.STATUS_MODIFIED
+
+    def test_external_redirect(self, org):
+        result = diagnose_household(
+            make_spec(org, probe_id=2004, external_policies=[intercept_all()])
+        )
+        assert result.verdict is LocatorVerdict.UNKNOWN
+        assert result.transparency_class is ProbeTransparency.TRANSPARENT
+
+    def test_single_provider_interception(self, org):
+        google = PROVIDER_SPECS[Provider.GOOGLE].v4_addresses
+        result = diagnose_household(
+            make_spec(
+                org, probe_id=2005, middlebox_policies=[intercept_only(google)]
+            )
+        )
+        assert result.verdict is LocatorVerdict.WITHIN_ISP
+        assert result.detection.intercepted_providers(4) == [Provider.GOOGLE]
+
+    def test_allow_one_interception(self, org):
+        quad9 = PROVIDER_SPECS[Provider.QUAD9].v4_addresses
+        result = diagnose_household(
+            make_spec(org, probe_id=2006, middlebox_policies=[allow_only(quad9)])
+        )
+        intercepted = set(result.detection.intercepted_providers(4))
+        assert intercepted == {Provider.CLOUDFLARE, Provider.GOOGLE, Provider.OPENDNS}
+
+
+class TestEveryOrganization:
+    """The pipeline must work in every catalogued network."""
+
+    @pytest.mark.parametrize("org_name", [o.name for o in ORGANIZATIONS])
+    def test_clean_household_everywhere(self, org_name):
+        org = organization_by_name(org_name)
+        result = diagnose_household(make_spec(org, probe_id=2100))
+        assert result.verdict is LocatorVerdict.NOT_INTERCEPTED
+
+    @pytest.mark.parametrize(
+        "org_name", ["Comcast", "Shaw", "Vodafone DE", "Rostelecom", "Airtel"]
+    )
+    def test_cpe_interceptor_everywhere(self, org_name):
+        org = organization_by_name(org_name)
+        result = diagnose_household(
+            make_spec(org, probe_id=2101, firmware=dnat_interceptor())
+        )
+        assert result.verdict is LocatorVerdict.CPE
+
+
+class TestDualStack:
+    def test_v4_interception_v6_clean(self, org):
+        """The paper's Table 4 asymmetry at the probe level."""
+        result = diagnose_household(
+            make_spec(
+                org,
+                probe_id=2200,
+                firmware=xb6_profile(),
+                has_ipv6=True,
+            )
+        )
+        assert result.verdict is LocatorVerdict.CPE
+        assert result.detection.any_intercepted(4)
+        assert not result.detection.any_intercepted(6)
+
+    def test_v6_interception_detected(self, org):
+        google_v6 = list(PROVIDER_SPECS[Provider.GOOGLE].v6_addresses)
+        result = diagnose_household(
+            make_spec(
+                org,
+                probe_id=2201,
+                middlebox_policies=[intercept_only(google_v6, families={6})],
+                has_ipv6=True,
+            )
+        )
+        assert result.detection.any_intercepted(6)
+        assert not result.detection.any_intercepted(4)
+        assert result.verdict is LocatorVerdict.WITHIN_ISP

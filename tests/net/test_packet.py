@@ -1,0 +1,118 @@
+"""Packet construction and rewriting."""
+
+import pytest
+
+from repro.net.packet import (
+    DEFAULT_TTL,
+    IcmpType,
+    Packet,
+    Protocol,
+    UdpData,
+    make_icmp_port_unreachable,
+    make_icmp_time_exceeded,
+    make_reply,
+    make_udp,
+)
+
+
+@pytest.fixture
+def udp_packet():
+    return make_udp("192.168.1.100", 40000, "8.8.8.8", 53, b"payload")
+
+
+class TestConstruction:
+    def test_make_udp(self, udp_packet):
+        assert udp_packet.protocol is Protocol.UDP
+        assert udp_packet.ttl == DEFAULT_TTL
+        assert udp_packet.udp.sport == 40000
+        assert udp_packet.family == 4
+
+    def test_family_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            make_udp("192.168.1.1", 1, "2001:db8::1", 53, b"")
+
+    def test_udp_without_data_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(src="1.1.1.1", dst="2.2.2.2", protocol=Protocol.UDP)
+
+    def test_icmp_without_data_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(src="1.1.1.1", dst="2.2.2.2", protocol=Protocol.ICMP)
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(ValueError):
+            UdpData(sport=0, dport=53, payload=b"")
+        with pytest.raises(ValueError):
+            UdpData(sport=1, dport=70000, payload=b"")
+
+    def test_uids_unique(self):
+        a = make_udp("1.1.1.1", 1, "2.2.2.2", 2, b"")
+        b = make_udp("1.1.1.1", 1, "2.2.2.2", 2, b"")
+        assert a.uid != b.uid
+
+
+class TestRewriting:
+    def test_decrement_ttl(self, udp_packet):
+        child = udp_packet.decrement_ttl()
+        assert child.ttl == udp_packet.ttl - 1
+        assert udp_packet.ttl == DEFAULT_TTL  # original untouched
+
+    def test_lineage_tracks_ancestry(self, udp_packet):
+        child = udp_packet.decrement_ttl().with_dst("9.9.9.9")
+        assert udp_packet.uid in child.lineage
+
+    def test_with_dst_dnat(self, udp_packet):
+        rewritten = udp_packet.with_dst("10.0.0.1", dport=5353)
+        assert str(rewritten.dst) == "10.0.0.1"
+        assert rewritten.udp.dport == 5353
+        assert rewritten.udp.payload == udp_packet.udp.payload
+        # source untouched
+        assert rewritten.src == udp_packet.src
+
+    def test_with_src_snat(self, udp_packet):
+        rewritten = udp_packet.with_src("24.0.4.1", sport=50001)
+        assert str(rewritten.src) == "24.0.4.1"
+        assert rewritten.udp.sport == 50001
+        assert rewritten.dst == udp_packet.dst
+
+    def test_with_dst_keeps_port_when_not_given(self, udp_packet):
+        assert udp_packet.with_dst("10.0.0.1").udp.dport == 53
+
+
+class TestReplies:
+    def test_make_reply_swaps_tuple(self, udp_packet):
+        reply = make_reply(udp_packet, b"answer")
+        assert reply.src == udp_packet.dst
+        assert reply.dst == udp_packet.src
+        assert reply.udp.sport == udp_packet.udp.dport
+        assert reply.udp.dport == udp_packet.udp.sport
+        assert reply.udp.payload == b"answer"
+
+    def test_make_reply_spoofed_source(self, udp_packet):
+        """An interceptor must claim the original destination (§2)."""
+        reply = make_reply(udp_packet, b"spoofed", src="8.8.8.8")
+        assert str(reply.src) == "8.8.8.8"
+
+    def test_make_reply_explicit_other_source(self, udp_packet):
+        reply = make_reply(udp_packet, b"x", src="10.0.0.1")
+        assert str(reply.src) == "10.0.0.1"
+
+
+class TestIcmp:
+    def test_time_exceeded_quotes_offender(self, udp_packet):
+        icmp = make_icmp_time_exceeded(udp_packet, "24.0.0.2")
+        assert icmp.protocol is Protocol.ICMP
+        assert icmp.icmp.icmp_type is IcmpType.TIME_EXCEEDED
+        assert icmp.icmp.quoted is udp_packet
+        assert icmp.dst == udp_packet.src
+        assert str(icmp.src) == "24.0.0.2"
+
+    def test_port_unreachable(self, udp_packet):
+        icmp = make_icmp_port_unreachable(udp_packet, "8.8.8.8")
+        assert icmp.icmp.icmp_type is IcmpType.PORT_UNREACHABLE
+
+    def test_describe(self, udp_packet):
+        text = udp_packet.describe()
+        assert "UDP" in text and "8.8.8.8:53" in text
+        icmp = make_icmp_time_exceeded(udp_packet, "1.2.3.4")
+        assert "time-exceeded" in icmp.describe()

@@ -1,0 +1,133 @@
+"""Event loop, links and delivery order."""
+
+import pytest
+
+from repro.net import Host, Network, Node, SimulationError, make_udp
+from repro.net.sim import MAX_EVENTS_PER_RUN
+
+
+def two_hosts():
+    net = Network()
+    a = Host("a", addresses=["10.0.0.1"], gateway="b")
+    b = Host("b", addresses=["10.0.0.2"], gateway="a")
+    net.add_node(a)
+    net.add_node(b)
+    net.connect("a", "b", latency_ms=2.0)
+    return net, a, b
+
+
+class TestTopology:
+    def test_duplicate_node_rejected(self):
+        net = Network()
+        net.add_node(Node("x"))
+        with pytest.raises(SimulationError):
+            net.add_node(Node("x"))
+
+    def test_connect_unknown_rejected(self):
+        net = Network()
+        net.add_node(Node("x"))
+        with pytest.raises(SimulationError):
+            net.connect("x", "ghost")
+
+    def test_links_bidirectional(self):
+        net, a, b = two_hosts()
+        assert net.are_connected("a", "b") and net.are_connected("b", "a")
+        assert net.latency("a", "b") == 2.0
+
+    def test_neighbors(self):
+        net, *_ = two_hosts()
+        assert net.neighbors("a") == ["b"]
+
+    def test_missing_link_latency_raises(self):
+        net = Network()
+        net.add_node(Node("x"))
+        net.add_node(Node("y"))
+        with pytest.raises(SimulationError):
+            net.latency("x", "y")
+
+    def test_address_index(self):
+        net, a, b = two_hosts()
+        assert net.node_for_address("10.0.0.1") is a
+        assert net.node_for_address("10.0.0.99") is None
+
+    def test_reindex_after_address_add(self):
+        net, a, _b = two_hosts()
+        a.add_address("10.0.0.7")
+        assert net.node_for_address("10.0.0.7") is a
+
+
+class TestEventLoop:
+    def test_delivery_and_clock(self):
+        net, a, b = two_hosts()
+        sock = b.open_socket(5000)
+        pkt = make_udp("10.0.0.1", 40000, "10.0.0.2", 5000, b"hi")
+        net.transmit("a", "b", pkt)
+        net.run()
+        assert [d.payload for d in sock.drain()] == [b"hi"]
+        assert net.now == 2.0
+
+    def test_run_until_bound(self):
+        net, a, b = two_hosts()
+        sock = b.open_socket(5000)
+        net.transmit("a", "b", make_udp("10.0.0.1", 1025, "10.0.0.2", 5000, b"x"))
+        processed = net.run(until=1.0)  # link latency is 2.0
+        assert processed == 0
+        assert sock.inbox == []
+        net.run(until=3.0)
+        assert len(sock.inbox) == 1
+
+    def test_run_until_advances_clock_even_when_idle(self):
+        net, *_ = two_hosts()
+        net.run(until=50.0)
+        assert net.now == 50.0
+
+    def test_event_ordering_fifo_for_ties(self):
+        net = Network()
+        order = []
+        net.schedule(1.0, lambda: order.append("first"))
+        net.schedule(1.0, lambda: order.append("second"))
+        net.run()
+        assert order == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        net = Network()
+        with pytest.raises(SimulationError):
+            net.schedule(-1, lambda: None)
+
+    def test_runaway_guard(self):
+        net = Network()
+
+        def rearm():
+            net.schedule(0.0, rearm)
+
+        net.schedule(0.0, rearm)
+        with pytest.raises(SimulationError):
+            net.run()
+
+    def test_inject_delivers_directly(self):
+        net, _a, b = two_hosts()
+        sock = b.open_socket(5000)
+        net.inject("b", make_udp("10.0.0.1", 1025, "10.0.0.2", 5000, b"x"))
+        net.run()
+        assert len(sock.inbox) == 1
+
+    def test_pending_events_counter(self):
+        net, a, b = two_hosts()
+        net.transmit("a", "b", make_udp("10.0.0.1", 1025, "10.0.0.2", 5000, b"x"))
+        assert net.pending_events == 1
+        net.run()
+        assert net.pending_events == 0
+
+
+class TestNodeDefaults:
+    def test_unattached_send_raises(self):
+        node = Node("lonely")
+        with pytest.raises(SimulationError):
+            node.send("anyone", make_udp("1.1.1.1", 1, "2.2.2.2", 2, b""))
+
+    def test_default_node_drops_everything(self):
+        net = Network(trace=True)
+        node = Node("sink")
+        net.add_node(node)
+        node.receive(make_udp("1.1.1.1", 1, "2.2.2.2", 2, b""))
+        assert net.recorder.events[-1].action == "drop"

@@ -1,0 +1,17 @@
+"""Minimal client<->server harness for resolver tests."""
+
+from __future__ import annotations
+
+from repro.atlas.measurement import MeasurementClient
+from repro.net import Host, Network
+
+
+def wire_up(server, client_v4="198.51.100.10", client_v6="2001:db8:c::10"):
+    """Directly connect a host to ``server``; returns a MeasurementClient."""
+    net = Network()
+    host = Host("client", addresses=[client_v4, client_v6], gateway=server.name)
+    net.add_node(host)
+    net.add_node(server)
+    net.connect("client", server.name)
+    server.gateway = "client"
+    return MeasurementClient(net, host, timeout_ms=500.0)

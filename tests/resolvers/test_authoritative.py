@@ -1,0 +1,54 @@
+"""Authoritative-only server behaviour."""
+
+from repro.dnswire import QType, RCode, Zone, a_record, make_query
+from repro.resolvers.authoritative import AuthoritativeServerNode
+
+from .harness import wire_up
+
+
+def make_server():
+    zone = Zone("example.net.")
+    zone.add(a_record("www.example.net.", "203.0.113.80"))
+    zone2 = Zone("sub.example.net.")
+    zone2.add(a_record("deep.sub.example.net.", "203.0.113.81"))
+    return AuthoritativeServerNode(
+        "auth", addresses=["198.51.100.53"], zones=[zone, zone2]
+    )
+
+
+class TestAuthoritative:
+    def test_answers_with_aa(self):
+        client = wire_up(make_server())
+        result = client.exchange(
+            "198.51.100.53", make_query("www.example.net.", QType.A, msg_id=1)
+        )
+        assert result.response.flags.aa
+        assert result.response.a_addresses() == ["203.0.113.80"]
+
+    def test_most_specific_zone_wins(self):
+        client = wire_up(make_server())
+        result = client.exchange(
+            "198.51.100.53", make_query("deep.sub.example.net.", QType.A, msg_id=2)
+        )
+        assert result.response.a_addresses() == ["203.0.113.81"]
+
+    def test_refuses_off_zone(self):
+        client = wire_up(make_server())
+        result = client.exchange(
+            "198.51.100.53", make_query("www.google.com.", QType.A, msg_id=3)
+        )
+        assert result.response.rcode == RCode.REFUSED
+
+    def test_nxdomain_in_zone(self):
+        client = wire_up(make_server())
+        result = client.exchange(
+            "198.51.100.53", make_query("missing.example.net.", QType.A, msg_id=4)
+        )
+        assert result.response.rcode == RCode.NXDOMAIN
+
+    def test_default_software_is_bind(self):
+        from repro.dnswire.chaosnames import make_version_bind_query
+
+        client = wire_up(make_server())
+        result = client.exchange("198.51.100.53", make_version_bind_query(msg_id=5))
+        assert result.response.txt_strings()  # BIND answers its version

@@ -1,0 +1,113 @@
+"""The name directory and its dynamic oracle zones."""
+
+import pytest
+
+from repro.dnswire import QType, RCode
+from repro.resolvers.directory import (
+    AKAMAI_WHOAMI,
+    CONTROL_DOMAIN,
+    GOOGLE_MYADDR,
+    OPENDNS_DEBUG,
+    NameDirectory,
+    build_akamai_zone,
+    build_control_zone,
+    build_default_directory,
+    build_google_zone,
+    build_opendns_zone,
+)
+
+
+@pytest.fixture
+def directory():
+    return build_default_directory()
+
+
+class TestDispatch:
+    def test_zone_for_picks_most_specific(self):
+        directory = NameDirectory()
+        broad = build_google_zone()
+        directory.add_zone(broad)
+        assert directory.zone_for("o-o.myaddr.l.google.com.") is broad
+
+    def test_unknown_name_nxdomain(self, directory):
+        result = directory.resolve("nonexistent.example.org.", QType.A)
+        assert result.rcode == RCode.NXDOMAIN
+
+    def test_example_zone_resolves(self, directory):
+        result = directory.resolve("www.example.com.", QType.A)
+        assert result.found
+
+
+class TestGoogleMyaddr:
+    def test_echoes_resolver_egress(self, directory):
+        result = directory.resolve(
+            GOOGLE_MYADDR, QType.TXT, resolver_egress="172.253.0.35"
+        )
+        assert result.found
+        assert result.records[0].rdata.joined == "172.253.0.35"
+
+    def test_different_egress_different_answer(self, directory):
+        """The oracle property: an alternate resolver leaks itself."""
+        isp = directory.resolve(GOOGLE_MYADDR, QType.TXT, resolver_egress="24.0.0.53")
+        assert isp.records[0].rdata.joined == "24.0.0.53"
+
+
+class TestAkamaiWhoami:
+    def test_a_answer_echoes_source(self, directory):
+        result = directory.resolve(
+            AKAMAI_WHOAMI, QType.A, resolver_egress="146.112.0.35"
+        )
+        assert result.found
+        assert str(result.records[0].rdata.address) == "146.112.0.35"
+
+    def test_aaaa_answer_echoes_v6_source(self, directory):
+        result = directory.resolve(
+            AKAMAI_WHOAMI, QType.AAAA, resolver_egress="2607:f8b0::35"
+        )
+        assert result.found
+
+    def test_family_mismatch_gives_empty(self, directory):
+        # An A query resolved by a v6-egress resolver yields no records.
+        result = directory.resolve(AKAMAI_WHOAMI, QType.A, resolver_egress="2607:f8b0::35")
+        assert result.rcode == RCode.NOERROR and not result.records
+
+    def test_garbage_source_gives_empty(self, directory):
+        result = directory.resolve(AKAMAI_WHOAMI, QType.A, resolver_egress="")
+        assert not result.records
+
+
+class TestOpendnsDebug:
+    def test_nodata_from_other_resolvers(self, directory):
+        """debug.opendns.com only yields TXT via OpenDNS itself; through
+        anyone else it's NODATA — never a counterfeit location string."""
+        result = directory.resolve(OPENDNS_DEBUG, QType.TXT, resolver_egress="24.0.0.53")
+        assert result.rcode == RCode.NOERROR
+        assert result.records == []
+
+    def test_name_exists_with_a(self, directory):
+        assert directory.resolve(OPENDNS_DEBUG, QType.A).found
+
+
+class TestControlZone:
+    def test_control_domain_resolvable(self, directory):
+        result = directory.resolve(CONTROL_DOMAIN, QType.A)
+        assert result.found
+
+    def test_control_domain_v6(self, directory):
+        assert directory.resolve(CONTROL_DOMAIN, QType.AAAA).found
+
+
+class TestBuilders:
+    def test_all_builders_produce_zones(self):
+        for builder in (
+            build_google_zone,
+            build_akamai_zone,
+            build_opendns_zone,
+            build_control_zone,
+        ):
+            zone = builder()
+            assert len(zone) > 0
+
+    def test_default_directory_has_all_oracles(self, directory):
+        for name in (GOOGLE_MYADDR, AKAMAI_WHOAMI, OPENDNS_DEBUG, CONTROL_DOMAIN):
+            assert directory.zone_for(name) is not None

@@ -1,0 +1,106 @@
+"""ISP recursive resolvers: resolution, egress identity, filtering."""
+
+import pytest
+
+from repro.dnswire import QType, RCode, make_query
+from repro.dnswire.chaosnames import make_version_bind_query
+from repro.resolvers.directory import AKAMAI_WHOAMI, build_default_directory
+from repro.resolvers.recursive import RecursiveResolverNode
+from repro.resolvers.software import powerdns, unbound
+
+from .harness import wire_up
+
+
+def make_resolver(**kwargs):
+    defaults = dict(
+        name="isp-resolver",
+        addresses=["24.0.0.53", "2601::53"],
+        directory=build_default_directory(),
+        software=unbound("1.9.0"),
+    )
+    defaults.update(kwargs)
+    return RecursiveResolverNode(**defaults)
+
+
+class TestResolution:
+    def test_resolves_example(self):
+        client = wire_up(make_resolver())
+        result = client.exchange(
+            "24.0.0.53", make_query("www.example.com.", QType.A, msg_id=1)
+        )
+        assert result.response.a_addresses() == ["93.184.216.34"]
+
+    def test_whoami_reveals_own_egress(self):
+        """The transparency oracle: this resolver's answer to whoami is
+        its own egress — NOT a Google address."""
+        client = wire_up(make_resolver())
+        result = client.exchange(
+            "24.0.0.53", make_query(AKAMAI_WHOAMI, QType.A, msg_id=2)
+        )
+        assert result.response.a_addresses() == ["24.0.0.53"]
+
+    def test_explicit_egress_override(self):
+        resolver = make_resolver(egress="24.0.0.99")
+        client = wire_up(resolver)
+        result = client.exchange(
+            "24.0.0.53", make_query(AKAMAI_WHOAMI, QType.A, msg_id=3)
+        )
+        assert result.response.a_addresses() == ["24.0.0.99"]
+
+    def test_version_bind_identity(self):
+        client = wire_up(make_resolver(software=powerdns()))
+        result = client.exchange("24.0.0.53", make_version_bind_query(msg_id=4))
+        assert result.response.txt_strings()[0].startswith("PowerDNS")
+
+    def test_nxdomain(self):
+        client = wire_up(make_resolver())
+        result = client.exchange(
+            "24.0.0.53", make_query("missing.invalid.", QType.A, msg_id=5)
+        )
+        assert result.response.rcode == RCode.NXDOMAIN
+
+    def test_egress_address_fallback(self):
+        resolver = make_resolver()
+        assert str(resolver.egress_address(4)) == "24.0.0.53"
+        assert str(resolver.egress_address(6)) == "2601::53"
+
+    def test_egress_missing_family_raises(self):
+        resolver = make_resolver(addresses=["24.0.0.53"])
+        with pytest.raises(RuntimeError):
+            resolver.egress_address(6)
+
+
+class TestFiltering:
+    def test_blocked_name_refused(self):
+        resolver = make_resolver(blocked_names={"bad.example.com"})
+        client = wire_up(resolver)
+        result = client.exchange(
+            "24.0.0.53", make_query("bad.example.com.", QType.A, msg_id=6)
+        )
+        assert result.response.rcode == RCode.REFUSED
+
+    def test_blocked_name_custom_rcode(self):
+        resolver = make_resolver(
+            blocked_names={"bad.example.com"}, block_rcode=RCode.NXDOMAIN
+        )
+        client = wire_up(resolver)
+        result = client.exchange(
+            "24.0.0.53", make_query("bad.example.com.", QType.A, msg_id=7)
+        )
+        assert result.response.rcode == RCode.NXDOMAIN
+
+    def test_unblocked_names_unaffected(self):
+        resolver = make_resolver(blocked_names={"bad.example.com"})
+        client = wire_up(resolver)
+        result = client.exchange(
+            "24.0.0.53", make_query("www.example.com.", QType.A, msg_id=8)
+        )
+        assert result.response.rcode == RCode.NOERROR
+
+    def test_blocked_name_normalization(self):
+        resolver = make_resolver(blocked_names={"BAD.Example.Com."})
+        client = wire_up(resolver)
+        result = client.exchange(
+            "24.0.0.53", make_query("bad.example.com.", QType.A, msg_id=9)
+        )
+        assert result.response.rcode == RCode.REFUSED

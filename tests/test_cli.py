@@ -1,0 +1,103 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_diagnose_defaults(self):
+        args = build_parser().parse_args(["diagnose"])
+        assert args.org == "Comcast"
+        assert args.firmware == "honest"
+        assert args.isp == "none"
+
+    def test_bad_org_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["diagnose", "--org", "NotAnIsp"])
+
+
+class TestCommands:
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "id.server" in out and "debug.opendns.com" in out
+
+    def test_diagnose_clean(self, capsys):
+        assert main(["diagnose"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict      : not-intercepted" in out
+
+    def test_diagnose_xb6(self, capsys):
+        assert main(["diagnose", "--firmware", "xb6"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict      : cpe" in out
+        assert "dnsmasq-" in out
+
+    def test_diagnose_isp_block(self, capsys):
+        assert main(["diagnose", "--isp", "block"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict      : within-isp" in out
+        assert "Status Modified" in out
+
+    def test_diagnose_external(self, capsys):
+        assert main(["diagnose", "--external"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict      : unknown" in out
+
+    def test_example(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "Table 3" in out
+        assert "unbound 1.9.0" in out
+
+    def test_study_small(self, capsys):
+        assert main(["study", "--size", "60", "--seed", "5", "--accuracy"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out and "Table 5" in out
+        assert "Figure 3" in out and "Figure 4a" in out
+        assert "confusion" in out.lower()
+
+    def test_case_study(self, capsys):
+        assert main(["case-study"]) == 0
+        out = capsys.readouterr().out
+        assert "XB6" in out and "DNAT" in out
+        assert "spoofed source" in out
+
+    def test_ttl(self, capsys):
+        assert main(["ttl", "--firmware", "dnat"]) == 0
+        out = capsys.readouterr().out
+        assert "(CPE)" in out
+
+    def test_dot(self, capsys):
+        assert main(["dot", "--isp", "redirect", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert "hijack-defeated" in out
+
+
+class TestStudyPersistence:
+    def test_save_and_load(self, tmp_path, capsys):
+        path = str(tmp_path / "records.json")
+        assert main(["study", "--size", "40", "--seed", "9", "--save", path]) == 0
+        saved_out = capsys.readouterr().out
+        assert main(["study", "--load", path]) == 0
+        loaded_out = capsys.readouterr().out
+        # The rendered artifacts must be identical after a round trip.
+        assert saved_out == loaded_out
+
+
+class TestTtlFullSweep:
+    def test_full_sweep_flag(self, capsys):
+        assert main(["ttl", "--full-sweep"]) == 0
+        out = capsys.readouterr().out
+        # A clean full sweep shows the traceroute and a standard answer.
+        assert "ICMP time-exceeded" in out
+        assert "standard" in out
