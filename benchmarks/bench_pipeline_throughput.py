@@ -2,13 +2,25 @@
 
 Not a paper artifact — engineering numbers for the harness itself:
 per-probe classification cost (scenario build + ~20 DNS exchanges over
-the simulated network) and raw DNS message codec throughput. These make
-regressions in the simulator's hot paths visible.
+the simulated network), raw DNS message codec throughput, and
+serial-vs-parallel fleet throughput. These make regressions in the
+simulator's hot paths visible.
+
+Run the fleet comparison directly for a report::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline_throughput.py \
+        --fleet 200 --workers 4
 """
 
+import argparse
+import os
+import sys
+import time
+
 from repro.atlas.geo import organization_by_name
+from repro.atlas.population import generate_population
 from repro.atlas.probe import ProbeSpec
-from repro.core.study import measure_probe
+from repro.core.study import measure_probe, run_pilot_study
 from repro.cpe.firmware import xb6_profile
 from repro.dnswire import Message, QType, make_query, txt_record
 
@@ -42,3 +54,89 @@ def test_message_codec_throughput(benchmark):
         return Message.decode(wire).encode()
 
     assert benchmark(roundtrip) == wire
+
+
+def compare_fleet_throughput(fleet: int, seed: int, workers: int) -> dict:
+    """Measure the same fleet serially and in parallel; return stats.
+
+    Also verifies the two runs produce identical records — the
+    executor's determinism guarantee, checked on every benchmark run.
+    """
+    specs = generate_population(size=fleet, seed=seed)
+
+    started = time.perf_counter()
+    serial = run_pilot_study(specs, workers=1, seed=seed)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_pilot_study(specs, workers=workers, seed=seed)
+    parallel_s = time.perf_counter() - started
+
+    if parallel.records != serial.records:
+        raise AssertionError(
+            "parallel records differ from serial — determinism broken"
+        )
+    return {
+        "fleet": fleet,
+        "workers": workers,
+        "cores": os.cpu_count() or 1,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "serial_probes_per_s": fleet / serial_s,
+        "parallel_probes_per_s": fleet / parallel_s,
+        "speedup": serial_s / parallel_s,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serial-vs-parallel fleet throughput"
+    )
+    parser.add_argument("--fleet", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--expect-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit nonzero unless parallel is at least X times faster",
+    )
+    args = parser.parse_args(argv)
+
+    stats = compare_fleet_throughput(args.fleet, args.seed, args.workers)
+    print(
+        f"fleet={stats['fleet']} probes  workers={stats['workers']}  "
+        f"(machine has {stats['cores']} cores)"
+    )
+    print(
+        f"serial   : {stats['serial_s']:7.2f}s  "
+        f"{stats['serial_probes_per_s']:8.1f} probes/s"
+    )
+    print(
+        f"parallel : {stats['parallel_s']:7.2f}s  "
+        f"{stats['parallel_probes_per_s']:8.1f} probes/s"
+    )
+    print(f"speedup  : {stats['speedup']:.2f}x  (records verified identical)")
+    if stats["cores"] < args.workers:
+        print(
+            f"note: only {stats['cores']} cores available for "
+            f"{args.workers} workers; speedup is bounded by cores"
+        )
+    if args.expect_speedup is not None and stats["speedup"] < args.expect_speedup:
+        print(
+            f"FAIL: speedup {stats['speedup']:.2f}x below required "
+            f"{args.expect_speedup:.2f}x"
+        )
+        return 1
+    return 0
+
+
+def test_parallel_fleet_matches_serial():
+    """Pool-backed execution must reproduce the serial records exactly."""
+    stats = compare_fleet_throughput(fleet=24, seed=2021, workers=4)
+    assert stats["speedup"] > 0  # timing sanity; equality checked inside
+
+
+if __name__ == "__main__":
+    sys.exit(main())

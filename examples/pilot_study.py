@@ -5,13 +5,16 @@ Generates the calibrated synthetic fleet, runs the three-step pipeline
 plus the transparency check on every probe, and prints the paper's
 evaluation artifacts: Table 4, Table 5, Figure 3 and Figure 4.
 
-Run:  python examples/pilot_study.py [fleet_size] [seed]
+Run:  python examples/pilot_study.py [fleet_size] [seed] [--workers N]
 
 The default fleet size of 2000 finishes in a few seconds; pass 9800 to
-reproduce the full-scale numbers reported in EXPERIMENTS.md.
+reproduce the full-scale numbers reported in EXPERIMENTS.md. Every
+probe's scenario is an independent simulation, so ``--workers N``
+shards the fleet across N processes (``--workers 0`` = one per core)
+— the records are byte-identical for any worker count.
 """
 
-import sys
+import argparse
 import time
 
 from repro.analysis import (
@@ -26,12 +29,31 @@ from repro.atlas.population import generate_population
 from repro.core.study import run_pilot_study
 
 
-def main() -> None:
-    size = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
-    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 2021
+def _workers_arg(value: str) -> int:
+    count = int(value)
+    if count < 0:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 0 (0 = one per core), got {count}"
+        )
+    return count
 
-    print(f"Generating fleet: {size} probes (seed {seed}) ...")
-    specs = generate_population(size=size, seed=seed)
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("size", type=int, nargs="?", default=2000)
+    parser.add_argument("seed", type=int, nargs="?", default=2021)
+    parser.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=1,
+        metavar="N",
+        help="worker processes for the fleet (0 = one per core)",
+    )
+    args = parser.parse_args()
+    workers = args.workers if args.workers != 0 else None
+
+    print(f"Generating fleet: {args.size} probes (seed {args.seed}) ...")
+    specs = generate_population(size=args.size, seed=args.seed)
 
     started = time.time()
     last_shown = [0.0]
@@ -42,7 +64,7 @@ def main() -> None:
             last_shown[0] = now
             print(f"  measured {done}/{total} probes ({now - started:.0f}s)")
 
-    study = run_pilot_study(specs, progress=progress)
+    study = run_pilot_study(specs, progress=progress, workers=workers, seed=args.seed)
     print(f"Study complete in {time.time() - started:.1f}s\n")
 
     print(build_table4(study).render())

@@ -83,24 +83,11 @@ def dns_exchange(
     result = ExchangeResult(query=query, destination=destination)
     sock = host.open_socket()
     icmp_mark = len(host.icmp_inbox)
-    try:
-        sent_at = network.now
-        sock.sendto(query.encode(), destination, DNS_PORT, ttl=ttl)
-        deadline = sent_at + timeout_ms
-        attempts_left = retries
-        next_retry = sent_at + retry_interval_ms
-        while True:
-            horizon = min(deadline, next_retry) if attempts_left else deadline
-            network.run(until=horizon)
-            if sock.inbox:
-                # Something arrived; stop retrying and evaluate below.
-                break
-            if network.now >= deadline or not attempts_left:
-                break
-            sock.sendto(query.encode(), destination, DNS_PORT, ttl=ttl)
-            attempts_left -= 1
-            next_retry = network.now + retry_interval_ms
-        for datagram in sock.drain():
+
+    send_times: list[float] = []
+
+    def classify(datagrams: "list[ReceivedDatagram]") -> None:
+        for datagram in datagrams:
             message = decode_or_none(datagram.payload)
             if (
                 message is None
@@ -114,8 +101,37 @@ def dns_exchange(
             result.accepted.append(message)
             if result.response is None:
                 result.response = message
+                # RTT against the transmission this answer responds to:
+                # the most recent send at or before its arrival, not the
+                # first one — an answer to the Nth retransmission must
+                # not be inflated by N retry intervals.
+                earlier = [t for t in send_times if t <= datagram.time]
+                sent_at = earlier[-1] if earlier else send_times[0]
                 result.rtt_ms = datagram.time - sent_at
                 result.timed_out = False
+
+    try:
+        send_times.append(network.now)
+        sock.sendto(query.encode(), destination, DNS_PORT, ttl=ttl)
+        deadline = send_times[0] + timeout_ms
+        attempts_left = retries
+        next_retry = send_times[0] + retry_interval_ms
+        while True:
+            horizon = min(deadline, next_retry) if attempts_left else deadline
+            network.run(until=horizon)
+            # Validate what arrived *before* deciding whether to keep
+            # retrying: a rejected datagram (wrong source/port/id — the
+            # off-path junk validation exists to discard) must not
+            # cancel the remaining retransmissions.
+            classify(sock.drain())
+            if result.accepted:
+                break
+            if network.now >= deadline or not attempts_left:
+                break
+            send_times.append(network.now)
+            sock.sendto(query.encode(), destination, DNS_PORT, ttl=ttl)
+            attempts_left -= 1
+            next_retry = network.now + retry_interval_ms
         result.icmp = [
             icmp
             for icmp in host.icmp_inbox[icmp_mark:]

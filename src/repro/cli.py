@@ -185,9 +185,13 @@ def cmd_study(args: argparse.Namespace) -> int:
         print(f"loaded {len(study.records)} records from {args.load}", file=sys.stderr)
     else:
         specs = generate_population(size=args.size, seed=args.seed)
-        print(f"measuring {len(specs)} probes (seed {args.seed}) ...", file=sys.stderr)
-        study = run_pilot_study(specs)
-        study.seed = args.seed
+        workers = args.workers if args.workers != 0 else None
+        suffix = "" if workers == 1 else f" across {workers or 'auto'} workers"
+        print(
+            f"measuring {len(specs)} probes (seed {args.seed}){suffix} ...",
+            file=sys.stderr,
+        )
+        study = run_pilot_study(specs, workers=workers, seed=args.seed)
     if args.save:
         from repro.analysis.export import save_study
 
@@ -273,6 +277,15 @@ def cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workers_arg(value: str) -> int:
+    count = int(value)
+    if count < 0:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 0 (0 = one per core), got {count}"
+        )
+    return count
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -298,6 +311,14 @@ def build_parser() -> argparse.ArgumentParser:
     study = subparsers.add_parser("study", help="the §4 pilot study")
     study.add_argument("--size", type=int, default=2000)
     study.add_argument("--seed", type=int, default=2021)
+    study.add_argument(
+        "--workers",
+        type=_workers_arg,
+        default=1,
+        metavar="N",
+        help="measure the fleet across N worker processes "
+        "(0 = one per core; records are identical for any N)",
+    )
     study.add_argument(
         "--accuracy", action="store_true", help="score verdicts vs ground truth"
     )

@@ -1,0 +1,206 @@
+"""Sharded, multi-process fleet execution for the pilot study.
+
+Every probe's scenario is an independent simulation — its own network,
+its own clock, its own per-probe RNG seeded from ``probe_id`` — which is
+exactly the per-vantage-point parallelism real measurement platforms
+exploit (the paper's RIPE Atlas pilot ran ~10k probes concurrently).
+This module chunks a fleet of :class:`~repro.atlas.probe.ProbeSpec`\\ s
+into :class:`FleetShard`\\ s, measures each shard in a pool of worker
+processes, and merges the resulting
+:class:`~repro.core.study.ProbeRecord`\\ s back in the original fleet
+order.
+
+Determinism guarantee: because each worker builds the same read-only
+:class:`~repro.resolvers.directory.NameDirectory`, and every probe is
+measured by a pure function of its spec, the merged record list is
+byte-identical to a serial run regardless of worker count, shard count,
+or shard completion order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from repro.atlas.probe import ProbeSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (study imports us)
+    from repro.core.study import ProbeRecord
+
+#: Shards handed out per worker; >1 smooths load imbalance (an offline
+#: probe is ~free, an intercepted dual-stack probe is ~20 exchanges) and
+#: gives the progress callback finer granularity.
+DEFAULT_SHARDS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class FleetShard:
+    """A contiguous slice of the fleet plus its original positions."""
+
+    shard_id: int
+    indices: tuple[int, ...]
+    specs: tuple[ProbeSpec, ...]
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+def default_worker_count() -> int:
+    """Worker count used for ``workers=None``: one per available core."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def shard_fleet(specs: Sequence[ProbeSpec], shards: int) -> list[FleetShard]:
+    """Split ``specs`` into at most ``shards`` contiguous, near-equal slices.
+
+    Order is preserved: concatenating the shards' specs reproduces the
+    input, and each shard remembers the original index of every spec so
+    :func:`merge_shard_records` can restore fleet order exactly.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    count = min(shards, len(specs))
+    out: list[FleetShard] = []
+    base, extra = divmod(len(specs), count) if count else (0, 0)
+    start = 0
+    for shard_id in range(count):
+        size = base + (1 if shard_id < extra else 0)
+        stop = start + size
+        out.append(
+            FleetShard(
+                shard_id=shard_id,
+                indices=tuple(range(start, stop)),
+                specs=tuple(specs[start:stop]),
+            )
+        )
+        start = stop
+    return out
+
+
+# -- worker side -----------------------------------------------------------
+
+#: Per-process state: the shared read-only NameDirectory is built once
+#: per worker (not once per probe — zone construction dominates small
+#: probes) and the transparency flag rides along from the initializer.
+_worker_state: dict = {}
+
+
+def _init_worker(run_transparency: bool) -> None:
+    from repro.resolvers.directory import build_default_directory
+
+    _worker_state["directory"] = build_default_directory()
+    _worker_state["run_transparency"] = run_transparency
+
+
+def measure_shard(
+    shard: FleetShard,
+    run_transparency: Optional[bool] = None,
+    directory=None,
+) -> list[tuple[int, "ProbeRecord"]]:
+    """Measure one shard; returns ``(original_index, record)`` pairs.
+
+    Runs in a worker process (reading state planted by ``_init_worker``)
+    but is also callable in-process — tests and the ``workers=1`` path
+    use it directly by passing ``run_transparency``/``directory``.
+    """
+    from repro.core.study import classification_to_record, measure_probe
+
+    if directory is None:
+        directory = _worker_state.get("directory")
+    if directory is None:  # in-process call without explicit directory
+        from repro.resolvers.directory import build_default_directory
+
+        directory = build_default_directory()
+    if run_transparency is None:
+        run_transparency = _worker_state.get("run_transparency", True)
+    pairs = []
+    for index, spec in zip(shard.indices, shard.specs):
+        classification = measure_probe(
+            spec, run_transparency=run_transparency, directory=directory
+        )
+        pairs.append((index, classification_to_record(spec, classification)))
+    return pairs
+
+
+# -- driver side ------------------------------------------------------------
+
+
+def merge_shard_records(
+    shard_results: Sequence[Sequence[tuple[int, "ProbeRecord"]]],
+) -> list["ProbeRecord"]:
+    """Flatten shard outputs back into original fleet order.
+
+    Shards complete in whatever order the pool finishes them; sorting on
+    the original index restores exactly the record order a serial run
+    produces (for generated fleets this is also ascending ``probe_id``).
+    """
+    flat = [pair for result in shard_results for pair in result]
+    flat.sort(key=lambda pair: pair[0])
+    return [record for _index, record in flat]
+
+
+def run_fleet(
+    specs: Sequence[ProbeSpec],
+    workers: Optional[int] = None,
+    run_transparency: bool = True,
+    progress: Optional[Callable[[int, int], None]] = None,
+    shards_per_worker: int = DEFAULT_SHARDS_PER_WORKER,
+    mp_context=None,
+) -> list["ProbeRecord"]:
+    """Measure the whole fleet across ``workers`` processes.
+
+    ``workers=None`` uses one worker per available core; ``workers=1``
+    measures in-process (no pool, no pickling). Progress callbacks are
+    aggregated across workers: ``progress(done, total)`` fires in the
+    driver process each time a shard completes, with ``done`` counting
+    probes (not shards) measured so far.
+    """
+    specs = list(specs)
+    total = len(specs)
+    if workers is None:
+        workers = default_worker_count()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    workers = min(workers, max(1, total))
+
+    if workers == 1 or total == 0:
+        from repro.resolvers.directory import build_default_directory
+
+        directory = build_default_directory()
+        records: list["ProbeRecord"] = []
+        for index, spec in enumerate(specs):
+            shard = FleetShard(0, (index,), (spec,))
+            records.extend(
+                record
+                for _i, record in measure_shard(
+                    shard, run_transparency=run_transparency, directory=directory
+                )
+            )
+            if progress is not None:
+                progress(index + 1, total)
+        return records
+
+    shards = shard_fleet(specs, workers * max(1, shards_per_worker))
+    shard_results: list[Sequence[tuple[int, "ProbeRecord"]]] = []
+    done = 0
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=mp_context,
+        initializer=_init_worker,
+        initargs=(run_transparency,),
+    ) as pool:
+        pending = {pool.submit(measure_shard, shard): shard for shard in shards}
+        while pending:
+            completed, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in completed:
+                shard = pending.pop(future)
+                shard_results.append(future.result())
+                done += len(shard)
+                if progress is not None:
+                    progress(done, total)
+    return merge_shard_records(shard_results)

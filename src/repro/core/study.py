@@ -165,18 +165,29 @@ def run_pilot_study(
     specs: Iterable[ProbeSpec],
     run_transparency: bool = True,
     progress: Optional[Callable[[int, int], None]] = None,
+    workers: Optional[int] = 1,
+    seed: int = 0,
 ) -> StudyResult:
-    """Measure every probe; return the full record set."""
-    from repro.resolvers.directory import build_default_directory
+    """Measure every probe; return the full record set.
+
+    ``workers`` shards the fleet across that many worker processes via
+    :mod:`repro.core.parallel` (``None`` = one per core); ``workers=1``
+    keeps the classic in-process path. Either way the records come back
+    in fleet order and are byte-identical across worker counts — each
+    probe is a pure function of its spec.
+
+    ``seed`` is bookkeeping only (the fleet is already generated): it is
+    recorded on the :class:`StudyResult` so exported artifacts report
+    which fleet seed produced them.
+    """
+    from repro.core.parallel import run_fleet
 
     specs = list(specs)
-    result = StudyResult(fleet_size=len(specs))
-    shared_directory = build_default_directory()
-    for index, spec in enumerate(specs):
-        classification = measure_probe(
-            spec, run_transparency=run_transparency, directory=shared_directory
-        )
-        result.records.append(classification_to_record(spec, classification))
-        if progress is not None:
-            progress(index + 1, len(specs))
+    result = StudyResult(fleet_size=len(specs), seed=seed)
+    result.records = run_fleet(
+        specs,
+        workers=workers,
+        run_transparency=run_transparency,
+        progress=progress,
+    )
     return result

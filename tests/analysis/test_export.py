@@ -18,9 +18,7 @@ from repro.core.study import ProbeRecord, StudyResult, run_pilot_study
 
 @pytest.fixture(scope="module")
 def study():
-    result = run_pilot_study(generate_population(size=150, seed=19))
-    result.seed = 19
-    return result
+    return run_pilot_study(generate_population(size=150, seed=19), seed=19)
 
 
 class TestRoundTrip:

@@ -147,6 +147,130 @@ class TestReplication:
         assert result.response is result.accepted[0]
 
 
+class ScriptedLossRng:
+    """Deterministic stand-in for ``Network.loss_rng``: scripted values
+    first (0.0 = drop when the link is lossy, 1.0 = pass), then pass."""
+
+    def __init__(self, values):
+        self.values = list(values)
+
+    def random(self):
+        return self.values.pop(0) if self.values else 1.0
+
+
+class TestRetries:
+    def test_rejected_datagram_does_not_cancel_retransmission(self, org):
+        """A storm of off-path junk must not consume the retry budget.
+
+        The old loop broke on the bare ``if sock.inbox`` check, so a
+        single wrong-source datagram arriving early suppressed every
+        remaining retransmission (1 send instead of 4) and the exchange
+        gave up at the first retry horizon instead of the deadline."""
+        sc = build_scenario(make_spec(org, probe_id=901), trace=True)
+        query = make_query("example.com.", QType.A, msg_id=30)
+        sock_port = sc.host._next_port  # the port dns_exchange will use
+        junk = make_udp(
+            "203.0.113.99", 53, "192.168.1.100", sock_port, query.reply().encode()
+        )
+        sc.network.inject("host", junk, delay_ms=10.0)
+        before = sc.network.now
+        result = dns_exchange(
+            sc.network,
+            sc.host,
+            "198.51.100.99",  # dead address: nothing ever answers
+            query,
+            timeout_ms=5000.0,
+            retries=3,
+            retry_interval_ms=500.0,
+        )
+        assert result.timed_out
+        assert len(result.rejected) == 1
+        transmissions = [
+            e
+            for e in sc.network.recorder.events
+            if e.node == "host" and e.action == "send" and e.detail.startswith("socket")
+        ]
+        assert len(transmissions) == 1 + 3  # original + full retry budget
+        assert sc.network.now - before >= 5000.0  # budget fully spent
+
+    def test_rtt_measured_from_answering_transmission(self, org):
+        """When the answer responds to a retransmission, RTT must be
+        measured from that send — not inflated by the retry interval."""
+        sc = build_scenario(make_spec(org, probe_id=902))
+        # Re-declare the upstream link as lossy and script the loss RNG
+        # so exactly the first crossing (the original query) is dropped.
+        sc.network.connect("cpe", "access", 4.0, loss=0.5)
+        sc.network.loss_rng = ScriptedLossRng([0.0])
+        result = dns_exchange(
+            sc.network,
+            sc.host,
+            "1.1.1.1",
+            make_id_server_query(msg_id=77),
+            retries=2,
+            retry_interval_ms=500.0,
+        )
+        assert not result.timed_out
+        assert result.response is not None
+        # Path RTT is ~53ms; the buggy first-send arithmetic reported
+        # ~553ms (one full retry interval too much).
+        assert result.rtt_ms is not None
+        assert 0 < result.rtt_ms < 500.0
+
+    def test_junk_then_late_answer_still_accepted(self, org):
+        """Junk early + loss on the first send: the exchange must keep
+        retrying past the junk and accept the genuine late answer."""
+        sc = build_scenario(make_spec(org, probe_id=903))
+        sc.network.connect("cpe", "access", 4.0, loss=0.5)
+        sc.network.loss_rng = ScriptedLossRng([0.0])
+        query = make_id_server_query(msg_id=88)
+        sock_port = sc.host._next_port
+        junk = make_udp(
+            "203.0.113.99", 53, "192.168.1.100", sock_port, query.reply().encode()
+        )
+        sc.network.inject("host", junk, delay_ms=5.0)
+        result = dns_exchange(
+            sc.network,
+            sc.host,
+            "1.1.1.1",
+            query,
+            retries=2,
+            retry_interval_ms=500.0,
+        )
+        assert not result.timed_out
+        assert len(result.rejected) == 1
+        assert len(result.accepted) == 1
+        assert result.rtt_ms is not None and result.rtt_ms < 500.0
+
+    def test_no_retries_behaviour_unchanged(self, clean):
+        """retries=0 keeps the classic single-shot semantics."""
+        result = dns_exchange(
+            clean.network, clean.host, "1.1.1.1", make_id_server_query(msg_id=99)
+        )
+        assert not result.timed_out
+        assert result.rtt_ms is not None and result.rtt_ms > 0
+
+    def test_accepted_answer_stops_retrying(self, org):
+        """Once a validated answer arrives, no further retransmissions."""
+        sc = build_scenario(make_spec(org, probe_id=904), trace=True)
+        result = dns_exchange(
+            sc.network,
+            sc.host,
+            "1.1.1.1",
+            make_id_server_query(msg_id=101),
+            retries=5,
+            retry_interval_ms=100.0,
+        )
+        assert not result.timed_out
+        transmissions = [
+            e
+            for e in sc.network.recorder.events
+            if e.node == "host" and e.action == "send" and e.detail.startswith("socket")
+        ]
+        # The answer lands (~53ms) before the first retry horizon
+        # (100ms), so the entire retry budget goes unspent.
+        assert len(transmissions) == 1
+
+
 class TestClientWrapper:
     def test_family_capability(self, org):
         v4only = build_scenario(make_spec(org, probe_id=403, has_ipv6=False))

@@ -93,6 +93,28 @@ class TestStudyPersistence:
         # The rendered artifacts must be identical after a round trip.
         assert saved_out == loaded_out
 
+    def test_saved_seed_matches_flag(self, tmp_path):
+        import json
+
+        path = str(tmp_path / "records.json")
+        assert main(["study", "--size", "10", "--seed", "9", "--save", path]) == 0
+        with open(path, encoding="utf-8") as handle:
+            assert json.load(handle)["seed"] == 9
+
+
+class TestStudyWorkers:
+    def test_parallel_study_output_identical(self, tmp_path, capsys):
+        serial = str(tmp_path / "serial.json")
+        parallel = str(tmp_path / "parallel.json")
+        assert main(["study", "--size", "20", "--seed", "5", "--save", serial]) == 0
+        serial_out = capsys.readouterr().out
+        args = ["study", "--size", "20", "--seed", "5", "--workers", "2"]
+        assert main(args + ["--save", parallel]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+        with open(serial, encoding="utf-8") as a, open(parallel, encoding="utf-8") as b:
+            assert a.read() == b.read()  # byte-identical export
+
 
 class TestTtlFullSweep:
     def test_full_sweep_flag(self, capsys):
