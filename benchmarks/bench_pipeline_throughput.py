@@ -2,14 +2,21 @@
 
 Not a paper artifact — engineering numbers for the harness itself:
 per-probe classification cost (scenario build + ~20 DNS exchanges over
-the simulated network), raw DNS message codec throughput, and
-serial-vs-parallel fleet throughput. These make regressions in the
-simulator's hot paths visible.
+the simulated network), raw DNS message codec throughput,
+analysis-table generation cost, serial-vs-parallel fleet throughput,
+and the wall-time overhead of the metrics instrumentation layer. These
+make regressions in the simulator's hot paths visible.
 
 Run the fleet comparison directly for a report::
 
     PYTHONPATH=src python benchmarks/bench_pipeline_throughput.py \
         --fleet 200 --workers 4
+
+Run the instrumentation-overhead check (asserts the metrics layer stays
+under ``--max-overhead-pct`` of fleet wall time)::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline_throughput.py \
+        --overhead --fleet 100 --repeats 5
 """
 
 import argparse
@@ -17,10 +24,11 @@ import os
 import sys
 import time
 
+from repro.analysis import build_figure3, build_table4, build_table5
 from repro.atlas.geo import organization_by_name
 from repro.atlas.population import generate_population
 from repro.atlas.probe import ProbeSpec
-from repro.core.study import measure_probe, run_pilot_study
+from repro.core.study import StudyConfig, measure_probe, run_pilot_study
 from repro.cpe.firmware import xb6_profile
 from repro.dnswire import Message, QType, make_query, txt_record
 
@@ -56,6 +64,23 @@ def test_message_codec_throughput(benchmark):
     assert benchmark(roundtrip) == wire
 
 
+def test_analysis_table_cost(benchmark):
+    """Table/figure generation over study records — the consumer of
+    ``ProbeRecord.status_of``, whose dict-view memo this guards."""
+    specs = generate_population(size=150, seed=21)
+    study = run_pilot_study(specs, StudyConfig(workers=1, seed=21))
+
+    def build_all():
+        return (
+            build_table4(study).render(),
+            build_table5(study).render(),
+            build_figure3(study).render(),
+        )
+
+    table4, _table5, _figure3 = benchmark(build_all)
+    assert "Table 4" in table4
+
+
 def compare_fleet_throughput(fleet: int, seed: int, workers: int) -> dict:
     """Measure the same fleet serially and in parallel; return stats.
 
@@ -65,11 +90,11 @@ def compare_fleet_throughput(fleet: int, seed: int, workers: int) -> dict:
     specs = generate_population(size=fleet, seed=seed)
 
     started = time.perf_counter()
-    serial = run_pilot_study(specs, workers=1, seed=seed)
+    serial = run_pilot_study(specs, StudyConfig(workers=1, seed=seed))
     serial_s = time.perf_counter() - started
 
     started = time.perf_counter()
-    parallel = run_pilot_study(specs, workers=workers, seed=seed)
+    parallel = run_pilot_study(specs, StudyConfig(workers=workers, seed=seed))
     parallel_s = time.perf_counter() - started
 
     if parallel.records != serial.records:
@@ -88,22 +113,56 @@ def compare_fleet_throughput(fleet: int, seed: int, workers: int) -> dict:
     }
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="serial-vs-parallel fleet throughput"
-    )
-    parser.add_argument("--fleet", type=int, default=200)
-    parser.add_argument("--seed", type=int, default=2021)
-    parser.add_argument("--workers", type=int, default=4)
-    parser.add_argument(
-        "--expect-speedup",
-        type=float,
-        default=None,
-        metavar="X",
-        help="exit nonzero unless parallel is at least X times faster",
-    )
-    args = parser.parse_args(argv)
+def measure_metrics_overhead(fleet: int, seed: int, repeats: int = 3) -> dict:
+    """Time the same serial fleet with metrics off and on.
 
+    With metrics off the pipeline reports into the no-op registry, so
+    the "off" time *includes* every disabled instrumentation hook; the
+    enabled run is a strict upper bound on what those hooks can cost.
+    The off/on runs are interleaved and timed best-of-``repeats`` so
+    scheduler drift on a busy machine hits both variants alike.
+    """
+    specs = generate_population(size=fleet, seed=seed)
+
+    def run_once(metrics_enabled: bool) -> float:
+        config = StudyConfig(workers=1, seed=seed, metrics=metrics_enabled)
+        started = time.perf_counter()
+        study = run_pilot_study(specs, config)
+        elapsed = time.perf_counter() - started
+        assert (study.metrics is not None) == metrics_enabled
+        return elapsed
+
+    run_once(False)  # warm-up: zone build, imports, branch caches
+    disabled_s = min(run_once(False) for _ in range(repeats))
+    enabled_s = min(run_once(True) for _ in range(repeats))
+    for _ in range(repeats):
+        disabled_s = min(disabled_s, run_once(False))
+        enabled_s = min(enabled_s, run_once(True))
+    return {
+        "fleet": fleet,
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "overhead_pct": (enabled_s / disabled_s - 1.0) * 100.0,
+    }
+
+
+def _run_overhead(args) -> int:
+    stats = measure_metrics_overhead(args.fleet, args.seed, repeats=args.repeats)
+    print(f"fleet={stats['fleet']} probes  (best of {2 * args.repeats} interleaved)")
+    print(f"metrics off : {stats['disabled_s']:7.2f}s  (no-op registry)")
+    print(f"metrics on  : {stats['enabled_s']:7.2f}s  (full collection)")
+    print(f"overhead    : {stats['overhead_pct']:+.2f}%  "
+          f"(limit {args.max_overhead_pct:.1f}%)")
+    if stats["overhead_pct"] > args.max_overhead_pct:
+        print(
+            f"FAIL: instrumentation overhead {stats['overhead_pct']:.2f}% "
+            f"exceeds {args.max_overhead_pct:.2f}%"
+        )
+        return 1
+    return 0
+
+
+def _run_throughput(args) -> int:
     stats = compare_fleet_throughput(args.fleet, args.seed, args.workers)
     print(
         f"fleet={stats['fleet']} probes  workers={stats['workers']}  "
@@ -130,6 +189,48 @@ def main(argv=None) -> int:
         )
         return 1
     return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fleet throughput / metrics overhead benchmarks"
+    )
+    parser.add_argument("--fleet", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--expect-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit nonzero unless parallel is at least X times faster",
+    )
+    parser.add_argument(
+        "--overhead",
+        action="store_true",
+        help="measure metrics-instrumentation overhead instead of "
+        "serial-vs-parallel throughput",
+    )
+    parser.add_argument(
+        "--max-overhead-pct",
+        type=float,
+        default=5.0,
+        metavar="PCT",
+        help="--overhead: exit nonzero if enabling metrics costs more "
+        "than PCT%% wall time (default 5)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="--overhead: best-of-2N interleaved timing (default 3)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.overhead:
+        return _run_overhead(args)
+    return _run_throughput(args)
 
 
 def test_parallel_fleet_matches_serial():

@@ -26,7 +26,7 @@ from repro.analysis import (
     build_table5,
 )
 from repro.atlas.population import generate_population
-from repro.core.study import run_pilot_study
+from repro.core.study import StudyConfig, run_pilot_study
 
 
 def _workers_arg(value: str) -> int:
@@ -49,6 +49,12 @@ def main() -> None:
         metavar="N",
         help="worker processes for the fleet (0 = one per core)",
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="collect pipeline instrumentation and write the canonical "
+        "JSON snapshot to PATH (byte-identical for any --workers value)",
+    )
     args = parser.parse_args()
     workers = args.workers if args.workers != 0 else None
 
@@ -64,8 +70,19 @@ def main() -> None:
             last_shown[0] = now
             print(f"  measured {done}/{total} probes ({now - started:.0f}s)")
 
-    study = run_pilot_study(specs, progress=progress, workers=workers, seed=args.seed)
+    config = StudyConfig(
+        workers=workers, seed=args.seed, metrics=args.metrics is not None
+    )
+    study = run_pilot_study(specs, config, progress=progress)
     print(f"Study complete in {time.time() - started:.1f}s\n")
+
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            handle.write(study.metrics.to_json())
+            handle.write("\n")
+        print(f"Wrote metrics snapshot to {args.metrics}")
+        print(study.metrics.render())
+        print()
 
     print(build_table4(study).render())
     print()

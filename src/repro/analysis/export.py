@@ -14,9 +14,12 @@ import dataclasses
 import json
 from typing import Any
 
+from repro.core.metrics import MetricsSnapshot
 from repro.core.study import ProbeRecord, StudyResult
 
-#: Schema version written into every export.
+#: Schema version written into every export. Version 1 plus an optional
+#: ``metrics`` object (a canonical MetricsSnapshot dict) — old readers
+#: ignore the extra key, old files load unchanged.
 SCHEMA_VERSION = 1
 
 
@@ -41,15 +44,15 @@ def record_from_dict(data: dict[str, Any]) -> ProbeRecord:
 
 
 def study_to_json(study: StudyResult, indent: "int | None" = None) -> str:
-    return json.dumps(
-        {
-            "schema": SCHEMA_VERSION,
-            "fleet_size": study.fleet_size,
-            "seed": study.seed,
-            "records": [record_to_dict(record) for record in study.records],
-        },
-        indent=indent,
-    )
+    data: dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "fleet_size": study.fleet_size,
+        "seed": study.seed,
+        "records": [record_to_dict(record) for record in study.records],
+    }
+    if study.metrics is not None:
+        data["metrics"] = study.metrics.to_dict()
+    return json.dumps(data, indent=indent)
 
 
 def study_from_json(text: str) -> StudyResult:
@@ -57,10 +60,12 @@ def study_from_json(text: str) -> StudyResult:
     schema = data.get("schema")
     if schema != SCHEMA_VERSION:
         raise ValueError(f"unsupported schema version: {schema!r}")
+    metrics = data.get("metrics")
     return StudyResult(
         records=[record_from_dict(item) for item in data.get("records", [])],
         fleet_size=int(data.get("fleet_size", 0)),
         seed=int(data.get("seed", 0)),
+        metrics=None if metrics is None else MetricsSnapshot.from_dict(metrics),
     )
 
 

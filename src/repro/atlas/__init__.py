@@ -17,8 +17,10 @@ from .geo import (
 )
 from .measurement import (
     DEFAULT_TIMEOUT_MS,
+    DnsExchangeResult,
     DotExchangeResult,
     ExchangeResult,
+    ExchangeStatus,
     MeasurementClient,
     dns_exchange,
     dot_exchange,
@@ -49,8 +51,10 @@ __all__ = [
     "organization_by_asn",
     "organization_by_name",
     "DEFAULT_TIMEOUT_MS",
+    "DnsExchangeResult",
     "DotExchangeResult",
     "ExchangeResult",
+    "ExchangeStatus",
     "dot_exchange",
     "MeasurementClient",
     "dns_exchange",

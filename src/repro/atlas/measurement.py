@@ -6,10 +6,19 @@ back. Like a real stub resolver, the client validates responses — the
 claimed source must be the queried address, the port must match, and the
 DNS message id must echo — which is exactly why interceptors *must*
 spoof sources to stay transparent (§2).
+
+Both transports (UDP port 53 and DNS-over-TLS port 853) return the same
+shape: a :class:`DnsExchangeResult` / :class:`DotExchangeResult` sharing
+the :class:`ExchangeResult` base (status, rcode, txt_answer, rtt_ms,
+attempts), so callers and metrics hooks never special-case the
+transport. Every exchange also reports into the network's metrics
+registry (:mod:`repro.core.metrics`): queries sent, retransmissions,
+rejected datagrams and per-transmission RTTs.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -23,27 +32,45 @@ from repro.net.packet import DEFAULT_TTL
 DEFAULT_TIMEOUT_MS = 5000.0
 
 
+class ExchangeStatus(enum.Enum):
+    """Terminal state of one exchange, transport-independent."""
+
+    ANSWERED = "answered"
+    TIMEOUT = "timeout"
+    #: Strict-profile DoT only: bytes arrived but the authenticated
+    #: server identity was wrong, so the client refused the session.
+    IDENTITY_REJECTED = "identity-rejected"
+
+
 @dataclass
 class ExchangeResult:
-    """Everything observed for one query."""
+    """Shared outcome shape for one query, whatever the transport.
+
+    The unified surface is ``status`` / ``rcode`` / ``txt_answer()`` /
+    ``rtt_ms`` / ``attempts``; transport-specific detail lives on the
+    :class:`DnsExchangeResult` and :class:`DotExchangeResult`
+    subclasses. ``timed_out`` is kept as a deprecated read-only alias of
+    ``status is ExchangeStatus.TIMEOUT``.
+    """
 
     query: Message
     destination: IPAddress
+    transport: str = "udp"
     response: Optional[Message] = None
     rtt_ms: Optional[float] = None
-    timed_out: bool = True
-    #: Every response accepted by validation, in arrival order. More than
-    #: one element means *query replication* (Liu et al. [31]): an
-    #: interceptor answered and the genuine response also arrived.
-    accepted: list[Message] = field(default_factory=list)
-    #: Datagrams rejected by source/id validation (would-be off-path junk).
-    rejected: list[ReceivedDatagram] = field(default_factory=list)
-    #: ICMP errors attributable to this query (for TTL probing).
-    icmp: list[ReceivedIcmp] = field(default_factory=list)
+    #: Transmissions performed (1 + retransmissions for UDP; always 1
+    #: for DoT, which rides the session's reliability instead).
+    attempts: int = 1
+    status: ExchangeStatus = ExchangeStatus.TIMEOUT
 
     @property
-    def replicated(self) -> bool:
-        return len(self.accepted) > 1
+    def answered(self) -> bool:
+        return self.status is ExchangeStatus.ANSWERED
+
+    @property
+    def timed_out(self) -> bool:
+        """Deprecated alias: prefer ``status is ExchangeStatus.TIMEOUT``."""
+        return self.status is ExchangeStatus.TIMEOUT
 
     @property
     def rcode(self) -> Optional[int]:
@@ -57,6 +84,77 @@ class ExchangeResult:
         return strings[0] if strings else None
 
 
+@dataclass
+class DnsExchangeResult(ExchangeResult):
+    """UDP exchange outcome: the shared shape plus datagram forensics."""
+
+    #: Every response accepted by validation, in arrival order. More than
+    #: one element means *query replication* (Liu et al. [31]): an
+    #: interceptor answered and the genuine response also arrived.
+    accepted: list[Message] = field(default_factory=list)
+    #: Datagrams rejected by source/id validation (would-be off-path junk).
+    rejected: list[ReceivedDatagram] = field(default_factory=list)
+    #: ICMP errors attributable to this query (for TTL probing).
+    icmp: list[ReceivedIcmp] = field(default_factory=list)
+
+    @property
+    def replicated(self) -> bool:
+        return len(self.accepted) > 1
+
+
+@dataclass
+class DotExchangeResult(ExchangeResult):
+    """DNS-over-TLS exchange outcome: the shared shape plus identity.
+
+    ``strict`` clients (the RFC 7858 strict privacy profile) reject any
+    session whose authenticated identity differs from the one they
+    dialed; ``response`` is then None even though bytes arrived —
+    ``status`` is ``IDENTITY_REJECTED`` (the deprecated
+    ``identity_rejected`` alias mirrors it).
+    """
+
+    expected_identity: str = ""
+    strict: bool = True
+    observed_identity: Optional[str] = None
+
+    @property
+    def identity_rejected(self) -> bool:
+        """Deprecated alias: prefer ``status``."""
+        return self.status is ExchangeStatus.IDENTITY_REJECTED
+
+    @property
+    def identity_ok(self) -> Optional[bool]:
+        if self.observed_identity is None:
+            return None
+        return self.observed_identity == self.expected_identity
+
+
+def _record_exchange(network: Network, result: ExchangeResult) -> None:
+    """Shared metrics hook — identical for every transport."""
+    metrics = network.metrics
+    if not metrics.enabled:
+        return
+    transport = result.transport
+    metrics.inc(f"exchange.queries.{transport}")
+    if result.attempts > 1:
+        metrics.inc("exchange.retransmissions", result.attempts - 1)
+    if result.status is ExchangeStatus.TIMEOUT:
+        metrics.inc(f"exchange.timeouts.{transport}")
+    elif result.status is ExchangeStatus.IDENTITY_REJECTED:
+        metrics.inc("exchange.identity_rejected")
+    if result.rtt_ms is not None:
+        metrics.observe_ms(f"exchange.rtt_ms.{transport}", result.rtt_ms)
+    if metrics.exchange_events:
+        metrics.event(
+            "exchange",
+            transport=transport,
+            destination=str(result.destination),
+            status=result.status.value,
+            attempts=result.attempts,
+            rtt_ms=result.rtt_ms,
+        )
+
+
 def dns_exchange(
     network: Network,
     host: Host,
@@ -66,7 +164,7 @@ def dns_exchange(
     ttl: int = DEFAULT_TTL,
     retries: int = 0,
     retry_interval_ms: float = 1000.0,
-) -> ExchangeResult:
+) -> DnsExchangeResult:
     """Send ``query`` to ``destination`` and collect the outcome.
 
     Runs the simulated network forward until the timeout. All datagrams
@@ -80,7 +178,7 @@ def dns_exchange(
     budget covers all attempts.
     """
     destination = parse_ip(destination)
-    result = ExchangeResult(query=query, destination=destination)
+    result = DnsExchangeResult(query=query, destination=destination)
     sock = host.open_socket()
     icmp_mark = len(host.icmp_inbox)
 
@@ -108,7 +206,7 @@ def dns_exchange(
                 earlier = [t for t in send_times if t <= datagram.time]
                 sent_at = earlier[-1] if earlier else send_times[0]
                 result.rtt_ms = datagram.time - sent_at
-                result.timed_out = False
+                result.status = ExchangeStatus.ANSWERED
 
     try:
         send_times.append(network.now)
@@ -132,6 +230,7 @@ def dns_exchange(
             sock.sendto(query.encode(), destination, DNS_PORT, ttl=ttl)
             attempts_left -= 1
             next_retry = network.now + retry_interval_ms
+        result.attempts = len(send_times)
         result.icmp = [
             icmp
             for icmp in host.icmp_inbox[icmp_mark:]
@@ -141,33 +240,12 @@ def dns_exchange(
         ]
     finally:
         sock.close()
+    if result.rejected and network.metrics.enabled:
+        network.metrics.inc("exchange.rejected_datagrams", len(result.rejected))
+    if result.replicated:
+        network.metrics.inc("exchange.replicated")
+    _record_exchange(network, result)
     return result
-
-
-@dataclass
-class DotExchangeResult:
-    """Outcome of one DNS-over-TLS exchange.
-
-    ``strict`` clients (the RFC 7858 strict privacy profile) reject any
-    session whose authenticated identity differs from the one they
-    dialed; ``response`` is then None even though bytes arrived —
-    mirrored in ``identity_rejected``.
-    """
-
-    query: Message
-    destination: IPAddress
-    expected_identity: str
-    strict: bool
-    response: Optional[Message] = None
-    observed_identity: Optional[str] = None
-    identity_rejected: bool = False
-    timed_out: bool = True
-
-    @property
-    def identity_ok(self) -> Optional[bool]:
-        if self.observed_identity is None:
-            return None
-        return self.observed_identity == self.expected_identity
 
 
 def dot_exchange(
@@ -191,10 +269,12 @@ def dot_exchange(
     result = DotExchangeResult(
         query=query,
         destination=destination,
+        transport="dot",
         expected_identity=expected_identity,
         strict=strict,
     )
     sock = host.open_socket()
+    rejected_session = False
     try:
         sent_at = network.now
         # The client->server frame carries no server identity (that is
@@ -211,14 +291,22 @@ def dot_exchange(
             if message is None or message.msg_id != query.msg_id:
                 continue
             result.observed_identity = frame.server_identity
-            result.timed_out = False
             if strict and frame.server_identity != expected_identity:
-                result.identity_rejected = True
+                rejected_session = True
                 continue
             if result.response is None:
                 result.response = message
+                result.rtt_ms = datagram.time - sent_at
     finally:
         sock.close()
+    # A rejected session dominates: a strict client that refused the
+    # interceptor's certificate reports the hijack attempt even if the
+    # genuine answer also slipped through.
+    if rejected_session:
+        result.status = ExchangeStatus.IDENTITY_REJECTED
+    elif result.response is not None:
+        result.status = ExchangeStatus.ANSWERED
+    _record_exchange(network, result)
     return result
 
 
@@ -242,7 +330,7 @@ class MeasurementClient:
         query: Message,
         ttl: int = DEFAULT_TTL,
         timeout_ms: Optional[float] = None,
-    ) -> ExchangeResult:
+    ) -> DnsExchangeResult:
         return dns_exchange(
             self.network,
             self.host,

@@ -48,7 +48,8 @@ from repro.atlas.probe import IspBehavior, ProbeSpec
 from repro.atlas.scenario import build_scenario
 from repro.core.catalog import location_query_table
 from repro.core.dot_probe import DotProfile, detect_dot_provider
-from repro.core.study import run_pilot_study
+from repro.core.metrics import TRACE_LEVELS
+from repro.core.study import StudyConfig, run_pilot_study
 from repro.core.ttl_probe import ttl_probe
 from repro.cpe.firmware import (
     dnat_interceptor,
@@ -191,7 +192,25 @@ def cmd_study(args: argparse.Namespace) -> int:
             f"measuring {len(specs)} probes (seed {args.seed}){suffix} ...",
             file=sys.stderr,
         )
-        study = run_pilot_study(specs, workers=workers, seed=args.seed)
+        config = StudyConfig(
+            workers=workers,
+            seed=args.seed,
+            metrics=bool(args.metrics),
+            trace=args.trace,
+        )
+        study = run_pilot_study(specs, config)
+    if args.metrics:
+        if study.metrics is None:
+            print(
+                "no metrics collected (loaded studies carry records only)",
+                file=sys.stderr,
+            )
+        else:
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                handle.write(study.metrics.to_json())
+                handle.write("\n")
+            print(f"wrote metrics snapshot to {args.metrics}", file=sys.stderr)
+            print(study.metrics.render(), file=sys.stderr)
     if args.save:
         from repro.analysis.export import save_study
 
@@ -321,6 +340,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     study.add_argument(
         "--accuracy", action="store_true", help="score verdicts vs ground truth"
+    )
+    study.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="collect pipeline instrumentation and write the snapshot as "
+        "canonical JSON (byte-identical for any --workers value)",
+    )
+    study.add_argument(
+        "--trace",
+        choices=TRACE_LEVELS,
+        default="probe",
+        help="metrics event-log verbosity (with --metrics): off, one event "
+        "per probe, or one event per DNS exchange",
     )
     study.add_argument("--save", metavar="PATH", help="write records as JSON")
     study.add_argument(

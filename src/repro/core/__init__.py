@@ -55,8 +55,17 @@ from .baseline import (
 )
 from .report import render_diagnosis
 from .ttl_probe import DEFAULT_MAX_TTL, TtlProbeResult, TtlStep, ttl_probe
+from .metrics import (
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_REGISTRY,
+    active_registry,
+    use_registry,
+)
 from .study import (
     ProbeRecord,
+    StudyConfig,
     StudyResult,
     classification_to_record,
     measure_probe,
@@ -112,7 +121,14 @@ __all__ = [
     "TtlProbeResult",
     "TtlStep",
     "ttl_probe",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_REGISTRY",
+    "active_registry",
+    "use_registry",
     "ProbeRecord",
+    "StudyConfig",
     "StudyResult",
     "classification_to_record",
     "measure_probe",

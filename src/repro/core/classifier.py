@@ -27,6 +27,7 @@ from repro.net.addr import IPAddress
 from .cpe_check import CpeCheckResult, check_cpe
 from .detector import DetectionReport, detect_all
 from .isp_check import IspCheckResult, check_isp
+from .metrics import active_registry
 from .transparency import ProbeTransparency, TransparencyResult, check_transparency
 
 
@@ -101,13 +102,16 @@ class InterceptionLocator:
         self.skip = skip
 
     def classify(self) -> ProbeClassification:
-        detection = detect_all(
-            self.client,
-            families=self.families,
-            rng=self.rng,
-            both_addresses=self.both_addresses,
-            skip=self.skip,
-        )
+        metrics = active_registry()
+        with metrics.timer("locator.wall_ms.step1_detect"):
+            detection = detect_all(
+                self.client,
+                families=self.families,
+                rng=self.rng,
+                both_addresses=self.both_addresses,
+                skip=self.skip,
+            )
+        metrics.inc("locator.step1.ran")
 
         family = self._analysis_family(detection)
         if family is None:
@@ -115,6 +119,7 @@ class InterceptionLocator:
             verdict = (
                 LocatorVerdict.NOT_INTERCEPTED if responded else LocatorVerdict.NO_DATA
             )
+            metrics.inc("locator.verdict." + verdict.value)
             return ProbeClassification(detection=detection, verdict=verdict)
 
         result = ProbeClassification(
@@ -127,26 +132,34 @@ class InterceptionLocator:
         # Step 2: the CPE check (needs the probe's public address).
         cpe_address = self.cpe_public.get(family)
         if cpe_address is not None:
-            result.cpe_check = check_cpe(
-                self.client, cpe_address, intercepted, family=family, rng=self.rng
-            )
+            with metrics.timer("locator.wall_ms.step2_cpe"):
+                result.cpe_check = check_cpe(
+                    self.client, cpe_address, intercepted, family=family, rng=self.rng
+                )
+            metrics.inc("locator.step2.ran")
             if result.cpe_check.cpe_is_interceptor:
+                metrics.inc("locator.step2.cpe_confirmed")
                 result.verdict = LocatorVerdict.CPE
 
         # Step 3: the bogon check, only if the CPE was not implicated.
         if result.verdict is not LocatorVerdict.CPE:
-            result.isp_check = check_isp(self.client, family=family, rng=self.rng)
-            result.verdict = (
-                LocatorVerdict.WITHIN_ISP
-                if result.isp_check.within_isp
-                else LocatorVerdict.UNKNOWN
-            )
+            with metrics.timer("locator.wall_ms.step3_bogon"):
+                result.isp_check = check_isp(self.client, family=family, rng=self.rng)
+            metrics.inc("locator.step3.ran")
+            if result.isp_check.within_isp:
+                metrics.inc("locator.step3.within_isp")
+                result.verdict = LocatorVerdict.WITHIN_ISP
+            else:
+                result.verdict = LocatorVerdict.UNKNOWN
 
         # Transparency (§4.1.2) over the intercepted providers.
         if self.run_transparency:
-            result.transparency = check_transparency(
-                self.client, intercepted, family=family, rng=self.rng
-            )
+            with metrics.timer("locator.wall_ms.transparency"):
+                result.transparency = check_transparency(
+                    self.client, intercepted, family=family, rng=self.rng
+                )
+            metrics.inc("locator.transparency.ran")
+        metrics.inc("locator.verdict." + result.verdict.value)
         return result
 
     def _analysis_family(self, detection: DetectionReport) -> Optional[int]:

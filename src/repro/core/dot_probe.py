@@ -27,7 +27,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.atlas.measurement import DotExchangeResult, MeasurementClient
+from repro.atlas.measurement import DotExchangeResult, ExchangeStatus, MeasurementClient
 from repro.resolvers.public import PROVIDER_TLS_IDENTITIES, Provider
 
 from .catalog import LOCATION_QUERIES, PROVIDER_ORDER, provider_addresses
@@ -59,9 +59,9 @@ class DotVerdict:
     @property
     def status(self) -> DotStatus:
         exchange = self.exchange
-        if exchange is None or exchange.timed_out:
+        if exchange is None or exchange.status is ExchangeStatus.TIMEOUT:
             return DotStatus.NO_RESPONSE
-        if exchange.identity_rejected:
+        if exchange.status is ExchangeStatus.IDENTITY_REJECTED:
             return DotStatus.HIJACK_DEFEATED
         if exchange.response is None:
             return DotStatus.NO_RESPONSE

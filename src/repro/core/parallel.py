@@ -14,20 +14,28 @@ Determinism guarantee: because each worker builds the same read-only
 :class:`~repro.resolvers.directory.NameDirectory`, and every probe is
 measured by a pure function of its spec, the merged record list is
 byte-identical to a serial run regardless of worker count, shard count,
-or shard completion order.
+or shard completion order. The same holds for metrics: each shard
+collects into its own :class:`~repro.core.metrics.MetricsRegistry`, and
+the driver merges the snapshots in *shard order* (= fleet order), so
+counters, histograms and the event log are identical for any worker
+count (wall-clock timings, the one intentionally non-deterministic
+section, are summed).
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.atlas.probe import ProbeSpec
 
+from .metrics import MetricsRegistry, MetricsSnapshot, active_registry, use_registry
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (study imports us)
-    from repro.core.study import ProbeRecord
+    from repro.core.study import ProbeRecord, StudyConfig
 
 #: Shards handed out per worker; >1 smooths load imbalance (an offline
 #: probe is ~free, an intercepted dual-stack probe is ~20 exchanges) and
@@ -45,6 +53,15 @@ class FleetShard:
 
     def __len__(self) -> int:
         return len(self.specs)
+
+
+@dataclass
+class FleetResult:
+    """Everything a fleet measurement produced."""
+
+    records: list["ProbeRecord"] = field(default_factory=list)
+    #: Merged instrumentation, when the run collected metrics.
+    metrics: Optional[MetricsSnapshot] = None
 
 
 def default_worker_count() -> int:
@@ -86,15 +103,18 @@ def shard_fleet(specs: Sequence[ProbeSpec], shards: int) -> list[FleetShard]:
 
 #: Per-process state: the shared read-only NameDirectory is built once
 #: per worker (not once per probe — zone construction dominates small
-#: probes) and the transparency flag rides along from the initializer.
+#: probes) and the study options ride along from the initializer.
 _worker_state: dict = {}
 
 
-def _init_worker(run_transparency: bool) -> None:
+def _init_worker(run_transparency: bool, metrics: bool = False,
+                 trace: str = "probe") -> None:
     from repro.resolvers.directory import build_default_directory
 
     _worker_state["directory"] = build_default_directory()
     _worker_state["run_transparency"] = run_transparency
+    _worker_state["metrics"] = metrics
+    _worker_state["trace"] = trace
 
 
 def measure_shard(
@@ -107,6 +127,8 @@ def measure_shard(
     Runs in a worker process (reading state planted by ``_init_worker``)
     but is also callable in-process — tests and the ``workers=1`` path
     use it directly by passing ``run_transparency``/``directory``.
+    Study-level metrics report into the ambient registry (see
+    :func:`repro.core.metrics.use_registry`).
     """
     from repro.core.study import classification_to_record, measure_probe
 
@@ -118,13 +140,40 @@ def measure_shard(
         directory = build_default_directory()
     if run_transparency is None:
         run_transparency = _worker_state.get("run_transparency", True)
+    registry = active_registry()
     pairs = []
     for index, spec in zip(shard.indices, shard.specs):
         classification = measure_probe(
             spec, run_transparency=run_transparency, directory=directory
         )
-        pairs.append((index, classification_to_record(spec, classification)))
+        record = classification_to_record(spec, classification)
+        pairs.append((index, record))
+        registry.inc("study.probes.measured")
+        if not record.online:
+            registry.inc("study.probes.offline")
+        if registry.probe_events:
+            registry.event(
+                "probe",
+                probe_id=record.probe_id,
+                online=record.online,
+                verdict=record.verdict,
+                transparency=record.transparency,
+                replication_seen=record.replication_seen,
+            )
     return pairs
+
+
+def _measure_shard_job(
+    shard: FleetShard,
+) -> tuple[int, list[tuple[int, "ProbeRecord"]], Optional[MetricsSnapshot]]:
+    """Pool entry point: measure a shard, optionally under a fresh
+    per-shard registry, and ship the snapshot home with the records."""
+    if not _worker_state.get("metrics"):
+        return shard.shard_id, measure_shard(shard), None
+    registry = MetricsRegistry(trace=_worker_state.get("trace", "probe"))
+    with use_registry(registry):
+        pairs = measure_shard(shard)
+    return shard.shard_id, pairs, registry.snapshot()
 
 
 # -- driver side ------------------------------------------------------------
@@ -144,24 +193,25 @@ def merge_shard_records(
     return [record for _index, record in flat]
 
 
-def run_fleet(
+def measure_fleet(
     specs: Sequence[ProbeSpec],
-    workers: Optional[int] = None,
-    run_transparency: bool = True,
+    config: "StudyConfig",
     progress: Optional[Callable[[int, int], None]] = None,
     shards_per_worker: int = DEFAULT_SHARDS_PER_WORKER,
     mp_context=None,
-) -> list["ProbeRecord"]:
-    """Measure the whole fleet across ``workers`` processes.
+) -> FleetResult:
+    """Measure the whole fleet as :class:`~repro.core.study.StudyConfig`
+    says; return records in fleet order plus the merged metrics.
 
-    ``workers=None`` uses one worker per available core; ``workers=1``
-    measures in-process (no pool, no pickling). Progress callbacks are
-    aggregated across workers: ``progress(done, total)`` fires in the
-    driver process each time a shard completes, with ``done`` counting
-    probes (not shards) measured so far.
+    ``config.workers=None`` uses one worker per available core;
+    ``workers=1`` measures in-process (no pool, no pickling). Progress
+    callbacks are aggregated across workers: ``progress(done, total)``
+    fires in the driver process each time a shard completes, with
+    ``done`` counting probes (not shards) measured so far.
     """
     specs = list(specs)
     total = len(specs)
+    workers = config.workers
     if workers is None:
         workers = default_worker_count()
     if workers < 1:
@@ -171,36 +221,74 @@ def run_fleet(
     if workers == 1 or total == 0:
         from repro.resolvers.directory import build_default_directory
 
-        directory = build_default_directory()
-        records: list["ProbeRecord"] = []
-        for index, spec in enumerate(specs):
-            shard = FleetShard(0, (index,), (spec,))
-            records.extend(
-                record
-                for _i, record in measure_shard(
-                    shard, run_transparency=run_transparency, directory=directory
+        registry = MetricsRegistry(trace=config.trace) if config.metrics else None
+        with use_registry(registry) if registry is not None else nullcontext():
+            directory = build_default_directory()
+            records: list["ProbeRecord"] = []
+            for index, spec in enumerate(specs):
+                shard = FleetShard(0, (index,), (spec,))
+                records.extend(
+                    record
+                    for _i, record in measure_shard(
+                        shard,
+                        run_transparency=config.run_transparency,
+                        directory=directory,
+                    )
                 )
-            )
-            if progress is not None:
-                progress(index + 1, total)
-        return records
+                if progress is not None:
+                    progress(index + 1, total)
+        return FleetResult(
+            records=records,
+            metrics=registry.snapshot() if registry is not None else None,
+        )
 
     shards = shard_fleet(specs, workers * max(1, shards_per_worker))
-    shard_results: list[Sequence[tuple[int, "ProbeRecord"]]] = []
+    shard_records: list[Sequence[tuple[int, "ProbeRecord"]]] = []
+    #: shard_id -> snapshot, merged in shard (= fleet) order at the end.
+    shard_snapshots: dict[int, MetricsSnapshot] = {}
     done = 0
     with ProcessPoolExecutor(
         max_workers=workers,
         mp_context=mp_context,
         initializer=_init_worker,
-        initargs=(run_transparency,),
+        initargs=(config.run_transparency, config.metrics, config.trace),
     ) as pool:
-        pending = {pool.submit(measure_shard, shard): shard for shard in shards}
+        pending = {pool.submit(_measure_shard_job, shard): shard for shard in shards}
         while pending:
             completed, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in completed:
                 shard = pending.pop(future)
-                shard_results.append(future.result())
+                shard_id, pairs, snapshot = future.result()
+                shard_records.append(pairs)
+                if snapshot is not None:
+                    shard_snapshots[shard_id] = snapshot
                 done += len(shard)
                 if progress is not None:
                     progress(done, total)
-    return merge_shard_records(shard_results)
+    metrics = None
+    if config.metrics:
+        metrics = MetricsSnapshot.merge_all(
+            shard_snapshots[shard_id] for shard_id in sorted(shard_snapshots)
+        )
+    return FleetResult(records=merge_shard_records(shard_records), metrics=metrics)
+
+
+def run_fleet(
+    specs: Sequence[ProbeSpec],
+    workers: Optional[int] = None,
+    run_transparency: bool = True,
+    progress: Optional[Callable[[int, int], None]] = None,
+    shards_per_worker: int = DEFAULT_SHARDS_PER_WORKER,
+    mp_context=None,
+) -> list["ProbeRecord"]:
+    """Record-only compatibility wrapper around :func:`measure_fleet`."""
+    from repro.core.study import StudyConfig
+
+    config = StudyConfig(workers=workers, run_transparency=run_transparency)
+    return measure_fleet(
+        specs,
+        config,
+        progress=progress,
+        shards_per_worker=shards_per_worker,
+        mp_context=mp_context,
+    ).records

@@ -4,11 +4,17 @@ For every probe the study builds its scenario, runs the three-step
 pipeline plus the transparency check, and records a compact
 :class:`ProbeRecord` — the raw material from which the analysis package
 regenerates every table and figure of the paper's evaluation.
+
+Run options live in :class:`StudyConfig`; instrumentation (when
+``config.metrics`` is on) lands in ``StudyResult.metrics`` as a
+:class:`~repro.core.metrics.MetricsSnapshot` that is identical for any
+worker count.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
@@ -20,7 +26,45 @@ from repro.resolvers.public import Provider
 
 from .classifier import InterceptionLocator, LocatorVerdict, ProbeClassification
 from .detector import InterceptionStatus
+from .metrics import TRACE_LEVELS, MetricsSnapshot
 from .transparency import ProbeTransparency
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Everything a pilot-study run needs to know.
+
+    Replaces the ever-growing ``run_pilot_study`` kwargs list. The old
+    kwargs still work through a shim that emits ``DeprecationWarning``.
+
+    ``workers``
+        Worker processes for the fleet (``None`` = one per core,
+        ``1`` = classic in-process path).
+    ``seed``
+        Fleet-seed bookkeeping, recorded on the result and its exports.
+    ``run_transparency``
+        Whether the §4.1.2 transparency check runs per probe.
+    ``metrics``
+        Collect pipeline instrumentation into ``StudyResult.metrics``.
+        Off by default: the disabled path reports into the no-op
+        registry and pays near zero.
+    ``trace``
+        Event-log verbosity when metrics are on: ``"off"`` (aggregates
+        only), ``"probe"`` (one structured event per probe) or
+        ``"exchange"`` (adds one event per DNS exchange).
+    """
+
+    workers: Optional[int] = 1
+    seed: int = 0
+    run_transparency: bool = True
+    metrics: bool = False
+    trace: str = "probe"
+
+    def __post_init__(self) -> None:
+        if self.trace not in TRACE_LEVELS:
+            raise ValueError(f"trace must be one of {TRACE_LEVELS}, got {self.trace!r}")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1 or None, got {self.workers}")
 
 
 @dataclass(frozen=True)
@@ -42,11 +86,25 @@ class ProbeRecord:
 
     # -- per-provider helpers ----------------------------------------------
 
+    def _status_index(self) -> dict[tuple[str, int], str]:
+        """Dict view of ``provider_status``, built once per record.
+
+        ``functools.cached_property`` is off-limits on frozen
+        dataclasses, so the memo goes through ``object.__setattr__``;
+        it lives in ``__dict__`` (not a field), invisible to
+        ``dataclasses.asdict``, ``==`` and ``repr``.
+        """
+        index = self.__dict__.get("_status_map")
+        if index is None:
+            index = {
+                (name, family): status
+                for name, family, status in self.provider_status
+            }
+            object.__setattr__(self, "_status_map", index)
+        return index
+
     def status_of(self, provider: Provider, family: int) -> Optional[str]:
-        for name, fam, status in self.provider_status:
-            if name == provider.value and fam == family:
-                return status
-        return None
+        return self._status_index().get((provider.value, family))
 
     def responded(self, provider: Provider, family: int) -> bool:
         status = self.status_of(provider, family)
@@ -80,6 +138,12 @@ class StudyResult:
     records: list[ProbeRecord] = field(default_factory=list)
     fleet_size: int = 0
     seed: int = 0
+    #: The configuration that produced this result (None for results
+    #: loaded from pre-StudyConfig exports).
+    config: Optional[StudyConfig] = None
+    #: Pipeline instrumentation, when the study ran with
+    #: ``config.metrics`` on; deterministic across worker counts.
+    metrics: Optional[MetricsSnapshot] = None
 
     def intercepted_records(self) -> list[ProbeRecord]:
         return [r for r in self.records if r.is_intercepted]
@@ -161,33 +225,66 @@ def measure_probe(
     return locator.classify()
 
 
+#: Sentinel distinguishing "kwarg not passed" from any real value in the
+#: deprecated ``run_pilot_study`` kwargs shim.
+_UNSET: object = object()
+
+
 def run_pilot_study(
     specs: Iterable[ProbeSpec],
-    run_transparency: bool = True,
+    config: Optional[StudyConfig] = None,
+    *,
     progress: Optional[Callable[[int, int], None]] = None,
-    workers: Optional[int] = 1,
-    seed: int = 0,
+    run_transparency=_UNSET,
+    workers=_UNSET,
+    seed=_UNSET,
 ) -> StudyResult:
     """Measure every probe; return the full record set.
 
-    ``workers`` shards the fleet across that many worker processes via
-    :mod:`repro.core.parallel` (``None`` = one per core); ``workers=1``
-    keeps the classic in-process path. Either way the records come back
-    in fleet order and are byte-identical across worker counts — each
-    probe is a pure function of its spec.
+    All run options ride in ``config`` (see :class:`StudyConfig`);
+    ``progress(done, total)`` stays a direct argument because a callback
+    is per-call plumbing, not configuration. Records come back in fleet
+    order and are byte-identical across worker counts — each probe is a
+    pure function of its spec — and so is ``StudyResult.metrics`` when
+    instrumentation is on.
 
-    ``seed`` is bookkeeping only (the fleet is already generated): it is
-    recorded on the :class:`StudyResult` so exported artifacts report
-    which fleet seed produced them.
+    The pre-``StudyConfig`` kwargs (``run_transparency``, ``workers``,
+    ``seed``) still work but emit ``DeprecationWarning``; they cannot be
+    combined with ``config``.
     """
-    from repro.core.parallel import run_fleet
+    from repro.core.parallel import measure_fleet
+
+    legacy = {
+        name: value
+        for name, value in (
+            ("run_transparency", run_transparency),
+            ("workers", workers),
+            ("seed", seed),
+        )
+        if value is not _UNSET
+    }
+    if legacy:
+        if config is not None:
+            raise TypeError(
+                f"run_pilot_study() got both config= and deprecated kwargs "
+                f"{sorted(legacy)}; pass everything via StudyConfig"
+            )
+        warnings.warn(
+            f"run_pilot_study({', '.join(sorted(legacy))}=...) kwargs are "
+            "deprecated; pass config=StudyConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        config = StudyConfig(**legacy)
+    if config is None:
+        config = StudyConfig()
 
     specs = list(specs)
-    result = StudyResult(fleet_size=len(specs), seed=seed)
-    result.records = run_fleet(
-        specs,
-        workers=workers,
-        run_transparency=run_transparency,
-        progress=progress,
+    fleet = measure_fleet(specs, config, progress=progress)
+    return StudyResult(
+        records=fleet.records,
+        fleet_size=len(specs),
+        seed=config.seed,
+        config=config,
+        metrics=fleet.metrics,
     )
-    return result

@@ -32,6 +32,15 @@ class SimulationError(RuntimeError):
     """Raised on topology or event-loop misuse."""
 
 
+def _drop_reason(detail: str) -> str:
+    """Collapse a free-form drop detail into a low-cardinality metric
+    label: digits stripped (port numbers vary per probe), spaces dashed.
+    Only runs when metrics are enabled, and only on the drop path."""
+    reason = "".join(c for c in detail if not c.isdigit())
+    reason = reason.replace(":", "").strip().replace(" ", "-")
+    return reason or "unspecified"
+
+
 class Node:
     """Base class for everything attached to the network."""
 
@@ -77,6 +86,8 @@ class Node:
 
     def trace(self, action: str, packet: Packet, detail: str = "") -> None:
         if self.network is not None:
+            if action == "drop" and self.network.metrics.enabled:
+                self.network.metrics.inc("sim.drops." + _drop_reason(detail))
             self.network.recorder.record(
                 self.network.now, self.name, action, packet, detail
             )
@@ -89,6 +100,16 @@ class Network:
     """Node registry, link table and discrete-event loop."""
 
     def __init__(self, trace: bool = False, loss_seed: int = 0) -> None:
+        # Imported lazily: repro.core pulls in the measurement stack,
+        # which imports repro.net — a cycle at module-import time, but
+        # not by the time a Network is actually constructed.
+        from repro.core.metrics import active_registry
+
+        #: The metrics registry this network reports into, captured at
+        #: construction (see :func:`repro.core.metrics.use_registry`).
+        #: Defaults to the no-op registry: the hot path pays one empty
+        #: method call per hook when instrumentation is off.
+        self.metrics = active_registry()
         self.nodes: dict[str, Node] = {}
         self._links: dict[tuple[str, str], float] = {}
         self._link_loss: dict[tuple[str, str], float] = {}
@@ -178,10 +199,12 @@ class Network:
         latency = self.latency(sender, receiver)
         loss = self._link_loss.get((sender, receiver), 0.0)
         if loss and self.loss_rng.random() < loss:
+            self.metrics.inc("sim.drops.link-loss")
             self.recorder.record(
                 self.now, sender, "drop", packet, f"link loss -> {receiver}"
             )
             return
+        self.metrics.inc("sim.link_transits")
         self.recorder.record(self.now, sender, "send", packet, f"-> {receiver}")
         node = self.nodes[receiver]
         self.schedule(latency, lambda: node.receive(packet))
@@ -206,6 +229,8 @@ class Network:
                 raise SimulationError("event-loop runaway (routing loop?)")
         if until is not None and until > self.now:
             self.now = until
+        if processed:
+            self.metrics.inc("sim.events_dispatched", processed)
         return processed
 
     def run_until_idle(self) -> int:

@@ -13,12 +13,12 @@ from repro.analysis.export import (
 )
 from repro.analysis.tables import build_table4, build_table5
 from repro.atlas.population import generate_population
-from repro.core.study import ProbeRecord, StudyResult, run_pilot_study
+from repro.core.study import ProbeRecord, StudyConfig, StudyResult, run_pilot_study
 
 
 @pytest.fixture(scope="module")
 def study():
-    return run_pilot_study(generate_population(size=150, seed=19), seed=19)
+    return run_pilot_study(generate_population(size=150, seed=19), StudyConfig(seed=19))
 
 
 class TestRoundTrip:

@@ -10,7 +10,7 @@ from repro.core.parallel import (
     run_fleet,
     shard_fleet,
 )
-from repro.core.study import run_pilot_study
+from repro.core.study import StudyConfig, run_pilot_study
 
 from tests.conftest import make_spec
 
@@ -92,20 +92,38 @@ class TestRunFleet:
 
 class TestStudyDispatch:
     def test_parallel_study_identical_to_serial(self, fleet):
-        serial = run_pilot_study(fleet, workers=1, seed=77)
-        parallel = run_pilot_study(fleet, workers=4, seed=77)
+        serial = run_pilot_study(fleet, StudyConfig(workers=1, seed=77))
+        parallel = run_pilot_study(fleet, StudyConfig(workers=4, seed=77))
         assert parallel.records == serial.records
         assert parallel.fleet_size == serial.fleet_size == len(fleet)
         assert parallel.seed == serial.seed == 77
 
     def test_seed_recorded(self, fleet):
-        study = run_pilot_study(fleet[:2], seed=123)
+        study = run_pilot_study(fleet[:2], StudyConfig(seed=123))
         assert study.seed == 123
+
+    def test_config_recorded(self, fleet):
+        config = StudyConfig(workers=2, seed=9)
+        study = run_pilot_study(fleet[:2], config)
+        assert study.config is config
 
     def test_seed_reaches_export(self, fleet):
         import json
 
         from repro.analysis.export import study_to_json
 
-        study = run_pilot_study(fleet[:2], seed=456)
+        study = run_pilot_study(fleet[:2], StudyConfig(seed=456))
         assert json.loads(study_to_json(study))["seed"] == 456
+
+    def test_legacy_kwargs_shim(self, fleet):
+        """Pre-redesign keyword calls still work, but warn."""
+        with pytest.warns(DeprecationWarning, match="StudyConfig"):
+            study = run_pilot_study(fleet[:2], workers=1, seed=77)
+        assert study.seed == 77
+        assert study.records == run_pilot_study(
+            fleet[:2], StudyConfig(workers=1, seed=77)
+        ).records
+
+    def test_config_and_legacy_kwargs_conflict(self, fleet):
+        with pytest.raises(TypeError):
+            run_pilot_study(fleet[:2], StudyConfig(), seed=77)
