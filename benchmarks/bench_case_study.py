@@ -10,7 +10,7 @@ the redirection dormant (buggy=False) leaves traffic untouched.
 from repro.atlas.geo import organization_by_name
 from repro.atlas.measurement import MeasurementClient
 from repro.atlas.probe import ProbeSpec
-from repro.atlas.scenario import build_scenario
+from repro.atlas.scenario import ScenarioSpec, build_scenario
 from repro.cpe.firmware import xb6_profile
 from repro.dnswire import QType, make_query
 
@@ -21,7 +21,7 @@ def make_household(buggy: bool, trace: bool = False):
         organization=organization_by_name("Comcast"),
         firmware=xb6_profile(buggy=buggy),
     )
-    return build_scenario(spec, trace=trace)
+    return build_scenario(ScenarioSpec(probe=spec, trace=trace))
 
 
 def test_xb6_hijack_mechanism(benchmark):

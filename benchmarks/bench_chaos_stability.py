@@ -1,0 +1,92 @@
+"""Chaos stability benchmark: verdicts must survive impaired links.
+
+The acceptance bar for the impairment subsystem: measuring the same
+fleet over the calibrated ``residential`` profile (with the default
+backoff retry policy) must agree with the clean run on at least 99% of
+verdicts, and must never flip a probe the clean run found intercepted
+to ``not-intercepted`` — losing a real interceptor to packet loss is
+the one failure mode the chaos hardening exists to rule out.
+
+Run directly for a report (exits nonzero on a stability regression)::
+
+    PYTHONPATH=src python benchmarks/bench_chaos_stability.py \
+        --fleet 400 --trials 2
+"""
+
+import argparse
+import sys
+import time
+
+from repro.analysis.stability import build_stability_report
+from repro.atlas.population import generate_population
+from repro.atlas.retry import default_chaos_retry
+from repro.core.study import StudyConfig, run_pilot_study
+from repro.net.impairment import impairment_profile
+
+#: Minimum clean-run agreement a trial must reach.
+AGREEMENT_THRESHOLD = 0.99
+
+
+def run_chaos_trials(
+    fleet: int,
+    seed: int,
+    trials: int,
+    profile_name: str = "residential",
+    workers: int = 1,
+):
+    """Clean run plus ``trials`` impaired runs over the same fleet."""
+    specs = generate_population(size=fleet, seed=seed)
+    base = StudyConfig(workers=workers, seed=seed)
+    clean = run_pilot_study(specs, base)
+    profile = impairment_profile(profile_name)
+    impaired = []
+    for trial in range(1, trials + 1):
+        config = StudyConfig(
+            workers=workers,
+            seed=seed,
+            impairment=profile,
+            impairment_seed=trial,
+            retry=default_chaos_retry(seed=seed),
+        )
+        impaired.append(run_pilot_study(specs, config))
+    return build_stability_report(
+        clean, impaired, threshold=AGREEMENT_THRESHOLD
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="verdict stability under link impairment"
+    )
+    parser.add_argument("--fleet", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--trials", type=int, default=2)
+    parser.add_argument(
+        "--profile",
+        default="residential",
+        help="named impairment profile to stress with",
+    )
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    report = run_chaos_trials(
+        args.fleet, args.seed, args.trials, args.profile, args.workers
+    )
+    elapsed = time.perf_counter() - started
+    print(
+        f"fleet={args.fleet} probes  profile={args.profile}  "
+        f"trials={args.trials}  ({elapsed:.1f}s)"
+    )
+    print(report.render())
+    return 0 if report.ok() else 1
+
+
+def test_residential_chaos_stability():
+    """Benchmark-sized smoke: one residential trial, zero regressions."""
+    report = run_chaos_trials(fleet=60, seed=2021, trials=1)
+    assert report.ok(), report.render()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ from repro.atlas.population import generate_population
 from repro.atlas.probe import ProbeSpec
 from repro.core.study import StudyConfig, measure_probe, run_pilot_study
 from repro.cpe.firmware import xb6_profile
+from repro.net.impairment import LinkProfile
 from repro.dnswire import Message, QType, make_query, txt_record
 
 
@@ -146,6 +147,41 @@ def measure_metrics_overhead(fleet: int, seed: int, repeats: int = 3) -> dict:
     }
 
 
+def measure_impairment_overhead(fleet: int, seed: int, repeats: int = 3) -> dict:
+    """Time the same serial fleet with no impairment vs the null profile.
+
+    The null :class:`LinkProfile` installs the per-link impairment hooks
+    on every link (``transmit`` takes the impaired path) but never draws
+    a single random number, so this isolates the cost of *having* the
+    subsystem from the cost of *using* it. Both runs must also produce
+    identical records — a null profile is behaviourally invisible.
+    """
+    specs = generate_population(size=fleet, seed=seed)
+
+    def run_once(profile) -> "tuple[float, list]":
+        config = StudyConfig(workers=1, seed=seed, impairment=profile)
+        started = time.perf_counter()
+        study = run_pilot_study(specs, config)
+        return time.perf_counter() - started, study.records
+
+    run_once(None)  # warm-up
+    disabled_s, baseline = run_once(None)
+    enabled_s, hooked = run_once(LinkProfile())
+    if hooked != baseline:
+        raise AssertionError(
+            "null impairment profile changed study records — it must be inert"
+        )
+    for _ in range(repeats):
+        disabled_s = min(disabled_s, run_once(None)[0])
+        enabled_s = min(enabled_s, run_once(LinkProfile())[0])
+    return {
+        "fleet": fleet,
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "overhead_pct": (enabled_s / disabled_s - 1.0) * 100.0,
+    }
+
+
 def _run_overhead(args) -> int:
     stats = measure_metrics_overhead(args.fleet, args.seed, repeats=args.repeats)
     print(f"fleet={stats['fleet']} probes  (best of {2 * args.repeats} interleaved)")
@@ -153,13 +189,26 @@ def _run_overhead(args) -> int:
     print(f"metrics on  : {stats['enabled_s']:7.2f}s  (full collection)")
     print(f"overhead    : {stats['overhead_pct']:+.2f}%  "
           f"(limit {args.max_overhead_pct:.1f}%)")
+    failed = False
     if stats["overhead_pct"] > args.max_overhead_pct:
         print(
             f"FAIL: instrumentation overhead {stats['overhead_pct']:.2f}% "
             f"exceeds {args.max_overhead_pct:.2f}%"
         )
-        return 1
-    return 0
+        failed = True
+    impair = measure_impairment_overhead(args.fleet, args.seed, repeats=args.repeats)
+    print()
+    print(f"impairment off  : {impair['disabled_s']:7.2f}s  (fast transmit path)")
+    print(f"null profile on : {impair['enabled_s']:7.2f}s  (hooks installed)")
+    print(f"overhead        : {impair['overhead_pct']:+.2f}%  "
+          f"(limit {args.max_overhead_pct:.1f}%, records verified identical)")
+    if impair["overhead_pct"] > args.max_overhead_pct:
+        print(
+            f"FAIL: impairment-hook overhead {impair['overhead_pct']:.2f}% "
+            f"exceeds {args.max_overhead_pct:.2f}%"
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 def _run_throughput(args) -> int:
@@ -237,6 +286,12 @@ def test_parallel_fleet_matches_serial():
     """Pool-backed execution must reproduce the serial records exactly."""
     stats = compare_fleet_throughput(fleet=24, seed=2021, workers=4)
     assert stats["speedup"] > 0  # timing sanity; equality checked inside
+
+
+def test_null_impairment_profile_is_inert():
+    """Hooks installed, zero draws: records must be unchanged."""
+    stats = measure_impairment_overhead(fleet=20, seed=2021, repeats=0)
+    assert stats["enabled_s"] > 0  # records equality checked inside
 
 
 if __name__ == "__main__":

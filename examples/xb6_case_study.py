@@ -16,7 +16,7 @@ Run:  python examples/xb6_case_study.py
 from repro.atlas.geo import organization_by_name
 from repro.atlas.measurement import MeasurementClient
 from repro.atlas.probe import ProbeSpec
-from repro.atlas.scenario import build_scenario
+from repro.atlas.scenario import ScenarioSpec, build_scenario
 from repro.cpe.firmware import xb6_profile
 from repro.cpe.xb6 import describe_mechanism
 from repro.dnswire import QType, make_query
@@ -28,7 +28,7 @@ def main() -> None:
         organization=organization_by_name("Comcast"),
         firmware=xb6_profile(buggy=True),
     )
-    scenario = build_scenario(spec, trace=True)
+    scenario = build_scenario(ScenarioSpec(probe=spec, trace=True))
 
     print("=" * 72)
     print("The mechanism (RDK-B / CcspXDNS)")

@@ -20,6 +20,13 @@ from .formatting import render_bar_chart, render_table
 from .grouping import count_version_families, top_groups, version_string_family
 from .accuracy import AccuracyReport, ClassMetrics, ConfusionMatrix, score_study
 from .replication import ReplicationReport, build_replication_report
+from .stability import (
+    StabilityReport,
+    TrialStability,
+    VerdictFlip,
+    build_stability_report,
+    compare_verdicts,
+)
 from .export import load_study, save_study, study_from_json, study_to_json
 from .tables import (
     Table4,
@@ -48,6 +55,11 @@ __all__ = [
     "score_study",
     "ReplicationReport",
     "build_replication_report",
+    "StabilityReport",
+    "TrialStability",
+    "VerdictFlip",
+    "build_stability_report",
+    "compare_verdicts",
     "load_study",
     "save_study",
     "study_from_json",

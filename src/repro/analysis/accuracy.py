@@ -31,12 +31,15 @@ TRUTH_ORDER = (
     InterceptorLocation.ISP.value,
     InterceptorLocation.BEYOND.value,
 )
-#: Verdict classes, in display order.
+#: Verdict classes, in display order. ``INCONCLUSIVE`` (graceful
+#: degradation under impairment) is scored like ``NO_DATA``: a miss,
+#: never an error — the classifier explicitly declined to guess.
 VERDICT_ORDER = (
     LocatorVerdict.NOT_INTERCEPTED.value,
     LocatorVerdict.CPE.value,
     LocatorVerdict.WITHIN_ISP.value,
     LocatorVerdict.UNKNOWN.value,
+    LocatorVerdict.INCONCLUSIVE.value,
     LocatorVerdict.NO_DATA.value,
 )
 

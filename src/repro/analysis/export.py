@@ -27,6 +27,7 @@ def record_to_dict(record: ProbeRecord) -> dict[str, Any]:
     data = dataclasses.asdict(record)
     # Tuples become lists in JSON; normalise provider_status rows.
     data["provider_status"] = [list(row) for row in record.provider_status]
+    data["inconclusive_steps"] = list(record.inconclusive_steps)
     return data
 
 
@@ -39,6 +40,10 @@ def record_from_dict(data: dict[str, Any]) -> ProbeRecord:
     payload["provider_status"] = tuple(
         (str(name), int(family), str(status))
         for name, family, status in payload.get("provider_status", [])
+    )
+    # Absent in pre-impairment exports: default to "no step degraded".
+    payload["inconclusive_steps"] = tuple(
+        str(step) for step in payload.get("inconclusive_steps", ())
     )
     return ProbeRecord(**payload)
 

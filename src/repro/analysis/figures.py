@@ -101,6 +101,9 @@ class LocationSummary:
     cpe: int
     within_isp: int
     unknown: int
+    #: Interception seen but localisation degraded (retry budget
+    #: exhausted mid-pipeline); zero on clean runs.
+    inconclusive: int = 0
 
     @property
     def close_to_client(self) -> int:
@@ -108,12 +111,15 @@ class LocationSummary:
         return self.cpe + self.within_isp
 
     def render(self) -> str:
-        return (
+        text = (
             f"intercepted={self.total_intercepted}  CPE={self.cpe}  "
             f"within-ISP={self.within_isp}  unknown/beyond={self.unknown}  "
             f"close-to-client={self.close_to_client} "
             f"({100 * self.close_to_client / max(1, self.total_intercepted):.0f}%)"
         )
+        if self.inconclusive:
+            text += f"  inconclusive={self.inconclusive}"
+        return text
 
 
 def build_location_summary(study: StudyResult) -> LocationSummary:
@@ -124,4 +130,5 @@ def build_location_summary(study: StudyResult) -> LocationSummary:
         cpe=counts.get(LocatorVerdict.CPE.value, 0),
         within_isp=counts.get(LocatorVerdict.WITHIN_ISP.value, 0),
         unknown=counts.get(LocatorVerdict.UNKNOWN.value, 0),
+        inconclusive=counts.get(LocatorVerdict.INCONCLUSIVE.value, 0),
     )

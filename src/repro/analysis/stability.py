@@ -1,0 +1,154 @@
+"""Verdict stability under impairment: clean run vs chaos trials.
+
+The chaos-study acceptance bar: with the calibrated ``residential``
+profile and the default backoff retry policy, at least 99% of probe
+verdicts must match the clean run, and **no** probe the clean run found
+intercepted may flip to ``not-intercepted`` — a flip like that means an
+interceptor went unnoticed purely because the path was lossy, the
+failure mode the retry policy and the ``INCONCLUSIVE`` degradation
+exist to prevent. Degrading to ``inconclusive`` or ``no-data`` is an
+honest "couldn't measure", counted against agreement but never as a
+dangerous flip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.classifier import LocatorVerdict
+from repro.core.study import StudyResult
+
+#: Verdicts that assert interception was observed.
+_INTERCEPTED_VERDICTS = frozenset(
+    {
+        LocatorVerdict.CPE.value,
+        LocatorVerdict.WITHIN_ISP.value,
+        LocatorVerdict.UNKNOWN.value,
+    }
+)
+
+
+@dataclass(frozen=True)
+class VerdictFlip:
+    """One probe whose verdict changed between clean and impaired runs."""
+
+    probe_id: int
+    clean: str
+    impaired: str
+
+    @property
+    def dangerous(self) -> bool:
+        """An intercepted probe reported clean: the one unacceptable flip."""
+        return (
+            self.clean in _INTERCEPTED_VERDICTS
+            and self.impaired == LocatorVerdict.NOT_INTERCEPTED.value
+        )
+
+
+@dataclass
+class TrialStability:
+    """Clean-vs-one-impaired-trial comparison."""
+
+    trial: int
+    probes: int
+    matches: int
+    flips: list[VerdictFlip] = field(default_factory=list)
+    inconclusive: int = 0
+
+    @property
+    def agreement(self) -> float:
+        return self.matches / self.probes if self.probes else 1.0
+
+    @property
+    def dangerous_flips(self) -> list[VerdictFlip]:
+        return [flip for flip in self.flips if flip.dangerous]
+
+
+@dataclass
+class StabilityReport:
+    """All chaos trials scored against one clean run."""
+
+    trials: list[TrialStability] = field(default_factory=list)
+    threshold: float = 0.99
+
+    @property
+    def worst_agreement(self) -> float:
+        return min((t.agreement for t in self.trials), default=1.0)
+
+    @property
+    def dangerous_flips(self) -> list[VerdictFlip]:
+        return [flip for trial in self.trials for flip in trial.dangerous_flips]
+
+    def ok(self) -> bool:
+        return self.worst_agreement >= self.threshold and not self.dangerous_flips
+
+    def render(self) -> str:
+        lines = ["Verdict stability under impairment (vs clean run):"]
+        for trial in self.trials:
+            lines.append(
+                f"  trial {trial.trial}: agreement "
+                f"{trial.agreement:.4f} ({trial.matches}/{trial.probes}), "
+                f"{len(trial.flips)} flips "
+                f"({len(trial.dangerous_flips)} intercepted->clean), "
+                f"{trial.inconclusive} inconclusive"
+            )
+        for flip in self.dangerous_flips:
+            lines.append(
+                f"  DANGEROUS: probe {flip.probe_id} "
+                f"{flip.clean} -> {flip.impaired}"
+            )
+        verdict = "PASS" if self.ok() else "FAIL"
+        lines.append(
+            f"  {verdict}: worst agreement {self.worst_agreement:.4f} "
+            f"(threshold {self.threshold:.2f}), "
+            f"{len(self.dangerous_flips)} intercepted->clean flips (max 0)"
+        )
+        return "\n".join(lines)
+
+
+def compare_verdicts(
+    clean: StudyResult, impaired: StudyResult, trial: int = 1
+) -> TrialStability:
+    """Score one impaired trial's verdicts against the clean run's.
+
+    Records are matched by position (both runs measure the same fleet
+    in the same order); a fleet mismatch is a caller bug and raises.
+    """
+    if len(clean.records) != len(impaired.records):
+        raise ValueError(
+            f"fleet mismatch: clean has {len(clean.records)} records, "
+            f"impaired trial has {len(impaired.records)}"
+        )
+    result = TrialStability(trial=trial, probes=len(clean.records), matches=0)
+    for before, after in zip(clean.records, impaired.records):
+        if before.probe_id != after.probe_id:
+            raise ValueError(
+                f"fleet mismatch: probe {before.probe_id} vs {after.probe_id}"
+            )
+        if after.verdict == LocatorVerdict.INCONCLUSIVE.value:
+            result.inconclusive += 1
+        if before.verdict == after.verdict:
+            result.matches += 1
+        else:
+            result.flips.append(
+                VerdictFlip(
+                    probe_id=before.probe_id,
+                    clean=before.verdict,
+                    impaired=after.verdict,
+                )
+            )
+    return result
+
+
+def build_stability_report(
+    clean: StudyResult,
+    impaired_trials: "list[StudyResult]",
+    threshold: float = 0.99,
+) -> StabilityReport:
+    return StabilityReport(
+        trials=[
+            compare_verdicts(clean, impaired, trial=index + 1)
+            for index, impaired in enumerate(impaired_trials)
+        ],
+        threshold=threshold,
+    )

@@ -34,9 +34,16 @@ from .population import (
     generate_population,
 )
 from .probe import InterceptorLocation, IspBehavior, ProbeSpec
+from .retry import (
+    ExponentialBackoffRetry,
+    FixedIntervalRetry,
+    RetryPolicy,
+    default_chaos_retry,
+)
 from .scenario import (
     HOSTED_DNS_V4_PREFIX,
     Scenario,
+    ScenarioSpec,
     build_scenario,
     resolver_software,
 )
@@ -67,8 +74,13 @@ __all__ = [
     "InterceptorLocation",
     "IspBehavior",
     "ProbeSpec",
+    "ExponentialBackoffRetry",
+    "FixedIntervalRetry",
+    "RetryPolicy",
+    "default_chaos_retry",
     "HOSTED_DNS_V4_PREFIX",
     "Scenario",
+    "ScenarioSpec",
     "build_scenario",
     "resolver_software",
 ]

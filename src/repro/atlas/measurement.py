@@ -28,6 +28,8 @@ from repro.net.addr import IPAddress, parse_ip
 from repro.net.node import ReceivedDatagram, ReceivedIcmp
 from repro.net.packet import DEFAULT_TTL
 
+from .retry import FixedIntervalRetry, RetryPolicy
+
 #: How long a probe waits for an answer (simulated milliseconds).
 DEFAULT_TIMEOUT_MS = 5000.0
 
@@ -99,7 +101,17 @@ class DnsExchangeResult(ExchangeResult):
 
     @property
     def replicated(self) -> bool:
-        return len(self.accepted) > 1
+        """True when validation accepted two *distinct* responses.
+
+        Byte-identical extras are link-level duplication, not query
+        replication: an interceptor's injected answer always differs
+        from the genuine one (different payload), while an impaired
+        link's duplicate is the same message delivered twice.
+        """
+        if len(self.accepted) < 2:
+            return False
+        first = self.accepted[0]
+        return any(message != first for message in self.accepted[1:])
 
 
 @dataclass
@@ -164,6 +176,7 @@ def dns_exchange(
     ttl: int = DEFAULT_TTL,
     retries: int = 0,
     retry_interval_ms: float = 1000.0,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> DnsExchangeResult:
     """Send ``query`` to ``destination`` and collect the outcome.
 
@@ -172,11 +185,18 @@ def dns_exchange(
     ``destination`` and the message id must match. ICMP errors quoting
     this probe's packets are gathered for TTL analysis.
 
-    ``retries`` adds stub-resolver-style retransmissions (same message
-    id, same socket) at ``retry_interval_ms`` spacing — the standard
-    defence against packet loss on the path. The overall ``timeout_ms``
-    budget covers all attempts.
+    Retransmissions (same message id, same socket) are governed by
+    ``retry_policy`` — any :class:`~repro.atlas.retry.RetryPolicy`, e.g.
+    exponential backoff with jitter for chaos studies. The legacy
+    ``retries`` / ``retry_interval_ms`` pair builds the equivalent
+    :class:`~repro.atlas.retry.FixedIntervalRetry` and remains the
+    default spelling. Whatever the policy, the overall ``timeout_ms``
+    budget covers all attempts and no retransmission is sent at or past
+    the deadline.
     """
+    if retry_policy is None:
+        retry_policy = FixedIntervalRetry(retries=retries, interval_ms=retry_interval_ms)
+    delays = retry_policy.delays_ms(query.msg_id)
     destination = parse_ip(destination)
     result = DnsExchangeResult(query=query, destination=destination)
     sock = host.open_socket()
@@ -212,10 +232,14 @@ def dns_exchange(
         send_times.append(network.now)
         sock.sendto(query.encode(), destination, DNS_PORT, ttl=ttl)
         deadline = send_times[0] + timeout_ms
-        attempts_left = retries
-        next_retry = send_times[0] + retry_interval_ms
+        retry_index = 0
+        next_retry = send_times[0] + delays[0] if delays else deadline
         while True:
-            horizon = min(deadline, next_retry) if attempts_left else deadline
+            pending = retry_index < len(delays)
+            # A retransmission scheduled at or past the deadline never
+            # goes out: the horizon min() stops the clock at the
+            # deadline first and the loop exits on the budget check.
+            horizon = min(deadline, next_retry) if pending else deadline
             network.run(until=horizon)
             # Validate what arrived *before* deciding whether to keep
             # retrying: a rejected datagram (wrong source/port/id — the
@@ -224,12 +248,13 @@ def dns_exchange(
             classify(sock.drain())
             if result.accepted:
                 break
-            if network.now >= deadline or not attempts_left:
+            if network.now >= deadline or not pending:
                 break
             send_times.append(network.now)
             sock.sendto(query.encode(), destination, DNS_PORT, ttl=ttl)
-            attempts_left -= 1
-            next_retry = network.now + retry_interval_ms
+            retry_index += 1
+            if retry_index < len(delays):
+                next_retry = network.now + delays[retry_index]
         result.attempts = len(send_times)
         result.icmp = [
             icmp
@@ -314,8 +339,10 @@ def dot_exchange(
 class MeasurementClient:
     """Convenience wrapper binding a network and a probe host.
 
-    ``retries`` applies stub-style retransmission to every exchange —
-    set it when measuring over lossy paths.
+    ``retry_policy`` applies stub-style retransmission to every
+    exchange — set it when measuring over lossy or impaired paths. The
+    legacy ``retries`` / ``retry_interval_ms`` pair still works and
+    builds a fixed-interval policy.
     """
 
     network: Network
@@ -323,6 +350,7 @@ class MeasurementClient:
     timeout_ms: float = DEFAULT_TIMEOUT_MS
     retries: int = 0
     retry_interval_ms: float = 1000.0
+    retry_policy: Optional[RetryPolicy] = None
 
     def exchange(
         self,
@@ -340,6 +368,7 @@ class MeasurementClient:
             ttl=ttl,
             retries=self.retries,
             retry_interval_ms=self.retry_interval_ms,
+            retry_policy=self.retry_policy,
         )
 
     def can_reach_family(self, family: int) -> bool:

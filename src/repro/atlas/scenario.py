@@ -15,13 +15,15 @@ physical fact Step 3 of the methodology exploits.
 from __future__ import annotations
 
 import ipaddress
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cpe.device import CpeDevice
 from repro.cpe.forwarder import ForwarderEngine
 from repro.interceptors.middlebox import ExternalInterceptor, MiddleboxRouter
-from repro.net import Host, Network, Router
+from repro.interceptors.policy import InterceptionPolicy
+from repro.net import Host, LinkProfile, Network, Router
 from repro.net.addr import IPAddress
 from repro.resolvers import (
     NameDirectory,
@@ -71,6 +73,66 @@ def resolver_software(key: str) -> ServerSoftware:
         ) from None
 
 
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative description of one probe's simulated world.
+
+    The probe's :class:`~repro.atlas.probe.ProbeSpec` stays the source
+    of truth for who the probe is; ``ScenarioSpec`` layers the *run*
+    choices on top — which resolvers exist, which interception policies
+    apply, what the links do to packets — so chaos trials and
+    :class:`~repro.core.study.StudyConfig` share one surface.
+
+    ``providers``
+        The public resolvers present in the scenario (``None`` = all
+        four). Absent providers' addresses are unrouted, so their
+        measurements time out — the "resolver set" knob.
+    ``isp_policies`` / ``external_policies``
+        Interception-policy overrides. ``None`` inherits the probe
+        spec's policies; an empty tuple forces the device out entirely.
+    ``impairment`` / ``impairment_seed``
+        A :class:`~repro.net.impairment.LinkProfile` applied
+        network-wide. The network's RNG streams are seeded from
+        ``(impairment_seed, probe_id)``, so every probe is still a pure
+        function of its spec for any worker count, while distinct
+        chaos trials (distinct seeds) draw distinct fault schedules.
+    """
+
+    probe: ProbeSpec
+    providers: Optional[tuple[Provider, ...]] = None
+    isp_policies: Optional[tuple[InterceptionPolicy, ...]] = None
+    external_policies: Optional[tuple[InterceptionPolicy, ...]] = None
+    impairment: Optional[LinkProfile] = None
+    impairment_seed: int = 0
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.probe, ProbeSpec):
+            raise TypeError(
+                f"probe must be a ProbeSpec, got {type(self.probe).__name__}"
+            )
+        if self.impairment is not None and not isinstance(
+            self.impairment, LinkProfile
+        ):
+            raise TypeError(
+                f"impairment must be a LinkProfile, "
+                f"got {type(self.impairment).__name__}"
+            )
+
+    def effective_providers(self) -> tuple[Provider, ...]:
+        return tuple(Provider) if self.providers is None else self.providers
+
+    def effective_isp_policies(self) -> tuple[InterceptionPolicy, ...]:
+        if self.isp_policies is None:
+            return self.probe.isp.middlebox_policies
+        return self.isp_policies
+
+    def effective_external_policies(self) -> tuple[InterceptionPolicy, ...]:
+        if self.external_policies is None:
+            return self.probe.external_policies
+        return self.external_policies
+
+
 @dataclass
 class Scenario:
     """A built probe network plus the handles measurements need."""
@@ -85,6 +147,8 @@ class Scenario:
     middlebox: Optional[MiddleboxRouter] = None
     external: Optional[ExternalInterceptor] = None
     notes: dict[str, str] = field(default_factory=dict)
+    #: The declarative spec this scenario was built from.
+    scenario_spec: Optional[ScenarioSpec] = None
 
     @property
     def cpe_public_v4(self) -> IPAddress:
@@ -107,15 +171,49 @@ def _home_addresses(spec: ProbeSpec):
     return v4_net, wan_v4, v6_net, home_v6
 
 
+#: Sentinel distinguishing "not passed" from False in the deprecated
+#: ``build_scenario(trace=...)`` kwarg shim.
+_UNSET: object = object()
+
+
 def build_scenario(
-    spec: ProbeSpec,
+    spec: "ProbeSpec | ScenarioSpec",
     directory: Optional[NameDirectory] = None,
-    trace: bool = False,
+    trace=_UNSET,
 ) -> Scenario:
-    """Build the full network for one probe."""
+    """Build the full network for one probe.
+
+    ``spec`` is a :class:`ScenarioSpec`; a bare
+    :class:`~repro.atlas.probe.ProbeSpec` is accepted as shorthand for
+    ``ScenarioSpec(probe=spec)`` (the overwhelmingly common call). The
+    ``trace`` kwarg is deprecated — set it on the :class:`ScenarioSpec`.
+    """
+    if isinstance(spec, ScenarioSpec):
+        if trace is not _UNSET:
+            raise TypeError(
+                "build_scenario() got both a ScenarioSpec and trace=; "
+                "set trace on the ScenarioSpec"
+            )
+        sspec = spec
+    else:
+        if trace is not _UNSET:
+            warnings.warn(
+                "build_scenario(trace=...) is deprecated; pass "
+                "ScenarioSpec(probe=..., trace=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        sspec = ScenarioSpec(
+            probe=spec, trace=False if trace is _UNSET else bool(trace)
+        )
+    spec = sspec.probe
     org = spec.organization
     directory = directory or build_default_directory()
-    net = Network(trace=trace)
+    net = Network(
+        trace=sspec.trace,
+        loss_seed=f"impair:{sspec.impairment_seed}:{spec.probe_id}",
+        impairment=sspec.impairment,
+    )
 
     v4_net, wan_v4, v6_net, home_v6 = _home_addresses(spec)
     isp_base_v4 = v4_net.network_address
@@ -178,11 +276,12 @@ def build_scenario(
         asn=org.asn,
         drop_bogons=True,
     )
+    isp_policies = sspec.effective_isp_policies()
     middlebox: Optional[MiddleboxRouter] = None
-    if spec.isp.middlebox_policies:
+    if isp_policies:
         middlebox = MiddleboxRouter(
             "middlebox",
-            policies=spec.isp.middlebox_policies,
+            policies=isp_policies,
             alternate_resolver_v4=resolver_v4,
             alternate_resolver_v6=resolver_v6,
             addresses=[isp_base_v4 + 3],
@@ -195,9 +294,10 @@ def build_scenario(
         addresses=["198.32.0.1", "2001:500:a8::1"],
         drop_bogons=True,
     )
+    external_policies = sspec.effective_external_policies()
     external: Optional[ExternalInterceptor] = None
     off_as_resolver: Optional[RecursiveResolverNode] = None
-    if spec.external_policies:
+    if external_policies:
         off_v4 = TRANSIT_V4_PREFIX.network_address + 0x153
         off_v6 = TRANSIT_V6_PREFIX.network_address + 0x153
         off_as_resolver = RecursiveResolverNode(
@@ -208,7 +308,7 @@ def build_scenario(
         )
         external = ExternalInterceptor(
             "external",
-            policies=spec.external_policies,
+            policies=external_policies,
             alternate_resolver_v4=off_v4,
             alternate_resolver_v6=off_v6,
             addresses=[TRANSIT_V4_PREFIX.network_address + 1],
@@ -216,7 +316,7 @@ def build_scenario(
 
     providers = {
         provider: PublicResolverNode(provider, directory)
-        for provider in Provider
+        for provider in sspec.effective_providers()
     }
 
     # -- attach everything --------------------------------------------------------
@@ -355,5 +455,6 @@ def build_scenario(
         providers=providers,
         middlebox=middlebox,
         external=external,
+        scenario_spec=sspec,
     )
     return scenario

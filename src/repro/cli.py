@@ -41,15 +41,18 @@ from repro.analysis import (
     render_table,
 )
 from repro.analysis.accuracy import score_study
+from repro.analysis.stability import build_stability_report
 from repro.atlas.geo import ORGANIZATIONS, organization_by_name
 from repro.atlas.measurement import MeasurementClient
 from repro.atlas.population import generate_population
 from repro.atlas.probe import IspBehavior, ProbeSpec
-from repro.atlas.scenario import build_scenario
+from repro.atlas.retry import ExponentialBackoffRetry
+from repro.atlas.scenario import ScenarioSpec, build_scenario
 from repro.core.catalog import location_query_table
 from repro.core.dot_probe import DotProfile, detect_dot_provider
 from repro.core.metrics import TRACE_LEVELS
 from repro.core.study import StudyConfig, run_pilot_study
+from repro.net.impairment import IMPAIRMENT_PROFILES, impairment_profile
 from repro.core.ttl_probe import ttl_probe
 from repro.cpe.firmware import (
     dnat_interceptor,
@@ -178,8 +181,63 @@ def cmd_example(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_retry(args: argparse.Namespace):
+    """Retry policy for impaired runs: backoff, sized by ``--retries``."""
+    retries = args.retries
+    if retries is None:
+        retries = 5 if args.impair else 0
+    if retries == 0:
+        return None
+    return ExponentialBackoffRetry(retries=retries, seed=args.seed)
+
+
+def _run_chaos_study(args: argparse.Namespace, specs, config: StudyConfig) -> int:
+    """Clean run + N impaired trials, scored for verdict stability."""
+    profile = impairment_profile(args.impair)
+    print(
+        f"chaos study: clean run + {args.chaos_trials} trials under "
+        f"'{args.impair}' ({profile.describe()})",
+        file=sys.stderr,
+    )
+    clean_config = replace(config, impairment=None, retry=None)
+    clean = run_pilot_study(specs, clean_config)
+    trials = []
+    for trial in range(1, args.chaos_trials + 1):
+        print(f"impaired trial {trial}/{args.chaos_trials} ...", file=sys.stderr)
+        trial_config = replace(
+            config,
+            impairment=profile,
+            impairment_seed=trial,
+            retry=_chaos_retry(args),
+        )
+        trials.append(run_pilot_study(specs, trial_config))
+    if args.metrics:
+        snapshot = trials[0].metrics
+        if snapshot is not None:
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                handle.write(snapshot.to_json())
+                handle.write("\n")
+            print(
+                f"wrote impaired-trial metrics snapshot to {args.metrics}",
+                file=sys.stderr,
+            )
+    print("Clean run:   ", build_location_summary(clean).render())
+    for index, trial in enumerate(trials, start=1):
+        print(f"Trial {index}:     ", build_location_summary(trial).render())
+    print()
+    report = build_stability_report(clean, trials)
+    print(report.render())
+    return 0 if report.ok() else 1
+
+
 def cmd_study(args: argparse.Namespace) -> int:
+    if args.chaos_trials and not args.impair:
+        print("--chaos-trials requires --impair", file=sys.stderr)
+        return 2
     if args.load:
+        if args.impair:
+            print("--impair cannot be combined with --load", file=sys.stderr)
+            return 2
         from repro.analysis.export import load_study
 
         study = load_study(args.load)
@@ -188,16 +246,25 @@ def cmd_study(args: argparse.Namespace) -> int:
         specs = generate_population(size=args.size, seed=args.seed)
         workers = args.workers if args.workers != 0 else None
         suffix = "" if workers == 1 else f" across {workers or 'auto'} workers"
-        print(
-            f"measuring {len(specs)} probes (seed {args.seed}){suffix} ...",
-            file=sys.stderr,
-        )
         config = StudyConfig(
             workers=workers,
             seed=args.seed,
             metrics=bool(args.metrics),
             trace=args.trace,
         )
+        if args.chaos_trials:
+            return _run_chaos_study(args, specs, config)
+        print(
+            f"measuring {len(specs)} probes (seed {args.seed}){suffix} ...",
+            file=sys.stderr,
+        )
+        if args.impair:
+            config = replace(
+                config,
+                impairment=impairment_profile(args.impair),
+                impairment_seed=args.seed,
+                retry=_chaos_retry(args),
+            )
         study = run_pilot_study(specs, config)
     if args.metrics:
         if study.metrics is None:
@@ -243,7 +310,7 @@ def cmd_case_study(args: argparse.Namespace) -> int:
         organization=organization_by_name("Comcast"),
         firmware=xb6_profile(buggy=True),
     )
-    scenario = build_scenario(spec, trace=True)
+    scenario = build_scenario(ScenarioSpec(probe=spec, trace=True))
     print(describe_mechanism(scenario.cpe))
     print()
     client = MeasurementClient(scenario.network, scenario.host)
@@ -353,6 +420,27 @@ def build_parser() -> argparse.ArgumentParser:
         default="probe",
         help="metrics event-log verbosity (with --metrics): off, one event "
         "per probe, or one event per DNS exchange",
+    )
+    study.add_argument(
+        "--impair",
+        choices=sorted(IMPAIRMENT_PROFILES),
+        help="measure the fleet over impaired links (named LinkProfile)",
+    )
+    study.add_argument(
+        "--chaos-trials",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --impair: run a clean study plus N impaired trials and "
+        "score verdict stability (exit 1 on regression)",
+    )
+    study.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retransmission budget per exchange under --impair "
+        "(default: 5 when impaired, 0 otherwise)",
     )
     study.add_argument("--save", metavar="PATH", help="write records as JSON")
     study.add_argument(

@@ -21,11 +21,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.atlas.measurement import MeasurementClient
+from repro.atlas.measurement import ExchangeStatus, MeasurementClient
 from repro.net.addr import IPAddress
 
 from .cpe_check import CpeCheckResult, check_cpe
-from .detector import DetectionReport, detect_all
+from .detector import DetectionReport, InterceptionStatus, detect_all
 from .isp_check import IspCheckResult, check_isp
 from .metrics import active_registry
 from .transparency import ProbeTransparency, TransparencyResult, check_transparency
@@ -38,7 +38,23 @@ class LocatorVerdict(enum.Enum):
     CPE = "cpe"
     WITHIN_ISP = "within-isp"
     UNKNOWN = "unknown"  # beyond the ISP, or a bogon-discarding interceptor
+    INCONCLUSIVE = "inconclusive"  # a step exhausted its retry budget
     NO_DATA = "no-data"  # the probe never answered any measurement
+
+
+class StepOutcome(enum.Enum):
+    """How one locator step ended.
+
+    ``INCONCLUSIVE`` means the step burned its entire retransmission
+    budget on queries that still timed out — the measurement is missing,
+    not negative, so the pipeline must degrade to an explicit "don't
+    know" rather than risk a misclassification. Only reachable when a
+    retry policy is in force (``attempts > 1``): classic no-retry runs
+    keep their historical verdicts bit for bit.
+    """
+
+    COMPLETE = "complete"
+    INCONCLUSIVE = "inconclusive"
 
 
 @dataclass
@@ -51,12 +67,26 @@ class ProbeClassification:
     cpe_check: Optional[CpeCheckResult] = None
     isp_check: Optional[IspCheckResult] = None
     transparency: Optional[TransparencyResult] = None
+    #: Per-step outcome; steps that never ran are absent.
+    step_outcomes: dict[str, StepOutcome] = field(default_factory=dict)
 
     @property
     def intercepted(self) -> bool:
         return self.verdict not in (
             LocatorVerdict.NOT_INTERCEPTED,
+            LocatorVerdict.INCONCLUSIVE,
             LocatorVerdict.NO_DATA,
+        )
+
+    @property
+    def inconclusive_steps(self) -> tuple[str, ...]:
+        """Names of steps that exhausted their budget, sorted."""
+        return tuple(
+            sorted(
+                name
+                for name, outcome in self.step_outcomes.items()
+                if outcome is StepOutcome.INCONCLUSIVE
+            )
         )
 
     @property
@@ -116,17 +146,30 @@ class InterceptionLocator:
         family = self._analysis_family(detection)
         if family is None:
             responded = any(v.responded for v in detection.verdicts.values())
-            verdict = (
-                LocatorVerdict.NOT_INTERCEPTED if responded else LocatorVerdict.NO_DATA
-            )
+            outcomes: dict[str, StepOutcome] = {}
+            if not responded:
+                verdict = LocatorVerdict.NO_DATA
+            elif self._detection_exhausted(detection):
+                # Some (provider, family) pair never answered despite a
+                # full retransmission budget: an interceptor there could
+                # have been missed, so "not intercepted" would be a
+                # guess. Degrade instead of misclassifying.
+                verdict = LocatorVerdict.INCONCLUSIVE
+                outcomes["detect"] = StepOutcome.INCONCLUSIVE
+                metrics.inc("locator.step1.inconclusive")
+            else:
+                verdict = LocatorVerdict.NOT_INTERCEPTED
             metrics.inc("locator.verdict." + verdict.value)
-            return ProbeClassification(detection=detection, verdict=verdict)
+            return ProbeClassification(
+                detection=detection, verdict=verdict, step_outcomes=outcomes
+            )
 
         result = ProbeClassification(
             detection=detection,
             verdict=LocatorVerdict.UNKNOWN,
             analysis_family=family,
         )
+        result.step_outcomes["detect"] = StepOutcome.COMPLETE
         intercepted = detection.intercepted_providers(family)
 
         # Step 2: the CPE check (needs the probe's public address).
@@ -140,13 +183,31 @@ class InterceptionLocator:
             if result.cpe_check.cpe_is_interceptor:
                 metrics.inc("locator.step2.cpe_confirmed")
                 result.verdict = LocatorVerdict.CPE
+                result.step_outcomes["cpe_check"] = StepOutcome.COMPLETE
+            elif self._cpe_check_exhausted(result.cpe_check):
+                # A resolver-side version.bind probe died despite a full
+                # retry budget: the string comparison never happened, so
+                # "not the CPE" is unproven. (A silent CPE-WAN address
+                # is the honest-router norm and does NOT trigger this.)
+                result.step_outcomes["cpe_check"] = StepOutcome.INCONCLUSIVE
+                metrics.inc("locator.step2.inconclusive")
+            else:
+                result.step_outcomes["cpe_check"] = StepOutcome.COMPLETE
 
         # Step 3: the bogon check, only if the CPE was not implicated.
         if result.verdict is not LocatorVerdict.CPE:
             with metrics.timer("locator.wall_ms.step3_bogon"):
                 result.isp_check = check_isp(self.client, family=family, rng=self.rng)
             metrics.inc("locator.step3.ran")
-            if result.isp_check.within_isp:
+            # Bogon silence is a defined ambiguity (a bogon-discarding
+            # interceptor looks identical), so step 3 is always COMPLETE.
+            result.step_outcomes["isp_check"] = StepOutcome.COMPLETE
+            if result.step_outcomes.get("cpe_check") is StepOutcome.INCONCLUSIVE:
+                # Step 3 cannot separate CPE from ISP on its own (a CPE
+                # interceptor answers bogon queries too); with step 2
+                # inconclusive the localisation is unknowable this run.
+                result.verdict = LocatorVerdict.INCONCLUSIVE
+            elif result.isp_check.within_isp:
                 metrics.inc("locator.step3.within_isp")
                 result.verdict = LocatorVerdict.WITHIN_ISP
             else:
@@ -169,3 +230,25 @@ class InterceptionLocator:
             if family in self.families and detection.any_intercepted(family):
                 return family
         return None
+
+    @staticmethod
+    def _detection_exhausted(detection: DetectionReport) -> bool:
+        """True when some measured pair is NO_RESPONSE with every one of
+        its exchanges having used a retransmission budget (attempts > 1).
+        Never true without a retry policy, so classic runs are unchanged."""
+        return any(
+            verdict.status is InterceptionStatus.NO_RESPONSE
+            and verdict.probes
+            and all(p.exchange.attempts > 1 for p in verdict.probes)
+            for verdict in detection.verdicts.values()
+        )
+
+    @staticmethod
+    def _cpe_check_exhausted(cpe_check: CpeCheckResult) -> bool:
+        """True when a *resolver-side* version.bind exchange timed out
+        after retries — the comparison Step 2 rests on never happened."""
+        return any(
+            obs.exchange.status is ExchangeStatus.TIMEOUT
+            and obs.exchange.attempts > 1
+            for obs in cpe_check.resolver_observations
+        )

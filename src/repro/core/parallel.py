@@ -103,32 +103,31 @@ def shard_fleet(specs: Sequence[ProbeSpec], shards: int) -> list[FleetShard]:
 
 #: Per-process state: the shared read-only NameDirectory is built once
 #: per worker (not once per probe — zone construction dominates small
-#: probes) and the study options ride along from the initializer.
+#: probes) and the whole StudyConfig rides along from the initializer.
 _worker_state: dict = {}
 
 
-def _init_worker(run_transparency: bool, metrics: bool = False,
-                 trace: str = "probe") -> None:
+def _init_worker(config: "StudyConfig") -> None:
     from repro.resolvers.directory import build_default_directory
 
     _worker_state["directory"] = build_default_directory()
-    _worker_state["run_transparency"] = run_transparency
-    _worker_state["metrics"] = metrics
-    _worker_state["trace"] = trace
+    _worker_state["config"] = config
 
 
 def measure_shard(
     shard: FleetShard,
     run_transparency: Optional[bool] = None,
     directory=None,
+    config: Optional["StudyConfig"] = None,
 ) -> list[tuple[int, "ProbeRecord"]]:
     """Measure one shard; returns ``(original_index, record)`` pairs.
 
     Runs in a worker process (reading state planted by ``_init_worker``)
     but is also callable in-process — tests and the ``workers=1`` path
-    use it directly by passing ``run_transparency``/``directory``.
-    Study-level metrics report into the ambient registry (see
-    :func:`repro.core.metrics.use_registry`).
+    use it directly by passing ``config``/``directory``. A bare
+    ``run_transparency`` is still honoured for older callers and
+    overrides the config's value. Study-level metrics report into the
+    ambient registry (see :func:`repro.core.metrics.use_registry`).
     """
     from repro.core.study import classification_to_record, measure_probe
 
@@ -138,13 +137,23 @@ def measure_shard(
         from repro.resolvers.directory import build_default_directory
 
         directory = build_default_directory()
+    if config is None:
+        config = _worker_state.get("config")
     if run_transparency is None:
-        run_transparency = _worker_state.get("run_transparency", True)
+        run_transparency = config.run_transparency if config is not None else True
+    impairment = config.impairment if config is not None else None
+    impairment_seed = config.impairment_seed if config is not None else 0
+    retry = config.retry if config is not None else None
     registry = active_registry()
     pairs = []
     for index, spec in zip(shard.indices, shard.specs):
         classification = measure_probe(
-            spec, run_transparency=run_transparency, directory=directory
+            spec,
+            run_transparency=run_transparency,
+            directory=directory,
+            impairment=impairment,
+            impairment_seed=impairment_seed,
+            retry=retry,
         )
         record = classification_to_record(spec, classification)
         pairs.append((index, record))
@@ -168,9 +177,10 @@ def _measure_shard_job(
 ) -> tuple[int, list[tuple[int, "ProbeRecord"]], Optional[MetricsSnapshot]]:
     """Pool entry point: measure a shard, optionally under a fresh
     per-shard registry, and ship the snapshot home with the records."""
-    if not _worker_state.get("metrics"):
+    config = _worker_state.get("config")
+    if config is None or not config.metrics:
         return shard.shard_id, measure_shard(shard), None
-    registry = MetricsRegistry(trace=_worker_state.get("trace", "probe"))
+    registry = MetricsRegistry(trace=config.trace)
     with use_registry(registry):
         pairs = measure_shard(shard)
     return shard.shard_id, pairs, registry.snapshot()
@@ -230,9 +240,7 @@ def measure_fleet(
                 records.extend(
                     record
                     for _i, record in measure_shard(
-                        shard,
-                        run_transparency=config.run_transparency,
-                        directory=directory,
+                        shard, directory=directory, config=config
                     )
                 )
                 if progress is not None:
@@ -251,7 +259,7 @@ def measure_fleet(
         max_workers=workers,
         mp_context=mp_context,
         initializer=_init_worker,
-        initargs=(config.run_transparency, config.metrics, config.trace),
+        initargs=(config,),
     ) as pool:
         pending = {pool.submit(_measure_shard_job, shard): shard for shard in shards}
         while pending:

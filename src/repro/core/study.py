@@ -21,7 +21,9 @@ from typing import Callable, Iterable, Optional
 from repro.atlas.measurement import MeasurementClient
 from repro.atlas.population import PROVIDERS
 from repro.atlas.probe import InterceptorLocation, ProbeSpec
-from repro.atlas.scenario import Scenario, build_scenario
+from repro.atlas.retry import RetryPolicy
+from repro.atlas.scenario import Scenario, ScenarioSpec, build_scenario
+from repro.net.impairment import LinkProfile
 from repro.resolvers.public import Provider
 
 from .classifier import InterceptionLocator, LocatorVerdict, ProbeClassification
@@ -52,6 +54,16 @@ class StudyConfig:
         Event-log verbosity when metrics are on: ``"off"`` (aggregates
         only), ``"probe"`` (one structured event per probe) or
         ``"exchange"`` (adds one event per DNS exchange).
+    ``impairment`` / ``impairment_seed``
+        A :class:`~repro.net.impairment.LinkProfile` applied
+        network-wide to every probe scenario (chaos studies), plus the
+        seed that separates chaos trials from each other. Per-probe
+        impairment streams derive from ``(impairment_seed, probe_id)``,
+        so records stay byte-identical across worker counts.
+    ``retry``
+        A :class:`~repro.atlas.retry.RetryPolicy` applied to every DNS
+        exchange; ``None`` keeps the classic single-transmission
+        behaviour.
     """
 
     workers: Optional[int] = 1
@@ -59,12 +71,24 @@ class StudyConfig:
     run_transparency: bool = True
     metrics: bool = False
     trace: str = "probe"
+    impairment: Optional[LinkProfile] = None
+    impairment_seed: int = 0
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.trace not in TRACE_LEVELS:
             raise ValueError(f"trace must be one of {TRACE_LEVELS}, got {self.trace!r}")
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be >= 1 or None, got {self.workers}")
+        if self.impairment is not None and not isinstance(self.impairment, LinkProfile):
+            raise ValueError(
+                f"impairment must be a LinkProfile, "
+                f"got {type(self.impairment).__name__}"
+            )
+        if self.retry is not None and not isinstance(self.retry, RetryPolicy):
+            raise ValueError(
+                f"retry must be a RetryPolicy, got {type(self.retry).__name__}"
+            )
 
 
 @dataclass(frozen=True)
@@ -82,6 +106,10 @@ class ProbeRecord:
     transparency: str = ProbeTransparency.UNKNOWN.value
     cpe_version_string: Optional[str] = None
     replication_seen: bool = False
+    #: Locator steps that exhausted their retry budget without an
+    #: answer (graceful degradation under impairment); empty on clean
+    #: runs and on pre-impairment exports.
+    inconclusive_steps: tuple[str, ...] = ()
     true_location: str = InterceptorLocation.NONE.value
 
     # -- per-provider helpers ----------------------------------------------
@@ -183,6 +211,7 @@ def classification_to_record(
         transparency=classification.transparency_class.value,
         cpe_version_string=classification.cpe_version_string,
         replication_seen=replication,
+        inconclusive_steps=classification.inconclusive_steps,
         true_location=spec.true_location().value,
     )
 
@@ -192,6 +221,9 @@ def measure_probe(
     scenario: Optional[Scenario] = None,
     run_transparency: bool = True,
     directory=None,
+    impairment: Optional[LinkProfile] = None,
+    impairment_seed: int = 0,
+    retry: Optional[RetryPolicy] = None,
 ) -> Optional[ProbeClassification]:
     """Run the full pipeline for one probe; None when the probe is offline.
 
@@ -199,11 +231,23 @@ def measure_probe(
     :class:`~repro.resolvers.directory.NameDirectory` across probes —
     safe because the pipeline only reads it, and it saves rebuilding the
     zones ten thousand times in a fleet study.
+
+    ``impairment``/``impairment_seed``/``retry`` mirror the
+    :class:`StudyConfig` chaos knobs; they are ignored when an explicit
+    ``scenario`` is passed (the scenario's own spec already decided).
     """
     if not spec.online:
         return None
-    scenario = scenario or build_scenario(spec, directory=directory)
-    client = MeasurementClient(scenario.network, scenario.host)
+    if scenario is None:
+        scenario = build_scenario(
+            ScenarioSpec(
+                probe=spec, impairment=impairment, impairment_seed=impairment_seed
+            ),
+            directory=directory,
+        )
+    client = MeasurementClient(
+        scenario.network, scenario.host, retry_policy=retry
+    )
     rng = random.Random(spec.probe_id * 7919 + 13)
 
     skip: set[tuple[Provider, int]] = set()

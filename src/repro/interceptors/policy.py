@@ -78,6 +78,35 @@ class InterceptionPolicy:
             return False
         return True
 
+    @classmethod
+    def build(
+        cls,
+        mode: InterceptMode = InterceptMode.REDIRECT,
+        match=None,
+        exempt=None,
+        families: "frozenset[int] | set[int]" = frozenset({4}),
+        intercept_bogons: bool = True,
+        block_rcode: int = RCode.REFUSED,
+        intercept_dot: bool = False,
+    ) -> "InterceptionPolicy":
+        """One constructor for every observed policy shape.
+
+        ``match=None`` hijacks every resolver (the old
+        ``intercept_all``); ``match=addresses`` hijacks only those
+        (``intercept_only``); ``exempt=addresses`` spares them while
+        hijacking the rest (``allow_only``). ``match`` and ``exempt``
+        compose: a policy may target a subset while exempting part of it.
+        """
+        return cls(
+            mode=mode,
+            families=frozenset(families),
+            targets=None if match is None else frozenset(parse_ip(t) for t in match),
+            allowed=frozenset(parse_ip(a) for a in exempt) if exempt else frozenset(),
+            intercept_bogons=intercept_bogons,
+            block_rcode=block_rcode,
+            intercept_dot=intercept_dot,
+        )
+
 
 def intercept_all(
     mode: InterceptMode = InterceptMode.REDIRECT,
@@ -85,10 +114,13 @@ def intercept_all(
     intercept_bogons: bool = True,
     block_rcode: int = RCode.REFUSED,
 ) -> InterceptionPolicy:
-    """The common case: hijack every outbound DNS query."""
-    return InterceptionPolicy(
+    """The common case: hijack every outbound DNS query.
+
+    Delegates to :meth:`InterceptionPolicy.build` with no ``match``.
+    """
+    return InterceptionPolicy.build(
         mode=mode,
-        families=frozenset(families),
+        families=families,
         intercept_bogons=intercept_bogons,
         block_rcode=block_rcode,
     )
@@ -100,11 +132,14 @@ def intercept_only(
     families: "frozenset[int] | set[int]" = frozenset({4}),
     intercept_bogons: bool = True,
 ) -> InterceptionPolicy:
-    """Hijack only the listed resolver addresses (e.g. just Google DNS)."""
-    return InterceptionPolicy(
+    """Hijack only the listed resolver addresses (e.g. just Google DNS).
+
+    Delegates to :meth:`InterceptionPolicy.build` with ``match=targets``.
+    """
+    return InterceptionPolicy.build(
         mode=mode,
-        families=frozenset(families),
-        targets=frozenset(parse_ip(t) for t in targets),
+        match=targets,
+        families=families,
         intercept_bogons=intercept_bogons,
     )
 
@@ -115,10 +150,13 @@ def allow_only(
     families: "frozenset[int] | set[int]" = frozenset({4}),
     intercept_bogons: bool = True,
 ) -> InterceptionPolicy:
-    """Hijack everything except the listed resolver addresses."""
-    return InterceptionPolicy(
+    """Hijack everything except the listed resolver addresses.
+
+    Delegates to :meth:`InterceptionPolicy.build` with ``exempt=allowed``.
+    """
+    return InterceptionPolicy.build(
         mode=mode,
-        families=frozenset(families),
-        allowed=frozenset(parse_ip(a) for a in allowed),
+        exempt=allowed,
+        families=families,
         intercept_bogons=intercept_bogons,
     )

@@ -31,6 +31,11 @@ from .packet import (
     make_udp,
 )
 from .dot import DOT_PORT, DotFrame, is_dot_payload, unwrap_dot, wrap_dot
+from .impairment import (
+    IMPAIRMENT_PROFILES,
+    LinkProfile,
+    impairment_profile,
+)
 from .sim import DEFAULT_LATENCY_MS, Network, Node, SimulationError
 from .node import Host, ReceivedDatagram, ReceivedIcmp, UdpSocket
 from .router import Route, Router, RoutingTable
@@ -63,6 +68,9 @@ __all__ = [
     "is_dot_payload",
     "unwrap_dot",
     "wrap_dot",
+    "IMPAIRMENT_PROFILES",
+    "LinkProfile",
+    "impairment_profile",
     "DEFAULT_LATENCY_MS",
     "Network",
     "Node",

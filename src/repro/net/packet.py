@@ -116,6 +116,13 @@ class Packet:
             udp = replace(udp, sport=sport)
         return self._derived(src=parse_ip(src), udp=udp)
 
+    def truncated(self, length: int) -> "Packet":
+        """Damage rewrite: keep only the first ``length`` payload bytes
+        (link impairment — the receiver sees a short, undecodable datagram)."""
+        if self.udp is None:
+            raise ValueError("only UDP packets can be truncated")
+        return self._derived(udp=replace(self.udp, payload=self.udp.payload[:length]))
+
     def describe(self) -> str:
         if self.protocol is Protocol.UDP:
             assert self.udp is not None

@@ -16,9 +16,17 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
+import warnings
 from typing import Callable, Optional
 
 from .addr import IPAddress, parse_ip
+from .impairment import (
+    ImpairedLink,
+    LinkProfile,
+    duplicate_spacing_ms,
+    link_stream,
+    truncate_cut,
+)
 from .packet import Packet
 from .trace import TraceRecorder
 
@@ -99,7 +107,12 @@ class Node:
 class Network:
     """Node registry, link table and discrete-event loop."""
 
-    def __init__(self, trace: bool = False, loss_seed: int = 0) -> None:
+    def __init__(
+        self,
+        trace: bool = False,
+        loss_seed: "int | str" = 0,
+        impairment: Optional[LinkProfile] = None,
+    ) -> None:
         # Imported lazily: repro.core pulls in the measurement stack,
         # which imports repro.net — a cycle at module-import time, but
         # not by the time a Network is actually constructed.
@@ -112,14 +125,26 @@ class Network:
         self.metrics = active_registry()
         self.nodes: dict[str, Node] = {}
         self._links: dict[tuple[str, str], float] = {}
-        self._link_loss: dict[tuple[str, str], float] = {}
+        #: Per-direction impairment state; empty on unimpaired networks,
+        #: so the ``transmit`` fast path is one falsy-dict check.
+        self._impaired: dict[tuple[str, str], ImpairedLink] = {}
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self.now = 0.0
         self.recorder = TraceRecorder(enabled=trace)
         self._address_index: dict[IPAddress, str] = {}
-        #: Deterministic randomness for link-loss decisions only.
+        #: Deterministic randomness for link impairments: legacy
+        #: loss-shim links draw from it directly; profile-API links
+        #: derive their own per-direction streams from it at install
+        #: time (see :mod:`repro.net.impairment`).
         self.loss_rng = random.Random(loss_seed)
+        if impairment is not None and not isinstance(impairment, LinkProfile):
+            raise SimulationError(
+                f"impairment must be a LinkProfile, got {type(impairment).__name__}"
+            )
+        #: Network-wide default profile applied by ``connect`` when no
+        #: per-link profile is given.
+        self.default_impairment = impairment
 
     # -- topology -----------------------------------------------------------
 
@@ -146,34 +171,101 @@ class Network:
         a: str,
         b: str,
         latency_ms: float = DEFAULT_LATENCY_MS,
-        loss: float = 0.0,
+        loss: "float | None" = None,
+        profile: Optional[LinkProfile] = None,
     ) -> None:
         """Create a bidirectional link between nodes ``a`` and ``b``.
 
-        ``loss`` is the per-packet drop probability on the link (both
-        directions), decided by the network's seeded ``loss_rng`` so runs
-        stay reproducible. Use it for failure-injection experiments.
+        ``profile`` attaches a :class:`LinkProfile` (loss, duplication,
+        reordering, jitter, corruption, truncation) to both directions;
+        when omitted, the network-wide default passed to
+        ``Network(impairment=...)`` applies. Each direction gets its own
+        RNG stream derived from the network's seeded ``loss_rng`` so
+        runs stay reproducible.
+
+        ``loss`` is deprecated: use ``profile=LinkProfile(loss=...)``.
         """
         for name in (a, b):
             if name not in self.nodes:
                 raise SimulationError(f"unknown node: {name}")
-        if not 0.0 <= loss < 1.0:
-            raise SimulationError(f"loss must be in [0, 1): {loss}")
         self._links[(a, b)] = latency_ms
         self._links[(b, a)] = latency_ms
-        if loss:
-            self._link_loss[(a, b)] = loss
-            self._link_loss[(b, a)] = loss
+        if loss is not None:
+            if profile is not None:
+                raise SimulationError("pass either loss= or profile=, not both")
+            warnings.warn(
+                "Network.connect(loss=...) is deprecated; use "
+                "connect(profile=LinkProfile(loss=...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self._install_legacy_loss(a, b, loss)
+            return
+        effective = profile if profile is not None else self.default_impairment
+        if effective is not None:
+            self._install_profile(a, b, effective)
 
-    def set_link_loss(self, a: str, b: str, loss: float) -> None:
-        """Adjust a link's loss rate after creation (failure injection)."""
+    def set_link_profile(
+        self, a: str, b: str, profile: Optional[LinkProfile]
+    ) -> None:
+        """Attach ``profile`` to an existing link (both directions), or
+        clear its impairments with ``None``. Fault injection after
+        topology build — the profile-API successor to ``set_link_loss``.
+        """
         if (a, b) not in self._links:
             raise SimulationError(f"no link {a} <-> {b}")
-        for key in ((a, b), (b, a)):
-            if loss:
-                self._link_loss[key] = loss
-            else:
-                self._link_loss.pop(key, None)
+        if profile is None:
+            self._impaired.pop((a, b), None)
+            self._impaired.pop((b, a), None)
+            return
+        if not isinstance(profile, LinkProfile):
+            raise SimulationError(
+                f"profile must be a LinkProfile, got {type(profile).__name__}"
+            )
+        self._install_profile(a, b, profile)
+
+    def link_profile(self, a: str, b: str) -> Optional[LinkProfile]:
+        """The profile active on link direction ``a -> b``, if any."""
+        state = self._impaired.get((a, b))
+        return None if state is None else state.profile
+
+    def set_link_loss(self, a: str, b: str, loss: float) -> None:
+        """Deprecated: use :meth:`set_link_profile` with a loss-only
+        :class:`LinkProfile`. Kept as a shim for existing callers."""
+        warnings.warn(
+            "Network.set_link_loss is deprecated; use "
+            "set_link_profile(a, b, LinkProfile(loss=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if (a, b) not in self._links:
+            raise SimulationError(f"no link {a} <-> {b}")
+        self._install_legacy_loss(a, b, loss)
+
+    def _install_legacy_loss(self, a: str, b: str, loss: float) -> None:
+        """Loss-only shim semantics: validate like the old API and keep
+        drawing from the shared ``loss_rng`` at transmit time (tests
+        exist that reseed or replace that RNG after configuring loss)."""
+        if not 0.0 <= loss < 1.0:
+            raise SimulationError(f"loss must be in [0, 1): {loss}")
+        if not loss:
+            self._impaired.pop((a, b), None)
+            self._impaired.pop((b, a), None)
+            return
+        profile = LinkProfile(loss=loss)
+        self._impaired[(a, b)] = ImpairedLink(profile, None)
+        self._impaired[(b, a)] = ImpairedLink(profile, None)
+
+    def _install_profile(self, a: str, b: str, profile: LinkProfile) -> None:
+        """Install ``profile`` on both directions with dedicated RNG
+        streams. The seed token is drawn from ``loss_rng`` once per
+        install, so distinct links (and distinct ``loss_seed`` values)
+        get independent, reproducible impairment schedules."""
+        token = self.loss_rng.getrandbits(64)
+        for sender, receiver in ((a, b), (b, a)):
+            self._impaired[(sender, receiver)] = ImpairedLink(
+                profile, link_stream(token, sender, receiver)
+            )
 
     def are_connected(self, a: str, b: str) -> bool:
         return (a, b) in self._links
@@ -197,17 +289,76 @@ class Network:
     def transmit(self, sender: str, receiver: str, packet: Packet) -> None:
         """Move ``packet`` from ``sender`` to adjacent ``receiver``."""
         latency = self.latency(sender, receiver)
-        loss = self._link_loss.get((sender, receiver), 0.0)
-        if loss and self.loss_rng.random() < loss:
+        if self._impaired:
+            state = self._impaired.get((sender, receiver))
+            if state is not None and state.active:
+                self._transmit_impaired(sender, receiver, packet, latency, state)
+                return
+        self.metrics.inc("sim.link_transits")
+        self.recorder.record(self.now, sender, "send", packet, f"-> {receiver}")
+        node = self.nodes[receiver]
+        self.schedule(latency, lambda: node.receive(packet))
+
+    def _transmit_impaired(
+        self,
+        sender: str,
+        receiver: str,
+        packet: Packet,
+        latency: float,
+        state: ImpairedLink,
+    ) -> None:
+        """Apply ``state.profile`` to one transmission.
+
+        Draw order is fixed — loss, corrupt, truncate, duplicate, then
+        per-copy jitter and reorder — and a draw only happens when the
+        corresponding rate is non-zero, so each link's RNG stream is a
+        stable function of the traffic that crossed it (the determinism
+        contract in :mod:`repro.net.impairment`).
+        """
+        profile = state.profile
+        rng = state.rng if state.rng is not None else self.loss_rng
+        if profile.loss and rng.random() < profile.loss:
+            self.metrics.inc("net.impair.dropped")
             self.metrics.inc("sim.drops.link-loss")
             self.recorder.record(
                 self.now, sender, "drop", packet, f"link loss -> {receiver}"
             )
             return
-        self.metrics.inc("sim.link_transits")
-        self.recorder.record(self.now, sender, "send", packet, f"-> {receiver}")
+        if profile.corrupt and rng.random() < profile.corrupt:
+            # Bit damage fails the receiver's UDP checksum, so a
+            # corrupted datagram is a drop counted under its own name.
+            self.metrics.inc("net.impair.corrupted")
+            self.recorder.record(
+                self.now, sender, "drop", packet, f"corrupted -> {receiver}"
+            )
+            return
+        if (
+            profile.truncate
+            and packet.udp is not None
+            and packet.udp.payload
+            and rng.random() < profile.truncate
+        ):
+            packet = packet.truncated(truncate_cut(rng, len(packet.udp.payload)))
+            self.metrics.inc("net.impair.truncated")
+            self.recorder.record(
+                self.now, sender, "mangle", packet, f"truncated -> {receiver}"
+            )
+        copies = 1
+        if profile.duplicate and rng.random() < profile.duplicate:
+            copies = 2
+            self.metrics.inc("net.impair.duplicated")
         node = self.nodes[receiver]
-        self.schedule(latency, lambda: node.receive(packet))
+        for copy_index in range(copies):
+            delay = latency + copy_index * duplicate_spacing_ms()
+            if profile.jitter_ms:
+                delay += profile.draw_jitter(rng)
+            if profile.reorder and rng.random() < profile.reorder:
+                delay += rng.uniform(0.0, profile.reorder_window_ms)
+                self.metrics.inc("net.impair.reordered")
+            self.metrics.inc("sim.link_transits")
+            detail = f"-> {receiver}" + (" (dup)" if copy_index else "")
+            self.recorder.record(self.now, sender, "send", packet, detail)
+            self.schedule(delay, lambda p=packet: node.receive(p))
 
     def inject(self, at: str, packet: Packet, delay_ms: float = 0.0) -> None:
         """Deliver ``packet`` directly to node ``at`` (test/measurement hook)."""

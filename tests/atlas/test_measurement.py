@@ -4,7 +4,7 @@ import pytest
 
 from repro.atlas.geo import organization_by_name
 from repro.atlas.measurement import MeasurementClient, dns_exchange
-from repro.atlas.scenario import build_scenario
+from repro.atlas.scenario import ScenarioSpec, build_scenario
 from repro.cpe.firmware import dnat_interceptor, honest_router
 from repro.dnswire import QType, make_query
 from repro.dnswire.chaosnames import make_id_server_query
@@ -12,6 +12,10 @@ from repro.interceptors.policy import InterceptMode, intercept_all
 from repro.net import make_udp
 
 from tests.conftest import make_spec
+
+# These tests intentionally exercise the legacy loss/trace spellings;
+# the shims themselves are covered in tests/test_deprecation_shims.py.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 @pytest.fixture
@@ -166,7 +170,7 @@ class TestRetries:
         single wrong-source datagram arriving early suppressed every
         remaining retransmission (1 send instead of 4) and the exchange
         gave up at the first retry horizon instead of the deadline."""
-        sc = build_scenario(make_spec(org, probe_id=901), trace=True)
+        sc = build_scenario(ScenarioSpec(probe=make_spec(org, probe_id=901), trace=True))
         query = make_query("example.com.", QType.A, msg_id=30)
         sock_port = sc.host._next_port  # the port dns_exchange will use
         junk = make_udp(
@@ -251,7 +255,7 @@ class TestRetries:
 
     def test_accepted_answer_stops_retrying(self, org):
         """Once a validated answer arrives, no further retransmissions."""
-        sc = build_scenario(make_spec(org, probe_id=904), trace=True)
+        sc = build_scenario(ScenarioSpec(probe=make_spec(org, probe_id=904), trace=True))
         result = dns_exchange(
             sc.network,
             sc.host,

@@ -13,6 +13,10 @@ from repro.resolvers.software import dnsmasq, silent_forwarder
 
 from tests.conftest import make_spec
 
+# These tests intentionally exercise the legacy loss/trace spellings;
+# the shims themselves are covered in tests/test_deprecation_shims.py.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 @pytest.fixture
 def org():

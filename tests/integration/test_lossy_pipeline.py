@@ -13,6 +13,10 @@ from repro.interceptors.policy import intercept_all
 
 from tests.conftest import make_spec
 
+# These tests intentionally exercise the legacy loss/trace spellings;
+# the shims themselves are covered in tests/test_deprecation_shims.py.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 def classify_lossy(spec, loss, retries, loss_seed=1):
     scenario = build_scenario(spec)

@@ -10,6 +10,10 @@ from repro.net import Host, Network, SimulationError, make_udp
 
 from tests.conftest import make_spec
 
+# These tests intentionally exercise the legacy loss/trace spellings;
+# the shims themselves are covered in tests/test_deprecation_shims.py.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 def lossy_pair(loss, seed=0):
     net = Network(loss_seed=seed)

@@ -1,0 +1,91 @@
+"""Legacy API spellings: each warns exactly once, then behaves.
+
+Run standalone under ``-W error::DeprecationWarning`` in CI to prove
+that no *modern* code path emits the warnings these shims carry — every
+test here opts in explicitly via ``pytest.warns``.
+"""
+
+import warnings
+
+import pytest
+
+from repro.atlas.geo import organization_by_name
+from repro.atlas.scenario import ScenarioSpec, build_scenario
+from repro.core.study import StudyConfig, run_pilot_study
+from repro.net import Host, Network
+from repro.net.impairment import LinkProfile
+
+from tests.conftest import make_spec
+
+
+def make_pair():
+    net = Network()
+    net.add_node(Host("a", addresses=["10.0.0.1"], gateway="b"))
+    net.add_node(Host("b", addresses=["10.0.0.2"], gateway="a"))
+    return net
+
+
+def spec(probe_id=800):
+    return make_spec(organization_by_name("BT"), probe_id=probe_id)
+
+
+class TestNetworkShims:
+    def test_connect_loss_warns_once_and_installs(self):
+        net = make_pair()
+        with pytest.warns(DeprecationWarning, match="connect.*loss") as caught:
+            net.connect("a", "b", loss=0.25)
+        assert len(caught) == 1
+        profile = net.link_profile("a", "b")
+        assert profile is not None and profile.loss == 0.25
+
+    def test_set_link_loss_warns_once_and_installs(self):
+        net = make_pair()
+        net.connect("a", "b")
+        with pytest.warns(DeprecationWarning, match="set_link_loss") as caught:
+            net.set_link_loss("a", "b", 0.5)
+        assert len(caught) == 1
+        profile = net.link_profile("a", "b")
+        assert profile is not None and profile.loss == 0.5
+
+    def test_modern_profile_spelling_is_silent(self):
+        net = make_pair()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            net.connect("a", "b", profile=LinkProfile(loss=0.25))
+            net.set_link_profile("a", "b", LinkProfile(loss=0.5))
+
+
+class TestScenarioShims:
+    def test_trace_kwarg_warns_and_still_traces(self):
+        with pytest.warns(DeprecationWarning, match="trace") as caught:
+            scenario = build_scenario(spec(), trace=True)
+        assert len(caught) == 1
+        assert scenario.network.recorder.enabled
+
+    def test_bare_probe_spec_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            build_scenario(spec())
+
+    def test_scenario_spec_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            scenario = build_scenario(ScenarioSpec(probe=spec(), trace=True))
+        assert scenario.network.recorder.enabled
+
+    def test_scenario_spec_plus_trace_rejected(self):
+        with pytest.raises(TypeError):
+            build_scenario(ScenarioSpec(probe=spec()), trace=True)
+
+
+class TestStudyShims:
+    def test_legacy_kwargs_warn_once(self):
+        with pytest.warns(DeprecationWarning, match="StudyConfig") as caught:
+            result = run_pilot_study([spec(801)], workers=1, seed=3)
+        assert len(caught) == 1
+        assert result.seed == 3
+
+    def test_config_object_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_pilot_study([spec(802)], StudyConfig(workers=1))
