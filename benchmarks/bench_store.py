@@ -1,0 +1,254 @@
+"""Result-store micro-benchmarks.
+
+Not a paper artifact — engineering numbers for the durability layer:
+raw journal append throughput (lines/s with batched fsync), the wall-
+time cost of running a study *through* a :class:`ResultStore` versus a
+plain in-memory run, and how long resuming a fully-journaled store
+takes (pure journal replay, zero re-measurement).
+
+Run the store-overhead check (asserts journaling stays under
+``--max-overhead-pct`` of fleet wall time)::
+
+    PYTHONPATH=src python benchmarks/bench_store.py \
+        --fleet 100 --repeats 3
+
+Run the raw journal throughput report::
+
+    PYTHONPATH=src python benchmarks/bench_store.py --journal
+"""
+
+import argparse
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.analysis.export import study_to_json
+from repro.atlas.population import generate_population
+from repro.core.study import StudyConfig, run_pilot_study
+from repro.store import JournalWriter, ResultStore, read_journal
+
+
+def measure_journal_throughput(lines: int, fsync_every: int = 64) -> dict:
+    """Append ``lines`` record-sized entries to a fresh journal."""
+    entry = {
+        "i": 1234,
+        "record": {
+            "probe_id": 1234,
+            "organization": "Comcast",
+            "asn": 7922,
+            "country": "US",
+            "online": True,
+            "provider_status": [["google", 4, "not-intercepted"]] * 8,
+            "verdict": "not-intercepted",
+            "transparency": "Unknown",
+            "cpe_version_string": None,
+            "replication_seen": False,
+            "inconclusive_steps": [],
+            "true_location": "none",
+        },
+    }
+    directory = tempfile.mkdtemp(prefix="bench-journal-")
+    try:
+        writer = JournalWriter(directory, "records")
+        started = time.perf_counter()
+        for index in range(lines):
+            writer.append(entry)
+            if (index + 1) % fsync_every == 0:
+                writer.sync()
+        writer.close()
+        elapsed = time.perf_counter() - started
+
+        started = time.perf_counter()
+        loaded = read_journal(directory, "records")
+        read_s = time.perf_counter() - started
+        if len(loaded) != lines:
+            raise AssertionError(
+                f"journal read back {len(loaded)} of {lines} lines"
+            )
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    return {
+        "lines": lines,
+        "fsync_every": fsync_every,
+        "append_s": elapsed,
+        "append_lines_per_s": lines / elapsed,
+        "read_s": read_s,
+        "read_lines_per_s": lines / read_s,
+    }
+
+
+def measure_store_overhead(fleet: int, seed: int, repeats: int = 3) -> dict:
+    """Time the same serial fleet with and without a result store.
+
+    The store run pays journaling, batched fsyncs, journal replay and
+    the final atomic export on top of the plain run; the two are
+    interleaved and timed best-of-``repeats`` so scheduler drift hits
+    both alike. Every store run is also checked to export byte-identical
+    JSON to the plain run — durability must never change results.
+    """
+    specs = generate_population(size=fleet, seed=seed)
+    config = StudyConfig(workers=1, seed=seed)
+    reference = study_to_json(run_pilot_study(specs, config))  # warm-up too
+
+    def run_plain() -> float:
+        started = time.perf_counter()
+        run_pilot_study(specs, config)
+        return time.perf_counter() - started
+
+    def run_stored() -> float:
+        directory = tempfile.mkdtemp(prefix="bench-store-")
+        try:
+            store = ResultStore(os.path.join(directory, "s"))
+            started = time.perf_counter()
+            study = run_pilot_study(specs, config, store=store)
+            elapsed = time.perf_counter() - started
+            if study_to_json(study) != reference:
+                raise AssertionError(
+                    "store-backed study export differs from plain run"
+                )
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+        return elapsed
+
+    plain_s = run_plain()
+    stored_s = run_stored()
+    for _ in range(repeats):
+        plain_s = min(plain_s, run_plain())
+        stored_s = min(stored_s, run_stored())
+    return {
+        "fleet": fleet,
+        "plain_s": plain_s,
+        "stored_s": stored_s,
+        "overhead_pct": (stored_s / plain_s - 1.0) * 100.0,
+    }
+
+
+def measure_resume_overhead(fleet: int, seed: int) -> dict:
+    """Time resuming a fully-journaled store.
+
+    Nothing is left to measure, so this isolates the fixed resume cost:
+    manifest check, journal replay, result reconstruction and the
+    re-written export. It should be a small fraction of measuring the
+    fleet from scratch.
+    """
+    specs = generate_population(size=fleet, seed=seed)
+    config = StudyConfig(workers=1, seed=seed)
+    directory = tempfile.mkdtemp(prefix="bench-resume-")
+    try:
+        path = os.path.join(directory, "s")
+        started = time.perf_counter()
+        run_pilot_study(specs, config, store=ResultStore(path))
+        full_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        run_pilot_study(specs, config, store=ResultStore(path, resume=True))
+        resume_s = time.perf_counter() - started
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    return {
+        "fleet": fleet,
+        "full_s": full_s,
+        "resume_s": resume_s,
+        "resume_pct_of_full": resume_s / full_s * 100.0,
+    }
+
+
+def _run_journal(args) -> int:
+    stats = measure_journal_throughput(args.lines, fsync_every=args.fsync_every)
+    print(f"lines={stats['lines']}  fsync every {stats['fsync_every']}")
+    print(
+        f"append : {stats['append_s']:7.3f}s  "
+        f"{stats['append_lines_per_s']:10.0f} lines/s"
+    )
+    print(
+        f"read   : {stats['read_s']:7.3f}s  "
+        f"{stats['read_lines_per_s']:10.0f} lines/s"
+    )
+    return 0
+
+
+def _run_overhead(args) -> int:
+    stats = measure_store_overhead(args.fleet, args.seed, repeats=args.repeats)
+    print(f"fleet={stats['fleet']} probes  (best of {args.repeats + 1} interleaved)")
+    print(f"plain run  : {stats['plain_s']:7.2f}s  (in-memory only)")
+    print(f"store run  : {stats['stored_s']:7.2f}s  (journal + fsync + export)")
+    print(f"overhead   : {stats['overhead_pct']:+.2f}%  "
+          f"(limit {args.max_overhead_pct:.1f}%, exports verified identical)")
+    failed = False
+    if stats["overhead_pct"] > args.max_overhead_pct:
+        print(
+            f"FAIL: store overhead {stats['overhead_pct']:.2f}% exceeds "
+            f"{args.max_overhead_pct:.2f}%"
+        )
+        failed = True
+    resume = measure_resume_overhead(args.fleet, args.seed)
+    print()
+    print(f"full run   : {resume['full_s']:7.2f}s  (measure + journal)")
+    print(f"resume     : {resume['resume_s']:7.2f}s  (replay only, 0 probes left)")
+    print(f"resume cost: {resume['resume_pct_of_full']:.1f}% of a full run")
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="result-store journaling / resume benchmarks"
+    )
+    parser.add_argument("--fleet", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument(
+        "--max-overhead-pct",
+        type=float,
+        default=5.0,
+        metavar="PCT",
+        help="exit nonzero if the store-backed run costs more than PCT%% "
+        "wall time over a plain run (default 5)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        metavar="N",
+        help="best-of-(N+1) interleaved timing (default 5)",
+    )
+    parser.add_argument(
+        "--journal",
+        action="store_true",
+        help="measure raw journal append/read throughput instead of "
+        "study overhead",
+    )
+    parser.add_argument(
+        "--lines",
+        type=int,
+        default=20000,
+        metavar="N",
+        help="--journal: entries to append (default 20000)",
+    )
+    parser.add_argument(
+        "--fsync-every",
+        type=int,
+        default=64,
+        metavar="N",
+        help="--journal: fsync cadence in lines (default 64)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.journal:
+        return _run_journal(args)
+    return _run_overhead(args)
+
+
+def test_store_overhead_small():
+    """Journaling a small fleet must not distort its results."""
+    stats = measure_store_overhead(fleet=20, seed=2021, repeats=0)
+    assert stats["stored_s"] > 0  # export equality checked inside
+
+
+def test_journal_throughput_roundtrip():
+    stats = measure_journal_throughput(lines=500, fsync_every=64)
+    assert stats["append_lines_per_s"] > 0  # count checked inside
+
+
+if __name__ == "__main__":
+    sys.exit(main())

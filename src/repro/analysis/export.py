@@ -6,25 +6,55 @@ records must survive the process. ``records_to_json`` /
 through plain JSON so fleets measured elsewhere (a different machine, a
 future run, a real RIPE Atlas export massaged into this schema) can be
 fed to the same analysis code.
+
+Exports are **worker-invariant by construction**: the optional
+``config`` object omits ``workers`` (an execution detail — the same
+study sharded differently must export byte-identical JSON) and the
+metrics snapshot serialises without its wall-clock section. Writes go
+through :func:`repro.ioutil.atomic_write_text`, so a crash mid-save
+never leaves a truncated file behind.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Any
+from typing import Any, Optional
 
+from repro.atlas.retry import (
+    ExponentialBackoffRetry,
+    FixedIntervalRetry,
+    RetryPolicy,
+)
 from repro.core.metrics import MetricsSnapshot
-from repro.core.study import ProbeRecord, StudyResult
+from repro.core.study import ProbeRecord, StudyConfig, StudyResult
+from repro.ioutil import atomic_write_text
+from repro.net.impairment import LinkProfile
 
-#: Schema version written into every export. Version 1 plus an optional
-#: ``metrics`` object (a canonical MetricsSnapshot dict) — old readers
-#: ignore the extra key, old files load unchanged.
+#: Schema version written into every export. Version 1 plus optional
+#: ``metrics`` (a canonical MetricsSnapshot dict) and ``config``
+#: (the semantic study configuration) objects — old readers ignore the
+#: extra keys, old files load unchanged.
 SCHEMA_VERSION = 1
+
+#: Retry-policy classes the config round-trip recognises, by type tag.
+_RETRY_TYPES = {
+    cls.__name__: cls
+    for cls in (RetryPolicy, FixedIntervalRetry, ExponentialBackoffRetry)
+}
+
+
+#: ProbeRecord field names in declaration order, resolved once — these
+#: serializers run once or twice per probe on fleet-sized record sets,
+#: so per-call ``dataclasses`` introspection is too slow.
+_RECORD_FIELDS: tuple[str, ...] = tuple(
+    field.name for field in dataclasses.fields(ProbeRecord)
+)
+_RECORD_FIELD_SET = frozenset(_RECORD_FIELDS)
 
 
 def record_to_dict(record: ProbeRecord) -> dict[str, Any]:
-    data = dataclasses.asdict(record)
+    data = {name: getattr(record, name) for name in _RECORD_FIELDS}
     # Tuples become lists in JSON; normalise provider_status rows.
     data["provider_status"] = [list(row) for row in record.provider_status]
     data["inconclusive_steps"] = list(record.inconclusive_steps)
@@ -32,8 +62,7 @@ def record_to_dict(record: ProbeRecord) -> dict[str, Any]:
 
 
 def record_from_dict(data: dict[str, Any]) -> ProbeRecord:
-    known = {field.name for field in dataclasses.fields(ProbeRecord)}
-    unknown = set(data) - known
+    unknown = set(data) - _RECORD_FIELD_SET
     if unknown:
         raise ValueError(f"unknown record fields: {sorted(unknown)}")
     payload = dict(data)
@@ -48,6 +77,62 @@ def record_from_dict(data: dict[str, Any]) -> ProbeRecord:
     return ProbeRecord(**payload)
 
 
+def config_to_dict(config: StudyConfig) -> dict[str, Any]:
+    """The *semantic* study configuration as plain JSON data.
+
+    ``workers`` is deliberately omitted: it changes how the fleet is
+    measured, never what is measured, and both exports and the result
+    store's input fingerprint must stay identical across worker counts.
+    """
+    return {
+        "seed": config.seed,
+        "run_transparency": config.run_transparency,
+        "metrics": config.metrics,
+        "trace": config.trace,
+        "impairment": (
+            None
+            if config.impairment is None
+            else dataclasses.asdict(config.impairment)
+        ),
+        "impairment_seed": config.impairment_seed,
+        "retry": (
+            None
+            if config.retry is None
+            else {
+                "type": type(config.retry).__name__,
+                **dataclasses.asdict(config.retry),
+            }
+        ),
+    }
+
+
+def config_from_dict(data: dict[str, Any]) -> StudyConfig:
+    """Rebuild a :class:`StudyConfig` from :func:`config_to_dict` output.
+
+    ``workers`` is not serialized, so loaded configs come back with the
+    default (in-process) worker count.
+    """
+    impairment = data.get("impairment")
+    retry = data.get("retry")
+    retry_policy: Optional[RetryPolicy] = None
+    if retry is not None:
+        payload = dict(retry)
+        type_name = payload.pop("type", None)
+        cls = _RETRY_TYPES.get(str(type_name))
+        if cls is None:
+            raise ValueError(f"unknown retry policy type: {type_name!r}")
+        retry_policy = cls(**payload)
+    return StudyConfig(
+        seed=int(data.get("seed", 0)),
+        run_transparency=bool(data.get("run_transparency", True)),
+        metrics=bool(data.get("metrics", False)),
+        trace=str(data.get("trace", "probe")),
+        impairment=None if impairment is None else LinkProfile(**impairment),
+        impairment_seed=int(data.get("impairment_seed", 0)),
+        retry=retry_policy,
+    )
+
+
 def study_to_json(study: StudyResult, indent: "int | None" = None) -> str:
     data: dict[str, Any] = {
         "schema": SCHEMA_VERSION,
@@ -55,6 +140,8 @@ def study_to_json(study: StudyResult, indent: "int | None" = None) -> str:
         "seed": study.seed,
         "records": [record_to_dict(record) for record in study.records],
     }
+    if study.config is not None:
+        data["config"] = config_to_dict(study.config)
     if study.metrics is not None:
         data["metrics"] = study.metrics.to_dict()
     return json.dumps(data, indent=indent)
@@ -66,17 +153,20 @@ def study_from_json(text: str) -> StudyResult:
     if schema != SCHEMA_VERSION:
         raise ValueError(f"unsupported schema version: {schema!r}")
     metrics = data.get("metrics")
+    config = data.get("config")
     return StudyResult(
         records=[record_from_dict(item) for item in data.get("records", [])],
         fleet_size=int(data.get("fleet_size", 0)),
         seed=int(data.get("seed", 0)),
+        config=None if config is None else config_from_dict(config),
         metrics=None if metrics is None else MetricsSnapshot.from_dict(metrics),
     )
 
 
 def save_study(study: StudyResult, path: str) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(study_to_json(study))
+    """Write the export atomically (temp file + ``os.replace``), creating
+    missing parent directories; a crash never truncates an export."""
+    atomic_write_text(path, study_to_json(study), create_parents=True)
 
 
 def load_study(path: str) -> StudyResult:

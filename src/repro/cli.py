@@ -11,7 +11,11 @@ Commands
     The §3.4 worked example: Tables 2 and 3, measured live.
 ``study``
     The §4 pilot study over the calibrated fleet: Tables 4-5,
-    Figures 3-4, and the accuracy report.
+    Figures 3-4, and the accuracy report. ``--store DIR`` journals the
+    run crash-safely and ``--resume`` continues an interrupted one.
+``results``
+    List, filter and summarise result-store archives without
+    re-simulating anything.
 ``case-study``
     The §5 XB6 walk-through with a packet trace.
 ``ttl``
@@ -181,6 +185,31 @@ def cmd_example(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_output_file(path: str, text: str, what: str) -> bool:
+    """Write a CLI artifact atomically, creating missing parents; on an
+    unwritable path print a one-line error instead of a traceback."""
+    from repro.ioutil import atomic_write_text
+
+    try:
+        atomic_write_text(path, text, create_parents=True)
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        print(f"error: cannot write {what} to {path}: {reason}", file=sys.stderr)
+        return False
+    return True
+
+
+def _write_metrics_snapshot(args: argparse.Namespace, snapshot) -> bool:
+    if snapshot is None:
+        return True
+    if not _write_output_file(
+        args.metrics, snapshot.to_json() + "\n", "metrics snapshot"
+    ):
+        return False
+    print(f"wrote metrics snapshot to {args.metrics}", file=sys.stderr)
+    return True
+
+
 def _chaos_retry(args: argparse.Namespace):
     """Retry policy for impaired runs: backoff, sized by ``--retries``."""
     retries = args.retries
@@ -211,16 +240,8 @@ def _run_chaos_study(args: argparse.Namespace, specs, config: StudyConfig) -> in
             retry=_chaos_retry(args),
         )
         trials.append(run_pilot_study(specs, trial_config))
-    if args.metrics:
-        snapshot = trials[0].metrics
-        if snapshot is not None:
-            with open(args.metrics, "w", encoding="utf-8") as handle:
-                handle.write(snapshot.to_json())
-                handle.write("\n")
-            print(
-                f"wrote impaired-trial metrics snapshot to {args.metrics}",
-                file=sys.stderr,
-            )
+    if args.metrics and not _write_metrics_snapshot(args, trials[0].metrics):
+        return 2
     print("Clean run:   ", build_location_summary(clean).render())
     for index, trial in enumerate(trials, start=1):
         print(f"Trial {index}:     ", build_location_summary(trial).render())
@@ -233,6 +254,20 @@ def _run_chaos_study(args: argparse.Namespace, specs, config: StudyConfig) -> in
 def cmd_study(args: argparse.Namespace) -> int:
     if args.chaos_trials and not args.impair:
         print("--chaos-trials requires --impair", file=sys.stderr)
+        return 2
+    for flag, name in ((args.resume, "--resume"), (args.probe_budget, "--probe-budget")):
+        if flag and not args.store:
+            print(f"{name} requires --store", file=sys.stderr)
+            return 2
+    if args.store and args.load:
+        print("--store cannot be combined with --load", file=sys.stderr)
+        return 2
+    if args.store and args.chaos_trials:
+        print(
+            "--store holds exactly one study; it cannot journal a "
+            "--chaos-trials series",
+            file=sys.stderr,
+        )
         return 2
     if args.load:
         if args.impair:
@@ -265,7 +300,31 @@ def cmd_study(args: argparse.Namespace) -> int:
                 impairment_seed=args.seed,
                 retry=_chaos_retry(args),
             )
-        study = run_pilot_study(specs, config)
+        if args.store:
+            from repro.store import ResultStore, StoreError, StoreInterrupted
+
+            store = ResultStore(
+                args.store, resume=args.resume, probe_budget=args.probe_budget
+            )
+            try:
+                study = run_pilot_study(specs, config, store=store)
+            except StoreInterrupted as exc:
+                print(
+                    f"interrupted: {exc.done}/{exc.total} probes journaled in "
+                    f"{args.store}; rerun with --resume to continue",
+                    file=sys.stderr,
+                )
+                return 3
+            except (StoreError, OSError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(
+                f"journal complete: {len(study.records)} records archived in "
+                f"{args.store}",
+                file=sys.stderr,
+            )
+        else:
+            study = run_pilot_study(specs, config)
     if args.metrics:
         if study.metrics is None:
             print(
@@ -273,15 +332,14 @@ def cmd_study(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         else:
-            with open(args.metrics, "w", encoding="utf-8") as handle:
-                handle.write(study.metrics.to_json())
-                handle.write("\n")
-            print(f"wrote metrics snapshot to {args.metrics}", file=sys.stderr)
+            if not _write_metrics_snapshot(args, study.metrics):
+                return 2
             print(study.metrics.render(), file=sys.stderr)
     if args.save:
-        from repro.analysis.export import save_study
+        from repro.analysis.export import study_to_json
 
-        save_study(study, args.save)
+        if not _write_output_file(args.save, study_to_json(study), "study records"):
+            return 2
         print(f"saved records to {args.save}", file=sys.stderr)
     print(build_table4(study).render())
     print()
@@ -301,6 +359,51 @@ def cmd_study(args: argparse.Namespace) -> int:
     if args.accuracy:
         print()
         print(score_study(study).render())
+    return 0
+
+
+def cmd_results(args: argparse.Namespace) -> int:
+    """Query result-store archives: list them, filter by verdict, or
+    rebuild the paper's tables straight from the journal."""
+    from repro.store import (
+        StoreError,
+        list_stores,
+        load_stored_study,
+        summarize_store,
+    )
+
+    try:
+        stores = list_stores(args.dir)
+        if not stores:
+            print(f"no result stores found under {args.dir}", file=sys.stderr)
+            return 2
+        first = True
+        for path in stores:
+            summary = summarize_store(path)
+            print(summary.render())
+            if args.verdict and summary.kind == "study":
+                study = load_stored_study(path)
+                matching = [
+                    r.probe_id for r in study.records if r.verdict == args.verdict
+                ]
+                print(
+                    f"  verdict={args.verdict}: {len(matching)} probes"
+                    + (f": {matching}" if matching else "")
+                )
+            if args.tables and summary.kind == "study":
+                study = load_stored_study(path)
+                if not first:
+                    print()
+                print()
+                print(build_table4(study).render())
+                print()
+                print(build_table5(study).render())
+                print()
+                print("Location summary:", build_location_summary(study).render())
+            first = False
+    except (StoreError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -446,7 +549,47 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument(
         "--load", metavar="PATH", help="analyse previously saved records"
     )
+    study.add_argument(
+        "--store",
+        metavar="DIR",
+        help="journal the run into a crash-safe result store (records "
+        "stream to disk as they complete; the finished study is archived "
+        "as DIR/study.json)",
+    )
+    study.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --store: skip already-journaled probes and finish an "
+        "interrupted study (inputs must hash to the stored fingerprint)",
+    )
+    study.add_argument(
+        "--probe-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --store: measure at most N new probes this invocation, "
+        "then exit 3 leaving a resumable journal",
+    )
     study.set_defaults(handler=cmd_study)
+
+    results = subparsers.add_parser(
+        "results", help="query result-store archives (no re-simulation)"
+    )
+    results.add_argument(
+        "dir", help="a result-store directory, or a directory of stores"
+    )
+    results.add_argument(
+        "--tables",
+        action="store_true",
+        help="rebuild Tables 4-5 and the location summary from the journal",
+    )
+    results.add_argument(
+        "--verdict",
+        metavar="VERDICT",
+        help="list probe ids whose journaled verdict matches "
+        "(e.g. cpe, within-isp, not-intercepted)",
+    )
+    results.set_defaults(handler=cmd_results)
 
     case = subparsers.add_parser("case-study", help="the §5 XB6 walk-through")
     case.add_argument("--probe-id", type=int, default=5150)

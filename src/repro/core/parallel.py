@@ -36,11 +36,17 @@ from .metrics import MetricsRegistry, MetricsSnapshot, active_registry, use_regi
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (study imports us)
     from repro.core.study import ProbeRecord, StudyConfig
+    from repro.store import ResultStore
 
 #: Shards handed out per worker; >1 smooths load imbalance (an offline
 #: probe is ~free, an intercepted dual-stack probe is ~20 exchanges) and
 #: gives the progress callback finer granularity.
 DEFAULT_SHARDS_PER_WORKER = 4
+
+#: Segment size for the in-process (``workers=1``) path when a result
+#: store journals the run: small enough that an interruption loses
+#: little work, large enough that fsync batching stays off the hot path.
+SERIAL_SEGMENT_PROBES = 32
 
 
 @dataclass(frozen=True)
@@ -203,12 +209,22 @@ def merge_shard_records(
     return [record for _index, record in flat]
 
 
+def _resolve_workers(config: "StudyConfig", total: int) -> int:
+    workers = config.workers
+    if workers is None:
+        workers = default_worker_count()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return min(workers, max(1, total))
+
+
 def measure_fleet(
     specs: Sequence[ProbeSpec],
     config: "StudyConfig",
     progress: Optional[Callable[[int, int], None]] = None,
     shards_per_worker: int = DEFAULT_SHARDS_PER_WORKER,
     mp_context=None,
+    store: Optional["ResultStore"] = None,
 ) -> FleetResult:
     """Measure the whole fleet as :class:`~repro.core.study.StudyConfig`
     says; return records in fleet order plus the merged metrics.
@@ -218,15 +234,23 @@ def measure_fleet(
     callbacks are aggregated across workers: ``progress(done, total)``
     fires in the driver process each time a shard completes, with
     ``done`` counting probes (not shards) measured so far.
+
+    With a :class:`~repro.store.ResultStore`, completed segments stream
+    into its journal as they finish, already-journaled probes are
+    skipped, and the returned result is reconstructed *from the
+    journal* — byte-identical to a store-less run for any worker count
+    and any interruption point (see :mod:`repro.store`).
     """
+    if store is not None:
+        return _measure_fleet_stored(
+            specs, config, store,
+            progress=progress,
+            shards_per_worker=shards_per_worker,
+            mp_context=mp_context,
+        )
     specs = list(specs)
     total = len(specs)
-    workers = config.workers
-    if workers is None:
-        workers = default_worker_count()
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
-    workers = min(workers, max(1, total))
+    workers = _resolve_workers(config, total)
 
     if workers == 1 or total == 0:
         from repro.resolvers.directory import build_default_directory
@@ -279,6 +303,112 @@ def measure_fleet(
             shard_snapshots[shard_id] for shard_id in sorted(shard_snapshots)
         )
     return FleetResult(records=merge_shard_records(shard_records), metrics=metrics)
+
+
+def _shard_pairs(
+    pairs: Sequence[tuple[int, ProbeSpec]], shards: int
+) -> list[FleetShard]:
+    """Like :func:`shard_fleet`, but over ``(fleet_index, spec)`` pairs —
+    the remaining work of a resumed study, whose indices need not be
+    contiguous."""
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    count = min(shards, len(pairs))
+    out: list[FleetShard] = []
+    base, extra = divmod(len(pairs), count) if count else (0, 0)
+    start = 0
+    for shard_id in range(count):
+        stop = start + base + (1 if shard_id < extra else 0)
+        chunk = pairs[start:stop]
+        out.append(
+            FleetShard(
+                shard_id=shard_id,
+                indices=tuple(index for index, _spec in chunk),
+                specs=tuple(spec for _index, spec in chunk),
+            )
+        )
+        start = stop
+    return out
+
+
+def _measure_fleet_stored(
+    specs: Sequence[ProbeSpec],
+    config: "StudyConfig",
+    store: "ResultStore",
+    progress: Optional[Callable[[int, int], None]] = None,
+    shards_per_worker: int = DEFAULT_SHARDS_PER_WORKER,
+    mp_context=None,
+) -> FleetResult:
+    """The journaled fleet path: skip done probes, stream segments into
+    the store, rebuild the result from the journal.
+
+    Raises :class:`~repro.store.StoreInterrupted` when the store's
+    probe budget runs out before the fleet is covered — the journal
+    then holds everything measured so far, ready for a resumed run.
+    """
+    from repro.store import StoreInterrupted
+
+    specs = list(specs)
+    total = len(specs)
+    done = store.begin_study(config, specs)
+    remaining = [(i, specs[i]) for i in range(total) if i not in done]
+    truncated = False
+    if store.probe_budget is not None and len(remaining) > store.probe_budget:
+        remaining = remaining[: store.probe_budget]
+        truncated = True
+    workers = _resolve_workers(config, len(remaining))
+    completed = len(done)
+    if progress is not None and remaining:
+        progress(completed, total)
+
+    try:
+        if remaining and workers == 1:
+            from repro.resolvers.directory import build_default_directory
+
+            directory = build_default_directory()
+            for shard in _shard_pairs(
+                remaining, max(1, len(remaining) // SERIAL_SEGMENT_PROBES)
+            ):
+                registry = (
+                    MetricsRegistry(trace=config.trace) if config.metrics else None
+                )
+                context = (
+                    use_registry(registry) if registry is not None else nullcontext()
+                )
+                with context:
+                    pairs = measure_shard(shard, directory=directory, config=config)
+                store.append_segment(
+                    pairs, registry.snapshot() if registry is not None else None
+                )
+                completed += len(pairs)
+                if progress is not None:
+                    progress(completed, total)
+        elif remaining:
+            shards = _shard_pairs(remaining, workers * max(1, shards_per_worker))
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=mp_context,
+                initializer=_init_worker,
+                initargs=(config,),
+            ) as pool:
+                pending = {
+                    pool.submit(_measure_shard_job, shard): shard for shard in shards
+                }
+                while pending:
+                    ready, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in ready:
+                        shard = pending.pop(future)
+                        _shard_id, pairs, snapshot = future.result()
+                        store.append_segment(pairs, snapshot)
+                        completed += len(shard)
+                        if progress is not None:
+                            progress(completed, total)
+    finally:
+        store.sync()
+    if truncated:
+        raise StoreInterrupted(completed, total)
+    records, metrics = store.collect_study()
+    return FleetResult(records=records, metrics=metrics)
 
 
 def run_fleet(

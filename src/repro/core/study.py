@@ -278,6 +278,7 @@ def run_pilot_study(
     specs: Iterable[ProbeSpec],
     config: Optional[StudyConfig] = None,
     *,
+    store=None,
     progress: Optional[Callable[[int, int], None]] = None,
     run_transparency=_UNSET,
     workers=_UNSET,
@@ -291,6 +292,15 @@ def run_pilot_study(
     order and are byte-identical across worker counts — each probe is a
     pure function of its spec — and so is ``StudyResult.metrics`` when
     instrumentation is on.
+
+    ``store`` (a :class:`~repro.store.ResultStore`) makes the run
+    durable and resumable: completed segments stream into the store's
+    crash-safe journal, already-journaled probes are skipped, and on
+    completion the result — reconstructed from the journal, byte-
+    identical to a store-less run — is finalized into the store as an
+    atomic ``study.json`` export. An exhausted probe budget raises
+    :class:`~repro.store.StoreInterrupted`; mismatched inputs raise
+    :class:`~repro.store.StoreMismatchError`.
 
     The pre-``StudyConfig`` kwargs (``run_transparency``, ``workers``,
     ``seed``) still work but emit ``DeprecationWarning``; they cannot be
@@ -324,11 +334,14 @@ def run_pilot_study(
         config = StudyConfig()
 
     specs = list(specs)
-    fleet = measure_fleet(specs, config, progress=progress)
-    return StudyResult(
+    fleet = measure_fleet(specs, config, progress=progress, store=store)
+    result = StudyResult(
         records=fleet.records,
         fleet_size=len(specs),
         seed=config.seed,
         config=config,
         metrics=fleet.metrics,
     )
+    if store is not None:
+        store.finalize_study(result)
+    return result

@@ -1,0 +1,67 @@
+"""``repro.store`` — the durable result store.
+
+Crash-safe journaling, checkpointed fleet runs and resumable studies:
+:class:`ResultStore` wraps an append-only sharded JSONL journal plus a
+fingerprinted manifest, the fleet executor streams completed segments
+into it, and ``run_pilot_study(config, store=...)`` /
+``repro study --store DIR --resume`` skip already-journaled probes and
+rebuild a byte-identical :class:`~repro.core.study.StudyResult`.
+"""
+
+from .journal import (
+    JournalWriter,
+    StoreCorruptError,
+    StoreError,
+    StoreIncompleteError,
+    StoreInterrupted,
+    StoreMismatchError,
+    StoreResumeRequired,
+    campaign_fingerprint,
+    canonical_value,
+    fingerprint,
+    read_journal,
+    study_fingerprint,
+)
+from .result_store import (
+    JOURNAL_DIR,
+    MANIFEST_NAME,
+    METRICS_PREFIX,
+    RECORDS_PREFIX,
+    STORE_SCHEMA,
+    STUDY_EXPORT_NAME,
+    ResultStore,
+    StoreSummary,
+    list_stores,
+    load_manifest,
+    load_stored_records,
+    load_stored_study,
+    summarize_store,
+)
+
+__all__ = [
+    "JOURNAL_DIR",
+    "JournalWriter",
+    "MANIFEST_NAME",
+    "METRICS_PREFIX",
+    "RECORDS_PREFIX",
+    "ResultStore",
+    "STORE_SCHEMA",
+    "STUDY_EXPORT_NAME",
+    "StoreCorruptError",
+    "StoreError",
+    "StoreIncompleteError",
+    "StoreInterrupted",
+    "StoreMismatchError",
+    "StoreResumeRequired",
+    "StoreSummary",
+    "campaign_fingerprint",
+    "canonical_value",
+    "fingerprint",
+    "list_stores",
+    "load_manifest",
+    "load_stored_records",
+    "load_stored_study",
+    "read_journal",
+    "study_fingerprint",
+    "summarize_store",
+]

@@ -1,9 +1,14 @@
 """JSON round-trips of study results."""
 
+import dataclasses
+import json
+
 import pytest
 
 from repro.analysis.export import (
     SCHEMA_VERSION,
+    config_from_dict,
+    config_to_dict,
     load_study,
     record_from_dict,
     record_to_dict,
@@ -13,7 +18,9 @@ from repro.analysis.export import (
 )
 from repro.analysis.tables import build_table4, build_table5
 from repro.atlas.population import generate_population
+from repro.atlas.retry import ExponentialBackoffRetry, FixedIntervalRetry
 from repro.core.study import ProbeRecord, StudyConfig, StudyResult, run_pilot_study
+from repro.net.impairment import LinkProfile
 
 
 @pytest.fixture(scope="module")
@@ -68,3 +75,115 @@ class TestSchema:
         assert isinstance(back.provider_status, tuple)
         assert isinstance(back.provider_status[0], tuple)
         assert back == record
+
+
+class TestFieldForFieldRoundTrip:
+    """Every ProbeRecord / StudyResult field must survive the trip —
+    including the chaos-era additions (inconclusive_steps, metrics
+    snapshot, the study's seed and config)."""
+
+    def test_every_record_field_restored(self):
+        record = ProbeRecord(
+            probe_id=42,
+            organization="Comcast",
+            asn=7922,
+            country="US",
+            online=True,
+            provider_status=(("google", 4, "intercepted"),),
+            verdict="cpe",
+            transparency="Transparent",
+            cpe_version_string="dnsmasq-2.80",
+            replication_seen=True,
+            inconclusive_steps=("isp", "transparency"),
+            true_location="cpe",
+        )
+        back = record_from_dict(record_to_dict(record))
+        for field in dataclasses.fields(ProbeRecord):
+            assert getattr(back, field.name) == getattr(record, field.name), (
+                field.name
+            )
+        assert isinstance(back.inconclusive_steps, tuple)
+
+    def test_metrics_and_config_survive(self):
+        specs = generate_population(size=25, seed=23)
+        config = StudyConfig(workers=1, seed=23, metrics=True)
+        study = run_pilot_study(specs, config)
+        back = study_from_json(study_to_json(study))
+        assert back.records == study.records
+        assert back.seed == study.seed
+        assert back.fleet_size == study.fleet_size
+        assert back.metrics is not None
+        assert back.metrics.to_dict() == study.metrics.to_dict()
+        # workers is an execution detail; everything else comes back.
+        assert config_to_dict(back.config) == config_to_dict(config)
+        # And the full export re-serialises byte-identically.
+        assert study_to_json(back) == study_to_json(study)
+
+    def test_config_round_trip_with_chaos_knobs(self):
+        config = StudyConfig(
+            workers=4,
+            seed=9,
+            run_transparency=False,
+            metrics=True,
+            trace="exchange",
+            impairment=LinkProfile(loss=0.1, duplicate=0.05, jitter_ms=8.0),
+            impairment_seed=77,
+            retry=ExponentialBackoffRetry(retries=3, base_ms=100.0),
+        )
+        back = config_from_dict(config_to_dict(config))
+        assert back.seed == config.seed
+        assert back.run_transparency is False
+        assert back.trace == "exchange"
+        assert back.impairment == config.impairment
+        assert back.impairment_seed == 77
+        assert isinstance(back.retry, ExponentialBackoffRetry)
+        assert back.retry == config.retry
+        # workers is deliberately not serialised.
+        assert "workers" not in config_to_dict(config)
+
+    def test_config_retry_types_distinguished(self):
+        fixed = StudyConfig(retry=FixedIntervalRetry(retries=2))
+        back = config_from_dict(config_to_dict(fixed))
+        assert isinstance(back.retry, FixedIntervalRetry)
+
+    def test_unknown_retry_type_rejected(self):
+        data = config_to_dict(StudyConfig(retry=FixedIntervalRetry(retries=2)))
+        data["retry"]["type"] = "MysteryRetry"
+        with pytest.raises(ValueError):
+            config_from_dict(data)
+
+    def test_pre_config_exports_still_load(self, study):
+        data = json.loads(study_to_json(study))
+        data.pop("config", None)
+        back = study_from_json(json.dumps(data))
+        assert back.config is None
+        assert back.records == study.records
+
+
+class TestAtomicSave:
+    def test_failed_write_leaves_existing_file_intact(self, study, tmp_path):
+        path = tmp_path / "out" / "study.json"
+        save_study(study, str(path))
+        original = path.read_text()
+        broken = StudyResult(
+            records=[
+                ProbeRecord(
+                    probe_id=1,
+                    organization="X",
+                    asn=1,
+                    country="US",
+                    online=True,
+                    cpe_version_string={"not", "json"},  # unserialisable
+                )
+            ]
+        )
+        with pytest.raises(TypeError):
+            save_study(broken, str(path))
+        assert path.read_text() == original
+        # And no temp-file litter next to it.
+        assert sorted(p.name for p in path.parent.iterdir()) == ["study.json"]
+
+    def test_save_creates_parent_directories(self, study, tmp_path):
+        path = tmp_path / "a" / "b" / "study.json"
+        save_study(study, str(path))
+        assert load_study(str(path)).records == study.records

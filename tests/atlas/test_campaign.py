@@ -108,3 +108,75 @@ class TestFleetRun:
         import json
 
         json.dumps(data)
+
+
+class TestCampaignStore:
+    @pytest.fixture
+    def fleet(self):
+        return generate_population(size=12, seed=3)
+
+    @pytest.fixture
+    def campaign(self):
+        return Campaign([LOCATION_MSM, A_MSM])
+
+    def test_interrupt_then_resume_matches_storeless_run(
+        self, fleet, campaign, tmp_path
+    ):
+        from repro.store import ResultStore, StoreInterrupted
+
+        reference = campaign.run(fleet)
+        path = str(tmp_path / "c")
+        with pytest.raises(StoreInterrupted) as excinfo:
+            campaign.run(fleet, store=ResultStore(path, probe_budget=5))
+        assert excinfo.value.done == 5
+        assert excinfo.value.total == len(fleet)
+        rows = campaign.run(fleet, store=ResultStore(path, resume=True))
+        assert rows == reference
+
+    def test_offline_probes_count_as_covered(self, campaign, tmp_path):
+        from repro.store import ResultStore, load_manifest
+
+        import dataclasses
+
+        offline = [
+            dataclasses.replace(
+                make_spec(organization_by_name("Orange"), probe_id=n),
+                online=False,
+            )
+            for n in range(3)
+        ]
+        rows = campaign.run(offline, store=ResultStore(str(tmp_path / "c")))
+        assert rows == []
+        assert load_manifest(str(tmp_path / "c"))["complete"] is True
+
+    def test_row_round_trip_through_journal(self, fleet, campaign, tmp_path):
+        from repro.store import ResultStore
+
+        path = str(tmp_path / "c")
+        rows = campaign.run(fleet, store=ResultStore(path))
+        assert all(isinstance(row, MeasurementRow) for row in rows)
+        # Reload straight from the journal: same rows, same order.
+        reader = ResultStore(path, resume=True)
+        reader.begin_campaign(campaign.definitions, fleet)
+        assert reader.collect_campaign() == rows
+
+    def test_changed_definitions_are_a_mismatch(self, fleet, tmp_path):
+        from repro.store import ResultStore, StoreInterrupted, StoreMismatchError
+
+        path = str(tmp_path / "c")
+        with pytest.raises(StoreInterrupted):
+            Campaign([LOCATION_MSM]).run(
+                fleet, store=ResultStore(path, probe_budget=3)
+            )
+        with pytest.raises(StoreMismatchError):
+            Campaign([A_MSM]).run(fleet, store=ResultStore(path, resume=True))
+
+    def test_study_store_not_usable_as_campaign(self, fleet, campaign, tmp_path):
+        from repro.core.study import StudyConfig, run_pilot_study
+        from repro.store import ResultStore, StoreMismatchError
+
+        path = str(tmp_path / "s")
+        run_pilot_study(fleet, StudyConfig(workers=1, seed=3),
+                        store=ResultStore(path))
+        with pytest.raises(StoreMismatchError):
+            campaign.run(fleet, store=ResultStore(path, resume=True))

@@ -1,0 +1,10 @@
+"""Store fixtures: a small deterministic fleet shared across the tests."""
+
+import pytest
+
+from repro.atlas.population import generate_population
+
+
+@pytest.fixture(scope="session")
+def small_fleet():
+    return generate_population(size=14, seed=11)

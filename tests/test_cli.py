@@ -123,3 +123,91 @@ class TestTtlFullSweep:
         # A clean full sweep shows the traceroute and a standard answer.
         assert "ICMP time-exceeded" in out
         assert "standard" in out
+
+
+class TestStudyStore:
+    def test_interrupt_resume_results_flow(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        base = ["study", "--size", "16", "--seed", "4", "--store", store]
+        assert main(base + ["--probe-budget", "6"]) == 3
+        err = capsys.readouterr().err
+        assert "interrupted" in err and "--resume" in err
+
+        # Without --resume a partial store is refused.
+        assert main(base) == 2
+        assert "--resume" in capsys.readouterr().err
+
+        resumed = str(tmp_path / "resumed.json")
+        assert main(base + ["--resume", "--save", resumed]) == 0
+        assert "journal complete" in capsys.readouterr().err
+
+        reference = str(tmp_path / "reference.json")
+        assert main(["study", "--size", "16", "--seed", "4",
+                     "--save", reference]) == 0
+        capsys.readouterr()
+        with open(resumed, encoding="utf-8") as a, open(
+            reference, encoding="utf-8"
+        ) as b:
+            assert a.read() == b.read()  # byte-identical to uninterrupted
+
+        # The archive answers without re-simulating.
+        assert main(["results", store]) == 0
+        out = capsys.readouterr().out
+        assert "[study]" in out and "16/16" in out and "complete" in out
+        assert main(["results", store, "--tables"]) == 0
+        assert "Table 4" in capsys.readouterr().out
+
+    def test_mismatched_inputs_rejected(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["study", "--size", "12", "--seed", "4", "--store", store,
+                     "--probe-budget", "4"]) == 3
+        capsys.readouterr()
+        assert main(["study", "--size", "12", "--seed", "5", "--store", store,
+                     "--resume"]) == 2
+        assert "different inputs" in capsys.readouterr().err
+
+    def test_store_flag_validation(self, tmp_path, capsys):
+        assert main(["study", "--size", "4", "--resume"]) == 2
+        assert "--resume requires --store" in capsys.readouterr().err
+        assert main(["study", "--size", "4", "--probe-budget", "2"]) == 2
+        assert "--probe-budget requires --store" in capsys.readouterr().err
+        load = str(tmp_path / "x.json")
+        assert main(["study", "--size", "4", "--store",
+                     str(tmp_path / "s"), "--load", load]) == 2
+        assert "--load" in capsys.readouterr().err
+
+    def test_results_on_missing_dir(self, tmp_path, capsys):
+        assert main(["results", str(tmp_path / "nothing")]) == 2
+        assert "no result stores found" in capsys.readouterr().err
+
+    def test_results_verdict_filter(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["study", "--size", "16", "--seed", "4",
+                     "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["results", store, "--verdict", "not-intercepted"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict=not-intercepted" in out
+
+
+class TestOutputPathHandling:
+    def test_save_creates_parent_dirs(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "records.json")
+        assert main(["study", "--size", "6", "--seed", "1",
+                     "--save", path]) == 0
+        import os
+
+        assert os.path.exists(path)
+
+    def test_unwritable_save_path_one_line_error(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        path = str(blocker / "records.json")
+        assert main(["study", "--size", "6", "--seed", "1",
+                     "--save", path]) == 2
+        err = capsys.readouterr().err
+        # One-line error, no traceback (the other line is the progress banner).
+        error_lines = [l for l in err.splitlines() if l.startswith("error:")]
+        assert len(error_lines) == 1
+        assert error_lines[0].startswith("error: cannot write study records to")
+        assert "Traceback" not in err
