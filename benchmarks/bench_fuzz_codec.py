@@ -1,0 +1,84 @@
+"""Fuzz-harness throughput gate.
+
+The fuzz smoke job in CI budgets a fixed iteration count, so the
+harness's cases-per-second rate is a correctness resource: if the codec
+(or an oracle) picks up an accidental quadratic path, the same CI budget
+silently covers far less input space. This gate fails when throughput
+drops below a conservative floor, and doubles as the codec's
+hostile-path micro-benchmark.
+
+Run directly for a report::
+
+    PYTHONPATH=src python benchmarks/bench_fuzz_codec.py \
+        --iterations 2000 --min-rate 500
+"""
+
+import argparse
+import sys
+
+from repro.fuzz import FuzzConfig, run_fuzz
+
+#: Conservative floor (cases/s). A dev laptop does several thousand;
+#: CI runners are slower, and the gate only needs to catch order-of-
+#: magnitude regressions such as an accidentally quadratic decode path.
+DEFAULT_MIN_RATE = 500.0
+
+
+def measure(iterations: int, seed: int, corpus_dir: str | None = None) -> dict:
+    report = run_fuzz(
+        FuzzConfig(seed=seed, iterations=iterations, corpus_dir=corpus_dir)
+    )
+    cases = report.roundtrip_cases + report.hostile_cases
+    return {
+        "iterations": iterations,
+        "cases": cases,
+        "violations": len(report.violations),
+        "elapsed_s": report.elapsed_s,
+        "cases_per_s": cases / max(report.elapsed_s, 1e-9),
+        "digest": report.case_digest,
+        "report": report,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="fuzz-harness throughput gate")
+    parser.add_argument("--iterations", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="also replay a crasher corpus (default: skip)",
+    )
+    parser.add_argument(
+        "--min-rate", type=float, default=DEFAULT_MIN_RATE, metavar="N",
+        help=f"fail under N cases/s (default {DEFAULT_MIN_RATE:.0f})",
+    )
+    args = parser.parse_args(argv)
+
+    stats = measure(args.iterations, args.seed, args.corpus)
+    print(
+        f"fuzz throughput: {stats['cases']} cases in {stats['elapsed_s']:.2f}s "
+        f"= {stats['cases_per_s']:.0f} cases/s  (digest {stats['digest'][:16]})"
+    )
+    failed = False
+    if stats["violations"]:
+        print(stats["report"].render())
+        print(f"FAIL: {stats['violations']} oracle violations")
+        failed = True
+    if stats["cases_per_s"] < args.min_rate:
+        print(
+            f"FAIL: {stats['cases_per_s']:.0f} cases/s below the "
+            f"{args.min_rate:.0f} cases/s floor"
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+def test_fuzz_throughput_floor():
+    """Small deterministic slice of the CLI gate for the benchmark suite."""
+    stats = measure(iterations=300, seed=0)
+    assert stats["violations"] == 0
+    assert stats["cases_per_s"] >= DEFAULT_MIN_RATE
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,10 @@ Commands
 ``results``
     List, filter and summarise result-store archives without
     re-simulating anything.
+``fuzz``
+    Differential fuzz of the DNS wire codec: round-trip and
+    hostile-bytes oracles over seeded, deterministic cases, with the
+    checked-in crasher corpus replayed first.
 ``case-study``
     The §5 XB6 walk-through with a packet trace.
 ``ttl``
@@ -407,6 +411,40 @@ def cmd_results(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run the wire-codec fuzzer; exit 1 on any oracle violation."""
+    import os
+
+    from repro.fuzz import FuzzConfig, run_fuzz, save_entry
+
+    corpus_dir = args.corpus
+    if corpus_dir and not os.path.isdir(corpus_dir):
+        print(f"note: corpus dir {corpus_dir} not found; skipping replay",
+              file=sys.stderr)
+        corpus_dir = None
+    report = run_fuzz(
+        FuzzConfig(
+            seed=args.seed,
+            iterations=args.iterations,
+            corpus_dir=corpus_dir,
+        )
+    )
+    print(report.render())
+    if report.violations and args.write_crashers and corpus_dir:
+        for index, violation in enumerate(report.violations):
+            if not violation.wire:
+                continue
+            path = save_entry(
+                corpus_dir,
+                f"crash-seed{args.seed}-{index}",
+                violation.wire,
+                f"Auto-minimised by `repro fuzz --seed {args.seed}`: "
+                f"{violation.detail}",
+            )
+            print(f"wrote crasher to {path}", file=sys.stderr)
+    return 0 if report.ok() else 1
+
+
 def cmd_case_study(args: argparse.Namespace) -> int:
     spec = ProbeSpec(
         probe_id=args.probe_id,
@@ -590,6 +628,29 @@ def build_parser() -> argparse.ArgumentParser:
         "(e.g. cpe, within-isp, not-intercepted)",
     )
     results.set_defaults(handler=cmd_results)
+
+    fuzz = subparsers.add_parser(
+        "fuzz", help="differential fuzz of the DNS wire codec"
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, help="case-sequence seed (deterministic)"
+    )
+    fuzz.add_argument(
+        "--iterations", type=int, default=2000, metavar="N",
+        help="structure-aware cases to generate (each spawns ~4 mutants)",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        default="tests/dnswire/corpus",
+        metavar="DIR",
+        help="crasher corpus replayed before fuzzing (missing dir = skip)",
+    )
+    fuzz.add_argument(
+        "--write-crashers",
+        action="store_true",
+        help="save minimised crashers as new corpus entries",
+    )
+    fuzz.set_defaults(handler=cmd_fuzz)
 
     case = subparsers.add_parser("case-study", help="the §5 XB6 walk-through")
     case.add_argument("--probe-id", type=int, default=5150)

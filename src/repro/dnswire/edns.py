@@ -74,14 +74,21 @@ class ClientSubnet:
         scope_len = reader.read_u8()
         raw = reader.read_bytes(reader.remaining())
         if family_code == 1:
+            if source_len > 32:
+                raise WireError(f"ECS IPv4 prefix length {source_len} > 32")
             packed = (raw + b"\x00" * 4)[:4]
             address = ipaddress.IPv4Address(packed)
         elif family_code == 2:
+            if source_len > 128:
+                raise WireError(f"ECS IPv6 prefix length {source_len} > 128")
             packed = (raw + b"\x00" * 16)[:16]
             address = ipaddress.IPv6Address(packed)
         else:
             raise WireError(f"unknown ECS family {family_code}")
-        network = ipaddress.ip_network(f"{address}/{source_len}", strict=False)
+        try:
+            network = ipaddress.ip_network(f"{address}/{source_len}", strict=False)
+        except ValueError as exc:  # pragma: no cover - defence in depth
+            raise WireError(f"malformed ECS option: {exc}") from exc
         return cls(network=network, scope_prefix_len=scope_len)
 
     def to_text(self) -> str:

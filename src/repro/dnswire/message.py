@@ -262,6 +262,12 @@ def decode_or_none(data: bytes) -> Message | None:
     Client code uses this at the measurement edge: a hostile or broken
     interceptor may emit bytes that are not a DNS message at all, which the
     measurement must treat as "no usable response", not a crash.
+
+    The net is deliberately narrow: every decoder in this package is
+    required to surface malformed input as :class:`WireError` (RDATA
+    decoders wrap stray ``ValueError``-family exceptions at the source in
+    ``rr.py``), and ``repro.fuzz``'s hostile-bytes oracle enforces that
+    ``Message.decode`` raises nothing else on arbitrary buffers.
     """
     try:
         return Message.decode(data)

@@ -23,8 +23,29 @@ class NameError_(WireError):
     """Raised for malformed domain names."""
 
 
+def _ends_with_unescaped_dot(text: str) -> bool:
+    """True if the final ``.`` of ``text`` is a label separator.
+
+    A trailing dot is escaped (part of the last label) exactly when it is
+    preceded by an odd number of backslashes: ``"a\\."`` ends in a literal
+    dot, while ``"a\\\\."`` ends in an escaped backslash plus a separator.
+    """
+    if not text.endswith("."):
+        return False
+    backslashes = 0
+    for ch in reversed(text[:-1]):
+        if ch != "\\":
+            break
+        backslashes += 1
+    return backslashes % 2 == 0
+
+
 def _unescape(text: str) -> list[str]:
-    """Split presentation-format ``text`` into labels, honouring ``\\.``."""
+    """Split presentation-format ``text`` into labels.
+
+    Honours ``\\.`` (literal dot), ``\\\\`` (literal backslash) and RFC
+    4343 ``\\DDD`` decimal escapes for bytes that do not print safely.
+    """
     labels: list[str] = []
     current: list[str] = []
     it = iter(text)
@@ -33,7 +54,13 @@ def _unescape(text: str) -> list[str]:
             nxt = next(it, None)
             if nxt is None:
                 raise NameError_(f"dangling escape in name: {text!r}")
-            current.append(nxt)
+            if nxt.isdigit():
+                digits = nxt + "".join(next(it, "") for _ in range(2))
+                if len(digits) != 3 or not digits.isdigit() or int(digits) > 255:
+                    raise NameError_(f"bad \\DDD escape in name: {text!r}")
+                current.append(chr(int(digits)))
+            else:
+                current.append(nxt)
         elif ch == ".":
             labels.append("".join(current))
             current = []
@@ -43,6 +70,24 @@ def _unescape(text: str) -> list[str]:
     return labels
 
 
+def _escape_label(label: str) -> str:
+    """Presentation-escape one label: ``\\.``, ``\\\\`` and ``\\DDD``.
+
+    Whitespace and control characters are escaped decimally so that
+    presentation text survives ``from_text`` (which strips outer
+    whitespace) and terminal display unambiguously.
+    """
+    out: list[str] = []
+    for ch in label:
+        if ch in ("\\", "."):
+            out.append("\\" + ch)
+        elif ch <= " " or ch == "\x7f":
+            out.append(f"\\{ord(ch):03d}")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
 class DnsName:
     """An immutable, case-insensitively-compared domain name."""
 
@@ -50,12 +95,16 @@ class DnsName:
 
     def __init__(self, labels: Iterable[str] = ()) -> None:
         labels = tuple(labels)
+        # Both bounds are over *encoded* bytes: a multi-byte UTF-8 label
+        # is longer on the wire than its character count suggests.
+        encoded_len = 1
         for label in labels:
             if not label:
                 raise NameError_("empty label inside a name")
-            if len(label.encode("utf-8", "surrogateescape")) > MAX_LABEL_LENGTH:
+            raw_len = len(label.encode("utf-8", "surrogateescape"))
+            if raw_len > MAX_LABEL_LENGTH:
                 raise NameError_(f"label too long: {label!r}")
-        encoded_len = sum(len(lb) + 1 for lb in labels) + 1
+            encoded_len += raw_len + 1
         if encoded_len > MAX_NAME_LENGTH:
             raise NameError_(f"name too long ({encoded_len} bytes)")
         self._labels = labels
@@ -69,10 +118,13 @@ class DnsName:
 
         A single ``"."`` (or ``""``) is the root name.
         """
-        text = text.strip()
+        # Strip only ASCII whitespace: exactly the characters ``to_text``
+        # renders as \DDD escapes, so decoded hostile labels that begin
+        # or end with exotic Unicode whitespace survive a text roundtrip.
+        text = text.strip(" \t\r\n\x0b\x0c")
         if text in ("", "."):
             return cls(())
-        if text.endswith(".") and not text.endswith("\\."):
+        if _ends_with_unescaped_dot(text):
             text = text[:-1]
         return cls(_unescape(text))
 
@@ -94,11 +146,7 @@ class DnsName:
         """Presentation format with a trailing dot (root is ``"."``)."""
         if not self._labels:
             return "."
-        escaped = [
-            label.replace("\\", "\\\\").replace(".", "\\.")
-            for label in self._labels
-        ]
-        return ".".join(escaped) + "."
+        return ".".join(_escape_label(label) for label in self._labels) + "."
 
     def parent(self) -> "DnsName":
         """The name with its leftmost label removed; root's parent is root."""
@@ -134,7 +182,9 @@ class DnsName:
         """Append this name, using compression pointers where possible."""
         labels = self._labels
         for index in range(len(labels)):
-            suffix_key = ".".join(self._key[index:])
+            # The key is the label tuple itself, not a dotted join: a
+            # label containing "." must never alias a two-label suffix.
+            suffix_key = self._key[index:]
             if compress:
                 pointer = writer.lookup_name(suffix_key)
                 if pointer is not None:
@@ -151,6 +201,7 @@ class DnsName:
         """Read a (possibly compressed) name at the reader's cursor."""
         labels: list[str] = []
         hops = 0
+        encoded_len = 1
         return_offset: int | None = None
         while True:
             length = reader.read_u8()
@@ -171,9 +222,15 @@ class DnsName:
             if length == 0:
                 break
             raw = reader.read_bytes(length)
+            # Enforce RFC 1035's 255-byte bound on the *reassembled* name
+            # as it accumulates, so a pointer-grafted hostile name is
+            # rejected early instead of growing to buffer scale.
+            encoded_len += length + 1
+            if encoded_len > MAX_NAME_LENGTH:
+                raise NameError_(
+                    f"name exceeds {MAX_NAME_LENGTH} wire bytes"
+                )
             labels.append(raw.decode("utf-8", "surrogateescape"))
-            if len(labels) > MAX_NAME_LENGTH:
-                raise NameError_("runaway name decode")
         if return_offset is not None:
             reader.seek(return_offset)
         return cls(labels)

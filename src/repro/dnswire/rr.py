@@ -9,6 +9,7 @@ byte-identically — important when replaying captured interceptor traffic.
 from __future__ import annotations
 
 import ipaddress
+import struct
 from dataclasses import dataclass
 from typing import ClassVar, Union
 
@@ -301,10 +302,21 @@ class ResourceRecord:
         rdlength = reader.read_u16()
         end = reader.offset + rdlength
         decoder = _RDATA_DECODERS.get(rdtype)
-        if decoder is None:
-            rdata: RData = OpaqueData.decode(reader, rdlength, int(rdtype))
-        else:
-            rdata = decoder(reader, rdlength)
+        try:
+            if decoder is None:
+                rdata: RData = OpaqueData.decode(reader, rdlength, int(rdtype))
+            else:
+                rdata = decoder(reader, rdlength)
+        except WireError:
+            raise
+        except (ValueError, OverflowError, struct.error) as exc:
+            # A hostile RDATA payload must surface as WireError — the one
+            # exception family ``decode_or_none`` treats as "no usable
+            # response" — not as whatever ``ipaddress``/``struct``/codec
+            # internals happen to raise on junk bytes.
+            raise WireError(
+                f"malformed {QType.label(rdtype)} rdata: {exc}"
+            ) from exc
         if reader.offset != end:
             raise WireError(
                 f"rdata decode for type {rdtype} consumed "

@@ -25,8 +25,8 @@ class WireWriter:
     def __init__(self) -> None:
         self._chunks: list[bytes] = []
         self._length = 0
-        # Name compression state: dotted lowercase suffix -> offset.
-        self._name_offsets: dict[str, int] = {}
+        # Name compression state: lowercase label-tuple suffix -> offset.
+        self._name_offsets: dict[tuple[str, ...], int] = {}
 
     def __len__(self) -> int:
         return self._length
@@ -55,7 +55,7 @@ class WireWriter:
             raise WireError(f"u32 out of range: {value}")
         self.write_bytes(struct.pack("!I", value))
 
-    def remember_name(self, key: str, offset: int) -> None:
+    def remember_name(self, key: tuple[str, ...], offset: int) -> None:
         """Record that the name suffix ``key`` was encoded at ``offset``.
 
         Compression pointers can only target the first 0x3FFF bytes;
@@ -64,7 +64,7 @@ class WireWriter:
         if offset <= 0x3FFF and key not in self._name_offsets:
             self._name_offsets[key] = offset
 
-    def lookup_name(self, key: str) -> int | None:
+    def lookup_name(self, key: tuple[str, ...]) -> int | None:
         """Return a previously remembered offset for ``key``, if any."""
         return self._name_offsets.get(key)
 

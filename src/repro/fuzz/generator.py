@@ -1,0 +1,232 @@
+"""Structure-aware random DNS message generation.
+
+The generator draws from the reproduction's *real* vocabulary — CHAOS
+debugging names, ``o-o.myaddr`` whoami names, bogon reverse names, TXT
+payloads shaped like the location-query answers of Table 1 — plus
+adversarial name shapes (multi-byte UTF-8 labels, dots and backslashes
+inside labels, maximum-length labels) that stress the codec's byte
+accounting and escaping. Every message it produces is *valid* by
+construction, so any round-trip failure is a codec bug, not a generator
+artifact.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+
+from repro.dnswire import (
+    AAAAData,
+    AData,
+    CnameData,
+    DnsName,
+    Edns,
+    EdnsOption,
+    Flags,
+    Message,
+    MxData,
+    NsData,
+    OpaqueData,
+    Opcode,
+    PtrData,
+    QClass,
+    QType,
+    Question,
+    RCode,
+    ResourceRecord,
+    SoaData,
+    TxtData,
+)
+from repro.dnswire.edns import OPTION_CLIENT_SUBNET, ClientSubnet
+from repro.dnswire.enums import MAX_LABEL_LENGTH, MAX_NAME_LENGTH
+
+#: Names the methodology actually sends and receives (Table 1, RFC 4892).
+VOCAB_NAMES = (
+    "id.server.",
+    "version.bind.",
+    "hostname.bind.",
+    "version.server.",
+    "o-o.myaddr.l.google.com.",
+    "whoami.akamai.net.",
+    "resolver.dnscrypt.info.",
+    "1.0.0.127.in-addr.arpa.",
+    "254.169.254.169.in-addr.arpa.",
+    "www.example.com.",
+    "test.knot-resolver.cz.",
+    ".",
+)
+
+#: Answer payloads shaped like the wild: IATA codes, version strings,
+#: echoed addresses, PCH hostnames, and the ECS echo suffix.
+VOCAB_TXT = (
+    "lax",
+    "AMS",
+    "res100.ams.rrdns.pch.net",
+    "dnsmasq-2.78",
+    "9.9.9.9",
+    "172.253.226.35",
+    "edns0-client-subnet 203.0.113.0/24",
+    "Q9-FRA-1",
+    "unbound 1.13.1",
+    "",
+)
+
+#: Label fragments for synthesised names: plain hostname material plus
+#: shapes that stress escaping and byte-vs-character accounting.
+VOCAB_LABELS = (
+    "www",
+    "dns",
+    "cpe",
+    "xb6",
+    "in-addr",
+    "a.b",          # dot inside a label — must never alias two labels
+    "a\\",          # trailing backslash — stresses presentation escaping
+    "\\.",
+    "x" * MAX_LABEL_LENGTH,
+    "€" * (MAX_LABEL_LENGTH // 3),  # 63 encoded bytes, 21 characters
+    "é",
+    "label-with-hyphens",
+    "_dmarc",
+)
+
+#: Record types without a dedicated decoder; exercised through OpaqueData.
+_OPAQUE_TYPES = (QType.SRV, QType.DS, QType.RRSIG, QType.CAA, 4660, 65280)
+
+
+class MessageGenerator:
+    """Deterministic random :class:`Message` factory over a seeded RNG."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    # -- names ----------------------------------------------------------
+
+    def name(self) -> DnsName:
+        """A valid name: vocabulary, synthesised, or root."""
+        rng = self._rng
+        roll = rng.random()
+        if roll < 0.45:
+            return DnsName.from_text(rng.choice(VOCAB_NAMES))
+        if roll < 0.50:
+            return DnsName.root()
+        labels: list[str] = []
+        encoded_len = 1
+        for _ in range(rng.randint(1, 6)):
+            label = rng.choice(VOCAB_LABELS)
+            raw_len = len(label.encode("utf-8", "surrogateescape"))
+            if encoded_len + raw_len + 1 > MAX_NAME_LENGTH:
+                break
+            labels.append(label)
+            encoded_len += raw_len + 1
+        if not labels:
+            labels = ["www"]
+        return DnsName(labels)
+
+    # -- records ---------------------------------------------------------
+
+    def record(self) -> ResourceRecord:
+        rng = self._rng
+        owner = self.name()
+        ttl = rng.choice((0, 1, 60, 300, 86400, 0xFFFFFFFF))
+        rdclass = rng.choice((QClass.IN, QClass.CH))
+        kind = rng.randrange(9)
+        if kind == 0:
+            rdata = AData(ipaddress.IPv4Address(rng.getrandbits(32)))
+        elif kind == 1:
+            rdata = AAAAData(ipaddress.IPv6Address(rng.getrandbits(128)))
+        elif kind <= 3:
+            strings = tuple(
+                rng.choice(VOCAB_TXT).encode("utf-8")
+                for _ in range(rng.randint(1, 3))
+            )
+            if rng.random() < 0.2:
+                strings += (bytes(rng.randrange(256) for _ in range(255)),)
+            rdata = TxtData(strings)
+        elif kind == 4:
+            rdata = rng.choice((NsData, CnameData, PtrData))(self.name())
+        elif kind == 5:
+            rdata = SoaData(
+                mname=self.name(),
+                rname=self.name(),
+                serial=rng.getrandbits(32),
+                refresh=rng.getrandbits(16),
+                retry=rng.getrandbits(16),
+                expire=rng.getrandbits(16),
+                minimum=rng.getrandbits(16),
+            )
+        elif kind == 6:
+            rdata = MxData(rng.getrandbits(16), self.name())
+        else:
+            type_code = int(rng.choice(_OPAQUE_TYPES))
+            raw = bytes(rng.randrange(256) for _ in range(rng.randrange(40)))
+            rdata = OpaqueData(raw, type_code)
+        return ResourceRecord(owner, int(rdata.rdtype), int(rdclass), ttl, rdata)
+
+    def opt_record(self) -> ResourceRecord:
+        """An EDNS OPT pseudo-record, sometimes carrying an ECS option."""
+        rng = self._rng
+        options: tuple[EdnsOption, ...] = ()
+        if rng.random() < 0.6:
+            bits = 24 if rng.random() < 0.7 else 56
+            network = ipaddress.ip_network(
+                (ipaddress.ip_address(rng.getrandbits(32 if bits == 24 else 128)), bits),
+                strict=False,
+            )
+            options += (ClientSubnet(network).to_option(),)
+        if rng.random() < 0.3:
+            code = rng.choice((10, 11, 15, OPTION_CLIENT_SUBNET + 100))
+            options += (
+                EdnsOption(code, bytes(rng.randrange(256) for _ in range(rng.randrange(12)))),
+            )
+        edns = Edns(
+            payload_size=rng.choice((512, 1232, 4096)),
+            dnssec_ok=rng.random() < 0.3,
+            options=options,
+        )
+        return edns.to_record()
+
+    # -- messages ----------------------------------------------------------
+
+    def message(self) -> Message:
+        rng = self._rng
+        flags = Flags(
+            qr=rng.random() < 0.7,
+            opcode=rng.choice((Opcode.QUERY, Opcode.IQUERY, Opcode.STATUS, 7)),
+            aa=rng.random() < 0.3,
+            tc=rng.random() < 0.1,
+            rd=rng.random() < 0.8,
+            ra=rng.random() < 0.5,
+            # Header rcodes are 4 bits; BADVERS etc. need EDNS extension.
+            rcode=rng.choice(
+                (
+                    RCode.NOERROR,
+                    RCode.FORMERR,
+                    RCode.SERVFAIL,
+                    RCode.NXDOMAIN,
+                    RCode.NOTIMP,
+                    RCode.REFUSED,
+                    13,
+                )
+            ),
+        )
+        questions = tuple(
+            Question(
+                self.name(),
+                rng.choice((QType.A, QType.AAAA, QType.TXT, QType.NS, QType.ANY, 4242)),
+                rng.choice((QClass.IN, QClass.CH, QClass.ANY)),
+            )
+            for _ in range(rng.randrange(3))
+        )
+        answers = tuple(self.record() for _ in range(rng.randrange(4)))
+        authorities = tuple(self.record() for _ in range(rng.randrange(2)))
+        additionals = tuple(self.record() for _ in range(rng.randrange(2)))
+        if rng.random() < 0.4:
+            additionals += (self.opt_record(),)
+        return Message(
+            msg_id=rng.getrandbits(16),
+            flags=flags,
+            questions=questions,
+            answers=answers,
+            authorities=authorities,
+            additionals=additionals,
+        )

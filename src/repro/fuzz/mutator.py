@@ -1,0 +1,101 @@
+"""Byte-level mutations modelling a hostile or broken middlebox.
+
+Each operator is the wire-level signature of something §5/§6 of the
+paper observed or that a buggy CPE forwarder could plausibly emit:
+bit rot, short reads (truncation), compression pointers grafted into
+arbitrary offsets, and section-count inflation that promises records
+the buffer does not contain.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Header layout: the four 16-bit section counts start at byte 4.
+_COUNT_OFFSETS = (4, 6, 8, 10)
+
+
+class ByteMutator:
+    """Deterministic mutation of wire buffers over a seeded RNG."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._operators = (
+            self._bit_flip,
+            self._byte_set,
+            self._truncate,
+            self._delete_slice,
+            self._duplicate_slice,
+            self._append_junk,
+            self._pointer_graft,
+            self._count_inflate,
+        )
+
+    def mutate(self, data: bytes, rounds: int | None = None) -> bytes:
+        """Apply 1..4 random operators to ``data``."""
+        buf = bytearray(data)
+        if rounds is None:
+            rounds = self._rng.randint(1, 4)
+        for _ in range(rounds):
+            buf = self._rng.choice(self._operators)(buf)
+        return bytes(buf)
+
+    def random_buffer(self, max_size: int = 96) -> bytes:
+        """Pure noise — no DNS structure at all."""
+        size = self._rng.randrange(max_size)
+        return bytes(self._rng.randrange(256) for _ in range(size))
+
+    # -- operators ------------------------------------------------------
+
+    def _bit_flip(self, buf: bytearray) -> bytearray:
+        if buf:
+            index = self._rng.randrange(len(buf))
+            buf[index] ^= 1 << self._rng.randrange(8)
+        return buf
+
+    def _byte_set(self, buf: bytearray) -> bytearray:
+        if buf:
+            buf[self._rng.randrange(len(buf))] = self._rng.randrange(256)
+        return buf
+
+    def _truncate(self, buf: bytearray) -> bytearray:
+        if buf:
+            return buf[: self._rng.randrange(len(buf))]
+        return buf
+
+    def _delete_slice(self, buf: bytearray) -> bytearray:
+        if len(buf) > 1:
+            start = self._rng.randrange(len(buf))
+            end = min(len(buf), start + self._rng.randint(1, 8))
+            del buf[start:end]
+        return buf
+
+    def _duplicate_slice(self, buf: bytearray) -> bytearray:
+        if buf:
+            start = self._rng.randrange(len(buf))
+            end = min(len(buf), start + self._rng.randint(1, 16))
+            buf[end:end] = buf[start:end]
+        return buf
+
+    def _append_junk(self, buf: bytearray) -> bytearray:
+        count = self._rng.randint(1, 12)
+        buf.extend(self._rng.randrange(256) for _ in range(count))
+        return buf
+
+    def _pointer_graft(self, buf: bytearray) -> bytearray:
+        """Overwrite two bytes with a compression pointer to anywhere."""
+        if len(buf) >= 14:
+            index = self._rng.randrange(12, len(buf) - 1)
+            target = self._rng.randrange(len(buf))
+            buf[index] = 0xC0 | (target >> 8)
+            buf[index + 1] = target & 0xFF
+        return buf
+
+    def _count_inflate(self, buf: bytearray) -> bytearray:
+        """Promise up to 65535 records the buffer does not hold."""
+        if len(buf) >= 12:
+            offset = self._rng.choice(_COUNT_OFFSETS)
+            value = self._rng.choice((1, 7, 255, 0xFFFF))
+            buf[offset] = value >> 8
+            buf[offset + 1] = value & 0xFF
+        return buf

@@ -1,0 +1,173 @@
+"""The two fuzzing oracles.
+
+``check_roundtrip`` is the differential oracle for generated (valid)
+messages; ``check_hostile`` is the totality oracle for arbitrary bytes.
+Both return a list of :class:`Violation` — empty means the codec held.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.dnswire import DnsName, Message, decode_or_none, get_edns
+from repro.dnswire.enums import MAX_LABEL_LENGTH, MAX_NAME_LENGTH
+from repro.dnswire.wire import WireError, WireReader, WireWriter
+
+#: A single fuzz case finishing slower than this is itself a finding:
+#: the decoder must stay O(message size) even on pointer-mangled input.
+SLOW_CASE_BUDGET_S = 0.5
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle failure, carrying enough to reproduce it."""
+
+    oracle: str
+    detail: str
+    wire: bytes
+
+    def render(self) -> str:
+        return f"[{self.oracle}] {self.detail} (wire: {self.wire.hex()})"
+
+
+def _names_of(message: Message) -> list[DnsName]:
+    """Every domain name reachable in ``message``, RDATA included."""
+    names = [question.qname for question in message.questions]
+    for section in (message.answers, message.authorities, message.additionals):
+        for record in section:
+            names.append(record.name)
+            for attr in ("target", "mname", "rname", "exchange"):
+                value = getattr(record.rdata, attr, None)
+                if isinstance(value, DnsName):
+                    names.append(value)
+    return names
+
+
+def _encoded_name_length(name: DnsName) -> int:
+    return sum(
+        len(label.encode("utf-8", "surrogateescape")) + 1 for label in name.labels
+    ) + 1
+
+
+def check_roundtrip(message: Message) -> list[Violation]:
+    """decode(encode(m)) == m, re-encode stability, compression on/off."""
+    violations: list[Violation] = []
+    try:
+        wire = message.encode()
+    except Exception as exc:  # noqa: BLE001 - oracle must record, not die
+        return [
+            Violation("roundtrip", f"encode raised {exc!r}", b""),
+        ]
+    try:
+        decoded = Message.decode(wire)
+    except Exception as exc:  # noqa: BLE001
+        return [
+            Violation("roundtrip", f"decode of own encoding raised {exc!r}", wire),
+        ]
+    if decoded != message:
+        violations.append(
+            Violation("roundtrip", "decode(encode(m)) != m", wire)
+        )
+    reencoded = decoded.encode()
+    if reencoded != wire:
+        violations.append(
+            Violation("roundtrip", "re-encode is not byte-stable", wire)
+        )
+    for name in _names_of(message):
+        for compress in (False, True):
+            writer = WireWriter()
+            name.encode(writer, compress=compress)
+            back = DnsName.decode(WireReader(writer.getvalue()))
+            if back != name:
+                violations.append(
+                    Violation(
+                        "roundtrip",
+                        f"name {name!r} wire roundtrip (compress={compress})",
+                        writer.getvalue(),
+                    )
+                )
+        if DnsName.from_text(name.to_text()) != name:
+            violations.append(
+                Violation("roundtrip", f"name {name!r} text roundtrip", wire)
+            )
+    return violations
+
+
+def _check_decoded_well_formed(message: Message, wire: bytes) -> list[Violation]:
+    """A message accepted from hostile bytes must satisfy the codec's
+    own invariants: bounded names, re-encodability, value stability,
+    tolerant EDNS views."""
+    violations: list[Violation] = []
+    for name in _names_of(message):
+        if _encoded_name_length(name) > MAX_NAME_LENGTH:
+            violations.append(
+                Violation("hostile", f"accepted name over {MAX_NAME_LENGTH}B", wire)
+            )
+        if any(
+            len(label.encode("utf-8", "surrogateescape")) > MAX_LABEL_LENGTH
+            for label in name.labels
+        ):
+            violations.append(
+                Violation("hostile", f"accepted label over {MAX_LABEL_LENGTH}B", wire)
+            )
+        try:
+            if DnsName.from_text(name.to_text()) != name:
+                violations.append(
+                    Violation("hostile", f"decoded name {name!r} text-unstable", wire)
+                )
+        except Exception as exc:  # noqa: BLE001
+            violations.append(
+                Violation(
+                    "hostile", f"to_text/from_text of decoded name raised {exc!r}", wire
+                )
+            )
+    try:
+        reencoded = message.encode()
+        if Message.decode(reencoded) != message:
+            violations.append(
+                Violation("hostile", "accepted message value-unstable", wire)
+            )
+    except Exception as exc:  # noqa: BLE001
+        violations.append(
+            Violation("hostile", f"re-encode of accepted message raised {exc!r}", wire)
+        )
+    # The measurement edge reads EDNS/ECS off hostile responses; junk
+    # there must surface as WireError, never ipaddress internals.
+    try:
+        edns = get_edns(message)
+        if edns is not None:
+            edns.client_subnet()
+    except WireError:
+        pass
+    except Exception as exc:  # noqa: BLE001
+        violations.append(
+            Violation("hostile", f"EDNS view of accepted message raised {exc!r}", wire)
+        )
+    return violations
+
+
+def check_hostile(data: bytes) -> list[Violation]:
+    """``decode_or_none`` is total; ``Message.decode`` raises WireError only."""
+    violations: list[Violation] = []
+    started = time.perf_counter()
+    try:
+        message = decode_or_none(data)
+    except Exception as exc:  # noqa: BLE001
+        return [Violation("hostile", f"decode_or_none raised {exc!r}", data)]
+    try:
+        Message.decode(data)
+    except WireError:
+        pass
+    except Exception as exc:  # noqa: BLE001
+        violations.append(
+            Violation("hostile", f"Message.decode raised non-WireError {exc!r}", data)
+        )
+    if message is not None:
+        violations.extend(_check_decoded_well_formed(message, data))
+    elapsed = time.perf_counter() - started
+    if elapsed > SLOW_CASE_BUDGET_S:
+        violations.append(
+            Violation("hostile", f"slow case: {elapsed:.2f}s on {len(data)}B", data)
+        )
+    return violations

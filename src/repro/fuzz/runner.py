@@ -1,0 +1,133 @@
+"""The deterministic fuzz loop: generate, mutate, check, minimise.
+
+One :class:`FuzzConfig` fully determines the case sequence — the same
+seed and iteration count replays byte-identical cases, which the report
+proves with a digest over every buffer it checked. A violation is
+minimised on the spot so it can be checked in as a corpus entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+import time
+from dataclasses import dataclass, field
+
+from .corpus import load_corpus, minimize, replay
+from .generator import MessageGenerator
+from .mutator import ByteMutator
+from .oracles import Violation, check_hostile, check_roundtrip
+
+#: Mixes the case index into the per-case RNG seed (splitmix64 constant).
+_CASE_SEED_MIX = 0x9E3779B97F4A7C15
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Parameters of one fuzz run."""
+
+    seed: int = 0
+    iterations: int = 2000
+    corpus_dir: str | None = None
+    mutants_per_case: int = 4
+    minimize_crashers: bool = True
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of :func:`run_fuzz`."""
+
+    config: FuzzConfig
+    roundtrip_cases: int = 0
+    hostile_cases: int = 0
+    corpus_replayed: int = 0
+    violations: list[Violation] = field(default_factory=list)
+    case_digest: str = ""
+    elapsed_s: float = 0.0
+
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        lines = [
+            f"fuzz: seed={self.config.seed} iterations={self.config.iterations} "
+            f"digest={self.case_digest[:16]}",
+            f"  round-trip cases : {self.roundtrip_cases}",
+            f"  hostile cases    : {self.hostile_cases}",
+            f"  corpus replayed  : {self.corpus_replayed}",
+            f"  violations       : {len(self.violations)}",
+            f"  elapsed          : {self.elapsed_s:.2f}s "
+            f"({(self.roundtrip_cases + self.hostile_cases) / max(self.elapsed_s, 1e-9):.0f} cases/s)",
+        ]
+        for violation in self.violations:
+            lines.append("  " + violation.render())
+        return "\n".join(lines)
+
+
+def _case_rng(seed: int, index: int) -> random.Random:
+    return random.Random((seed * _CASE_SEED_MIX + index) & 0xFFFFFFFFFFFFFFFF)
+
+
+def _minimized(violation: Violation) -> Violation:
+    """Shrink a hostile-oracle crasher to its minimal reproducer."""
+    if violation.oracle != "hostile" or not violation.wire:
+        return violation
+    try:
+        wire = minimize(violation.wire, lambda buf: bool(check_hostile(buf)))
+    except ValueError:
+        return violation
+    return Violation(violation.oracle, violation.detail, wire)
+
+
+def run_fuzz(config: FuzzConfig) -> FuzzReport:
+    """Execute the full fuzz run described by ``config``."""
+    report = FuzzReport(config=config)
+    digest = hashlib.sha256()
+    started = time.perf_counter()
+
+    if config.corpus_dir and os.path.isdir(config.corpus_dir):
+        entries = load_corpus(config.corpus_dir)
+        report.corpus_replayed = len(entries)
+        for entry, violations in replay(entries):
+            for violation in violations:
+                report.violations.append(
+                    Violation(
+                        violation.oracle,
+                        f"corpus entry {entry.name!r}: {violation.detail}",
+                        violation.wire,
+                    )
+                )
+
+    for index in range(config.iterations):
+        rng = _case_rng(config.seed, index)
+        generator = MessageGenerator(rng)
+        mutator = ByteMutator(rng)
+
+        message = generator.message()
+        report.roundtrip_cases += 1
+        violations = check_roundtrip(message)
+        try:
+            wire = message.encode()
+        except Exception:  # noqa: BLE001 - already recorded by the oracle
+            wire = b""
+        digest.update(wire)
+
+        hostile_buffers = [
+            mutator.mutate(wire) if wire else mutator.random_buffer()
+            for _ in range(config.mutants_per_case)
+        ]
+        if index % 4 == 0:
+            hostile_buffers.append(mutator.random_buffer())
+        for buffer in hostile_buffers:
+            digest.update(buffer)
+            report.hostile_cases += 1
+            violations.extend(check_hostile(buffer))
+
+        if violations and config.minimize_crashers:
+            violations = [_minimized(v) for v in violations]
+        report.violations.extend(violations)
+
+    report.case_digest = digest.hexdigest()
+    report.elapsed_s = time.perf_counter() - started
+    return report

@@ -1,0 +1,154 @@
+"""Corpus replay plus one named regression test per fixed parser bug.
+
+Every entry under ``tests/dnswire/corpus/`` is a minimised hostile buffer
+that once violated a fuzz oracle (or is kept as a steady-state guard).
+The named tests below each fail on the pre-fix code; the corpus entry of
+the same name reproduces the bug through the oracle instead.
+"""
+
+import os
+import struct
+
+import pytest
+
+from repro.dnswire import DnsName, Message, Question, QType, decode_or_none, txt_record
+from repro.dnswire.edns import ClientSubnet, EdnsOption
+from repro.dnswire.name import NameError_
+from repro.dnswire.rr import _RDATA_DECODERS
+from repro.dnswire.wire import WireError, WireReader, WireWriter
+from repro.fuzz import check_hostile, load_corpus
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+#: One 63-wire-byte label that is only 21 characters long.
+MULTIBYTE_LABEL = "€" * 21
+
+
+def corpus_entries():
+    entries = load_corpus(CORPUS_DIR)
+    assert entries, "checked-in corpus must not be empty"
+    return entries
+
+
+@pytest.mark.parametrize("entry", corpus_entries(), ids=lambda e: e.name)
+def test_corpus_replay(entry):
+    """Every checked-in crasher stays silent on the fixed codec."""
+    violations = check_hostile(entry.data)
+    assert not violations, "\n".join(v.render() for v in violations)
+
+
+class TestNameLengthValidation:
+    """src/repro/dnswire/name.py — the 255-byte bound counts wire bytes."""
+
+    def test_name_init_counts_encoded_bytes(self):
+        # 8 x 64 wire bytes + root = 513; character count is only 177.
+        with pytest.raises(NameError_):
+            DnsName([MULTIBYTE_LABEL] * 8)
+
+    def test_name_init_accepts_255_byte_name(self):
+        # 3 x 64 + 3 x 20 + root = 253 bytes: legal.
+        DnsName([MULTIBYTE_LABEL] * 3 + ["x" * 19] * 3)
+
+    def test_name_decode_enforces_wire_byte_bound(self):
+        writer = WireWriter()
+        for _ in range(8):
+            raw = MULTIBYTE_LABEL.encode()
+            writer.write_u8(len(raw))
+            writer.write_bytes(raw)
+        writer.write_u8(0)
+        with pytest.raises(WireError):
+            DnsName.decode(WireReader(writer.getvalue()))
+
+    def test_name_decode_accepts_254_byte_ascii_name(self):
+        writer = WireWriter()
+        DnsName(["x" * 62] * 3 + ["y" * 61]).encode(writer, compress=False)
+        decoded = DnsName.decode(WireReader(writer.getvalue()))
+        assert len(decoded.labels) == 4
+
+
+class TestHostileRdataExceptionNet:
+    """rr.py/edns.py — malformed payloads surface as WireError only."""
+
+    def test_hostile_ecs_option_raises_wireerror(self):
+        option = EdnsOption(8, struct.pack("!HBB", 1, 255, 0))
+        with pytest.raises(WireError):
+            ClientSubnet.from_option(option)
+
+    def test_hostile_ecs_v6_prefix_raises_wireerror(self):
+        option = EdnsOption(8, struct.pack("!HBB", 2, 200, 0))
+        with pytest.raises(WireError):
+            ClientSubnet.from_option(option)
+
+    def test_rdata_decoder_valueerror_wrapped_as_wireerror(self, monkeypatch):
+        """Any stray ValueError from an RDATA decoder (e.g. a future
+        ipaddress-backed type) must leave ResourceRecord.decode as
+        WireError, which decode_or_none converts to None."""
+
+        def exploding_decoder(reader, rdlength):
+            raise ValueError("ipaddress-style failure on junk bytes")
+
+        monkeypatch.setitem(_RDATA_DECODERS, QType.A, exploding_decoder)
+        wire = (
+            struct.pack("!HHHHHH", 0, 0x8000, 0, 1, 0, 0)
+            + b"\x01a\x00"
+            + struct.pack("!HHIH", int(QType.A), 1, 60, 4)
+            + b"\x7f\x00\x00\x01"
+        )
+        with pytest.raises(WireError):
+            Message.decode(wire)
+        assert decode_or_none(wire) is None
+
+
+class TestCompressionKeyAliasing:
+    """name.py/wire.py — dotted labels never alias multi-label suffixes."""
+
+    def test_dotted_label_does_not_alias_two_labels(self):
+        message = Message(
+            msg_id=1,
+            questions=(Question(DnsName(("a", "b")), QType.TXT),),
+            answers=(txt_record(DnsName(("a.b",)), "x"),),
+        )
+        decoded = Message.decode(message.encode())
+        assert decoded == message
+        assert decoded.answers[0].name.labels == ("a.b",)
+
+    def test_identical_suffixes_still_compress(self):
+        message = Message(
+            msg_id=1,
+            questions=(Question(DnsName(("www", "example", "com")), QType.A),),
+            answers=(txt_record(DnsName(("mail", "example", "com")), "x"),),
+        )
+        wire = message.encode()
+        assert Message.decode(wire) == message
+        # The shared "example.com" suffix must still be pointer-compressed.
+        assert wire.count(b"example") == 1
+
+
+class TestPresentationEscaping:
+    """name.py — to_text/from_text survive hostile label bytes."""
+
+    def test_trailing_backslash_label_roundtrips(self):
+        name = DnsName(("a\\",))
+        assert DnsName.from_text(name.to_text()) == name
+
+    def test_trailing_escaped_dot_label(self):
+        assert DnsName.from_text("a\\.").labels == ("a.",)
+
+    def test_control_character_label_roundtrips(self):
+        name = DnsName(("\x0c-o", "myaddr"))
+        text = name.to_text()
+        assert "\x0c" not in text  # rendered as \012, not raw form feed
+        assert DnsName.from_text(text) == name
+
+    def test_space_and_del_escaped_decimally(self):
+        assert DnsName(("a b",)).to_text() == "a\\032b."
+        assert DnsName(("\x7f",)).to_text() == "\\127."
+
+    def test_ddd_escape_parses(self):
+        assert DnsName.from_text("\\032a.").labels == (" a",)
+
+    def test_bad_ddd_escape_rejected(self):
+        with pytest.raises(NameError_):
+            DnsName.from_text("\\999.")
+        with pytest.raises(NameError_):
+            DnsName.from_text("\\03")

@@ -30,7 +30,9 @@ from repro.dnswire.wire import WireError, WireReader, WireWriter
 
 # -- strategies -------------------------------------------------------------
 
-label_alphabet = string.ascii_letters + string.digits + "-_"
+# Includes dot, backslash and space *inside* labels: shapes the encoder
+# must escape in presentation format and must never alias in compression.
+label_alphabet = string.ascii_letters + string.digits + "-_ .\\"
 labels = st.text(alphabet=label_alphabet, min_size=1, max_size=20)
 names = st.lists(labels, min_size=0, max_size=6).map(DnsName)
 
