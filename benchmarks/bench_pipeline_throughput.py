@@ -182,6 +182,110 @@ def measure_impairment_overhead(fleet: int, seed: int, repeats: int = 3) -> dict
     }
 
 
+#: Serial throughput of the pipeline before the hot-path PR (calendar
+#: scheduler, zero-copy encode, scenario reuse, probe dedup), measured on
+#: this container at fleet=120/seed=2021. The engines mode reports the
+#: current fast engine against this constant so the speedup is tracked
+#: across history, not just against today's reference engine.
+PRE_PR_BASELINE_PPS = 211.9
+
+
+def compare_engine_throughput(
+    fleet: int, seed: int, reference_fleet: int
+) -> dict:
+    """Serial throughput of the fast engine vs the reference engine.
+
+    The fast engine's amortisations (scenario reuse, answer templates,
+    probe dedup) reach steady state only on realistic fleet sizes, so it
+    is timed on the full ``fleet``. The reference engine's per-probe cost
+    is scale-invariant (it rebuilds everything per probe), so it is timed
+    on the first ``reference_fleet`` probes and reported as probes/s.
+    Records for that shared prefix are verified identical — the bench
+    refuses to report a speedup the equivalence contract doesn't back.
+    """
+    specs = generate_population(size=fleet, seed=seed)
+    prefix = specs[: min(reference_fleet, fleet)]
+
+    # Warm-up on the prefix: zone build, imports, codec caches — paid
+    # once here so neither engine is charged for process cold start.
+    run_pilot_study(prefix, StudyConfig(workers=1, seed=seed, engine="reference"))
+
+    started = time.perf_counter()
+    reference = run_pilot_study(
+        prefix, StudyConfig(workers=1, seed=seed, engine="reference")
+    )
+    reference_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    fast = run_pilot_study(specs, StudyConfig(workers=1, seed=seed, engine="fast"))
+    fast_s = time.perf_counter() - started
+
+    if fast.records[: len(prefix)] != reference.records:
+        raise AssertionError(
+            "fast-engine records differ from reference — equivalence broken"
+        )
+    fast_pps = fleet / fast_s
+    reference_pps = len(prefix) / reference_s
+    return {
+        "fleet": fleet,
+        "reference_fleet": len(prefix),
+        "seed": seed,
+        "cores": os.cpu_count() or 1,
+        "fast_s": fast_s,
+        "reference_s": reference_s,
+        "fast_probes_per_s": fast_pps,
+        "reference_probes_per_s": reference_pps,
+        "pre_pr_baseline_pps": PRE_PR_BASELINE_PPS,
+        "speedup_vs_reference": fast_pps / reference_pps,
+        "speedup_vs_pre_pr": fast_pps / PRE_PR_BASELINE_PPS,
+        "records_identical": True,
+    }
+
+
+def _run_engines(args) -> int:
+    import json
+
+    stats = compare_engine_throughput(args.fleet, args.seed, args.reference_fleet)
+    print(
+        f"fleet={stats['fleet']} probes (reference timed on first "
+        f"{stats['reference_fleet']})  serial, 1 core of {stats['cores']}"
+    )
+    print(
+        f"reference engine : {stats['reference_s']:7.2f}s  "
+        f"{stats['reference_probes_per_s']:8.1f} probes/s"
+    )
+    print(
+        f"fast engine      : {stats['fast_s']:7.2f}s  "
+        f"{stats['fast_probes_per_s']:8.1f} probes/s"
+    )
+    print(
+        f"speedup          : {stats['speedup_vs_reference']:.2f}x vs reference, "
+        f"{stats['speedup_vs_pre_pr']:.2f}x vs pre-PR baseline "
+        f"({PRE_PR_BASELINE_PPS} probes/s; records verified identical)"
+    )
+    json_path = args.json
+    if json_path is None:
+        json_path = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            os.pardir,
+            "BENCH_pipeline_throughput.json",
+        )
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(stats, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(json_path)}")
+    if (
+        args.min_probes_per_sec is not None
+        and stats["fast_probes_per_s"] < args.min_probes_per_sec
+    ):
+        print(
+            f"FAIL: fast engine {stats['fast_probes_per_s']:.1f} probes/s "
+            f"below required {args.min_probes_per_sec:.1f}"
+        )
+        return 1
+    return 0
+
+
 def _run_overhead(args) -> int:
     stats = measure_metrics_overhead(args.fleet, args.seed, repeats=args.repeats)
     print(f"fleet={stats['fleet']} probes  (best of {2 * args.repeats} interleaved)")
@@ -261,6 +365,35 @@ def main(argv=None) -> int:
         "serial-vs-parallel throughput",
     )
     parser.add_argument(
+        "--engines",
+        action="store_true",
+        help="measure fast-engine vs reference-engine serial throughput "
+        "and write BENCH_pipeline_throughput.json at the repo root",
+    )
+    parser.add_argument(
+        "--reference-fleet",
+        type=int,
+        default=500,
+        metavar="N",
+        help="--engines: probes to time the reference engine on "
+        "(its per-probe cost is scale-invariant; default 500)",
+    )
+    parser.add_argument(
+        "--min-probes-per-sec",
+        type=float,
+        default=None,
+        metavar="PPS",
+        help="--engines: exit nonzero if the fast engine falls below "
+        "PPS probes/s",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="--engines: where to write the JSON report "
+        "(default: BENCH_pipeline_throughput.json at the repo root)",
+    )
+    parser.add_argument(
         "--max-overhead-pct",
         type=float,
         default=5.0,
@@ -279,6 +412,8 @@ def main(argv=None) -> int:
 
     if args.overhead:
         return _run_overhead(args)
+    if args.engines:
+        return _run_engines(args)
     return _run_throughput(args)
 
 

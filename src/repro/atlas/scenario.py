@@ -105,6 +105,12 @@ class ScenarioSpec:
     impairment: Optional[LinkProfile] = None
     impairment_seed: int = 0
     trace: bool = False
+    #: ``"fast"`` runs the calendar-queue scheduler and enables the
+    #: resolver answer-template caches; ``"reference"`` is the plain
+    #: heap-scheduler path with every cache off. Both produce
+    #: byte-identical records/metrics — the reference engine exists so
+    #: equivalence is testable and regressions bisectable.
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
         if not isinstance(self.probe, ProbeSpec):
@@ -117,6 +123,10 @@ class ScenarioSpec:
             raise TypeError(
                 f"impairment must be a LinkProfile, "
                 f"got {type(self.impairment).__name__}"
+            )
+        if self.engine not in ("fast", "reference"):
+            raise ValueError(
+                f'engine must be "fast" or "reference", got {self.engine!r}'
             )
 
     def effective_providers(self) -> tuple[Provider, ...]:
@@ -213,6 +223,7 @@ def build_scenario(
         trace=sspec.trace,
         loss_seed=f"impair:{sspec.impairment_seed}:{spec.probe_id}",
         impairment=sspec.impairment,
+        scheduler="calendar" if sspec.engine == "fast" else "heap",
     )
 
     v4_net, wan_v4, v6_net, home_v6 = _home_addresses(spec)
@@ -445,6 +456,17 @@ def build_scenario(
             core.routes.add(f"{address}/{suffix}", node.name)
         node.gateway = "core"
 
+    if sspec.engine == "fast":
+        # Answer-template caches on the pure responders only: resolver
+        # answers are functions of (query wire minus id, response
+        # signature), audited per class. The embedded forwarder and the
+        # middleboxes are stateful relays and stay uncached.
+        isp_resolver.response_cache_enabled = True
+        if off_as_resolver is not None:
+            off_as_resolver.response_cache_enabled = True
+        for node in providers.values():
+            node.response_cache_enabled = True
+
     scenario = Scenario(
         spec=spec,
         network=net,
@@ -458,3 +480,178 @@ def build_scenario(
         scenario_spec=sspec,
     )
     return scenario
+
+
+# -- scenario reuse (fast engine) --------------------------------------------
+#
+# Scenario construction is a fifth of a serial study's runtime, yet the
+# topology built for a probe depends on far less than the full spec:
+# every per-probe difference (WAN address, delegated v6 prefix,
+# impairment streams, event clock) can be re-homed in place. The fast
+# engine therefore keeps a small LRU of built scenarios keyed by the
+# *shape* below and resets one per probe; the reference engine always
+# builds fresh.
+
+
+def scenario_signature(sspec: ScenarioSpec) -> Optional[tuple]:
+    """Hashable key of everything :func:`build_scenario` reads besides
+    the per-probe values that :func:`reset_scenario` re-homes
+    (``probe_id``-derived addressing and the impairment seed stream).
+    Returns None when any component is unhashable — callers must then
+    build fresh."""
+    p = sspec.probe
+    signature = (
+        p.organization,
+        p.firmware,
+        p.isp,
+        p.external_policies,
+        p.has_ipv6,
+        sspec.providers,
+        sspec.isp_policies,
+        sspec.external_policies,
+        sspec.impairment,
+        sspec.trace,
+        sspec.engine,
+    )
+    try:
+        hash(signature)
+    except TypeError:
+        return None
+    return signature
+
+
+def reset_scenario(scenario: Scenario, sspec: ScenarioSpec) -> Scenario:
+    """Re-home a built scenario for a new probe of the same signature.
+
+    Rewinds the event loop, clock and impairment streams
+    (:meth:`~repro.net.sim.Network.reset_events`), clears every piece of
+    per-probe node state (sockets, NAT table, forwarder relays, flow
+    tables, query counters) and re-derives the probe-id-dependent
+    addressing (WAN IPv4, delegated IPv6 prefix) including the routes
+    and DNAT rules that embed those addresses. The result is
+    indistinguishable from ``build_scenario(sspec)`` output in records,
+    metrics and journals (packet uids differ, but they never surface).
+    """
+    from repro.interceptors.middlebox import MiddleboxRouter as _Middlebox
+    from repro.net import Chain, NatTable
+    from repro.net.node import EPHEMERAL_PORT_BASE
+    from repro.resolvers.base import DnsServerNode
+
+    spec = sspec.probe
+    net = scenario.network
+    net.reset_events(f"impair:{sspec.impairment_seed}:{spec.probe_id}")
+
+    _v4_net, wan_v4, _v6_net, home_v6 = _home_addresses(spec)
+    cpe = scenario.cpe
+    host = scenario.host
+    old_wan_v4 = cpe.wan_v4
+    old_lan_v6 = cpe.lan_v6_prefix
+
+    # Host: fresh sockets, ports, ICMP inbox, per-probe v6 address.
+    host._sockets.clear()
+    host._next_port = EPHEMERAL_PORT_BASE
+    host.icmp_inbox.clear()
+    host._addresses = {ipaddress.ip_address("192.168.1.100")}
+    if spec.has_ipv6:
+        host._addresses.add(home_v6.network_address + 0x100)
+
+    # CPE: re-home WAN addressing, rebuild the state that embeds it.
+    wan_v6 = (home_v6.network_address + 1) if spec.has_ipv6 else None
+    cpe.wan_v4 = wan_v4
+    cpe.wan_v6 = wan_v6
+    cpe._addresses = {cpe.lan_gateway_v4, wan_v4}
+    if wan_v6 is not None:
+        cpe._addresses.add(wan_v6)
+    cpe.nat = NatTable(wan_v4=wan_v4)
+    if cpe.forwarder is not None:
+        cpe.forwarder.reset()
+    if old_lan_v6 is not None:
+        cpe.routes.remove(str(old_lan_v6))
+    cpe.lan_v6_prefix = home_v6 if spec.has_ipv6 else None
+    if cpe.lan_v6_prefix is not None:
+        cpe.routes.add(str(cpe.lan_v6_prefix), cpe.lan_host)
+    # The v6 DNAT rule targets the (per-probe) WAN v6 address, so the
+    # whole PREROUTING chain is rebuilt; the signature pins the firmware
+    # flags, so the rebuilt rule set is structurally identical.
+    cpe.prerouting = Chain("PREROUTING")
+    if spec.firmware.intercepts_v4:
+        cpe.enable_interception(family=4)
+    if spec.firmware.intercepts_v6 and spec.has_ipv6:
+        cpe.enable_interception(family=6)
+
+    # Access router: the two per-probe host routes toward the CPE.
+    access = net.nodes["access"]
+    access.routes.remove(f"{old_wan_v4}/32")
+    access.routes.add(f"{wan_v4}/32", "cpe")
+    if old_lan_v6 is not None:
+        access.routes.remove(str(old_lan_v6))
+    if spec.has_ipv6:
+        access.routes.add(str(home_v6), "cpe")
+
+    # Per-probe counters and flow state everywhere else. Answer-template
+    # caches survive: their keys include every per-probe input (the
+    # query wire and the response signature).
+    for node in net.nodes.values():
+        if isinstance(node, DnsServerNode):
+            node.queries_seen = 0
+        elif isinstance(node, _Middlebox):
+            node._flows.clear()
+            node.intercepted_queries = 0
+
+    net.rebuild_address_index()
+    scenario.spec = spec
+    scenario.scenario_spec = sspec
+    scenario.notes = {}
+    return scenario
+
+
+class ScenarioCache:
+    """A small LRU of built scenarios, reset-and-reused per probe.
+
+    One cache per worker (or per serial run) amortises topology
+    construction across a shard. Only the fast engine uses it —
+    ``get`` on a reference-engine spec, an unhashable signature, or a
+    directory other than the cache's own always builds fresh.
+    """
+
+    def __init__(self, directory=None, max_entries: int = 512) -> None:
+        self.directory = directory
+        self.max_entries = max_entries
+        self._cache: "dict[tuple, Scenario]" = {}
+        self.hits = 0
+        self.misses = 0
+        #: Probe-dedup memo used by :func:`repro.core.parallel.measure_shard`
+        #: (fast engine, clean links, metrics off): records keyed by
+        #: ``(signature, responds_v4, responds_v6, online, run_transparency)``.
+        #: It lives here because its lifetime must match the cache's — one
+        #: per worker or per serial run, never shared across configs.
+        self.record_memo: dict = {}
+
+    def get(self, sspec: ScenarioSpec, directory=None) -> Scenario:
+        if directory is not None:
+            if self.directory is None:
+                self.directory = directory
+            elif directory is not self.directory:
+                # A foreign directory would leak into reused resolver
+                # nodes; don't mix, don't cache.
+                return build_scenario(sspec, directory=directory)
+        signature = (
+            scenario_signature(sspec) if sspec.engine == "fast" else None
+        )
+        if signature is None:
+            return build_scenario(sspec, directory=directory or self.directory)
+        cached = self._cache.pop(signature, None)
+        if cached is not None:
+            self._cache[signature] = cached  # re-insert = most recent
+            self.hits += 1
+            return reset_scenario(cached, sspec)
+        self.misses += 1
+        scenario = build_scenario(sspec, directory=self.directory)
+        if self.directory is None:
+            self.directory = scenario.directory
+        self._cache[signature] = scenario
+        if len(self._cache) > self.max_entries:
+            # dicts iterate in insertion order; the first key is the
+            # least recently used thanks to the pop/re-insert above.
+            self._cache.pop(next(iter(self._cache)))
+        return scenario

@@ -114,10 +114,16 @@ _worker_state: dict = {}
 
 
 def _init_worker(config: "StudyConfig") -> None:
+    from repro.atlas.scenario import ScenarioCache
     from repro.resolvers.directory import build_default_directory
 
     _worker_state["directory"] = build_default_directory()
     _worker_state["config"] = config
+    # One scenario cache per worker process: shards reuse topologies
+    # across probes (fast engine only; a no-op for the reference engine).
+    _worker_state["scenario_cache"] = ScenarioCache(
+        directory=_worker_state["directory"]
+    )
 
 
 def measure_shard(
@@ -125,6 +131,7 @@ def measure_shard(
     run_transparency: Optional[bool] = None,
     directory=None,
     config: Optional["StudyConfig"] = None,
+    scenario_cache=None,
 ) -> list[tuple[int, "ProbeRecord"]]:
     """Measure one shard; returns ``(original_index, record)`` pairs.
 
@@ -134,7 +141,25 @@ def measure_shard(
     ``run_transparency`` is still honoured for older callers and
     overrides the config's value. Study-level metrics report into the
     ambient registry (see :func:`repro.core.metrics.use_registry`).
+
+    ``scenario_cache`` amortises topology construction across the
+    shard's probes; ``None`` falls back to the worker-process cache or,
+    in-process, a cache local to this call. Records are byte-identical
+    either way.
+
+    Probe dedup: two online probes with the same scenario signature and
+    the same ``responds_v4``/``responds_v6`` masks are *the same
+    measurement* — every answer template the pipeline compares is a
+    pure function of those inputs, and the per-probe values the record
+    does carry (``probe_id``, organization facts, ``true_location``)
+    come straight from the spec. Under the fast engine, with clean
+    links, no retry policy and metrics off, the shard therefore
+    measures each distinct key once and substitutes the identity fields
+    for its siblings. The reference engine never dedups, which is what
+    lets the equivalence tests certify the shortcut.
     """
+    from dataclasses import replace
+
     from repro.core.study import classification_to_record, measure_probe
 
     if directory is None:
@@ -145,14 +170,72 @@ def measure_shard(
         directory = build_default_directory()
     if config is None:
         config = _worker_state.get("config")
+    if scenario_cache is None:
+        scenario_cache = _worker_state.get("scenario_cache")
+    if scenario_cache is None:
+        from repro.atlas.scenario import ScenarioCache
+
+        scenario_cache = ScenarioCache(directory=directory)
     if run_transparency is None:
         run_transparency = config.run_transparency if config is not None else True
     impairment = config.impairment if config is not None else None
     impairment_seed = config.impairment_seed if config is not None else 0
     retry = config.retry if config is not None else None
+    engine = config.engine if config is not None else "fast"
     registry = active_registry()
+    # Dedup is only sound when nothing per-probe beyond the memo key can
+    # influence the record: impairment streams and retry jitter are
+    # probe_id-seeded, and metrics runs must emit every probe's pipeline
+    # events for snapshot determinism.
+    memo = None
+    if (
+        engine == "fast"
+        and impairment is None
+        and retry is None
+        and (config is None or not config.metrics)
+        and scenario_cache is not None
+        and directory is scenario_cache.directory
+    ):
+        from repro.atlas.scenario import ScenarioSpec, scenario_signature
+
+        memo = scenario_cache.record_memo
     pairs = []
     for index, spec in zip(shard.indices, shard.specs):
+        key = None
+        if memo is not None:
+            signature = scenario_signature(ScenarioSpec(probe=spec, engine=engine))
+            if signature is not None:
+                key = (
+                    signature,
+                    spec.responds_v4,
+                    spec.responds_v6,
+                    spec.online,
+                    run_transparency,
+                )
+                cached = memo.get(key)
+                if cached is not None:
+                    record = replace(
+                        cached,
+                        probe_id=spec.probe_id,
+                        organization=spec.organization.name,
+                        asn=spec.asn,
+                        country=spec.country,
+                        true_location=spec.true_location().value,
+                    )
+                    pairs.append((index, record))
+                    registry.inc("study.probes.measured")
+                    if not record.online:
+                        registry.inc("study.probes.offline")
+                    if registry.probe_events:
+                        registry.event(
+                            "probe",
+                            probe_id=record.probe_id,
+                            online=record.online,
+                            verdict=record.verdict,
+                            transparency=record.transparency,
+                            replication_seen=record.replication_seen,
+                        )
+                    continue
         classification = measure_probe(
             spec,
             run_transparency=run_transparency,
@@ -160,8 +243,12 @@ def measure_shard(
             impairment=impairment,
             impairment_seed=impairment_seed,
             retry=retry,
+            engine=engine,
+            scenario_cache=scenario_cache,
         )
         record = classification_to_record(spec, classification)
+        if key is not None:
+            memo[key] = record
         pairs.append((index, record))
         registry.inc("study.probes.measured")
         if not record.online:
@@ -253,18 +340,23 @@ def measure_fleet(
     workers = _resolve_workers(config, total)
 
     if workers == 1 or total == 0:
+        from repro.atlas.scenario import ScenarioCache
         from repro.resolvers.directory import build_default_directory
 
         registry = MetricsRegistry(trace=config.trace) if config.metrics else None
         with use_registry(registry) if registry is not None else nullcontext():
             directory = build_default_directory()
+            scenario_cache = ScenarioCache(directory=directory)
             records: list["ProbeRecord"] = []
             for index, spec in enumerate(specs):
                 shard = FleetShard(0, (index,), (spec,))
                 records.extend(
                     record
                     for _i, record in measure_shard(
-                        shard, directory=directory, config=config
+                        shard,
+                        directory=directory,
+                        config=config,
+                        scenario_cache=scenario_cache,
                     )
                 )
                 if progress is not None:
@@ -363,9 +455,14 @@ def _measure_fleet_stored(
 
     try:
         if remaining and workers == 1:
+            from repro.atlas.scenario import ScenarioCache
             from repro.resolvers.directory import build_default_directory
 
             directory = build_default_directory()
+            # One cache across all segments: reused scenarios re-capture
+            # the ambient registry per probe, so each segment's metrics
+            # still land in that segment's own snapshot.
+            scenario_cache = ScenarioCache(directory=directory)
             for shard in _shard_pairs(
                 remaining, max(1, len(remaining) // SERIAL_SEGMENT_PROBES)
             ):
@@ -376,7 +473,12 @@ def _measure_fleet_stored(
                     use_registry(registry) if registry is not None else nullcontext()
                 )
                 with context:
-                    pairs = measure_shard(shard, directory=directory, config=config)
+                    pairs = measure_shard(
+                        shard,
+                        directory=directory,
+                        config=config,
+                        scenario_cache=scenario_cache,
+                    )
                 store.append_segment(
                     pairs, registry.snapshot() if registry is not None else None
                 )

@@ -64,6 +64,14 @@ class StudyConfig:
         A :class:`~repro.atlas.retry.RetryPolicy` applied to every DNS
         exchange; ``None`` keeps the classic single-transmission
         behaviour.
+    ``engine``
+        ``"fast"`` (default) runs the calendar-queue scheduler, the
+        resolver answer-template caches and per-shard scenario reuse;
+        ``"reference"`` runs the plain heap/fresh-build path. Records,
+        metrics and store journals are byte-identical between the two
+        (like ``workers``, the engine changes *how*, never *what*, so
+        it is excluded from store fingerprints and exports — resumed
+        stores may mix segments from both engines).
     """
 
     workers: Optional[int] = 1
@@ -74,10 +82,15 @@ class StudyConfig:
     impairment: Optional[LinkProfile] = None
     impairment_seed: int = 0
     retry: Optional[RetryPolicy] = None
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
         if self.trace not in TRACE_LEVELS:
             raise ValueError(f"trace must be one of {TRACE_LEVELS}, got {self.trace!r}")
+        if self.engine not in ("fast", "reference"):
+            raise ValueError(
+                f'engine must be "fast" or "reference", got {self.engine!r}'
+            )
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be >= 1 or None, got {self.workers}")
         if self.impairment is not None and not isinstance(self.impairment, LinkProfile):
@@ -224,6 +237,8 @@ def measure_probe(
     impairment: Optional[LinkProfile] = None,
     impairment_seed: int = 0,
     retry: Optional[RetryPolicy] = None,
+    engine: str = "fast",
+    scenario_cache=None,
 ) -> Optional[ProbeClassification]:
     """Run the full pipeline for one probe; None when the probe is offline.
 
@@ -232,19 +247,26 @@ def measure_probe(
     safe because the pipeline only reads it, and it saves rebuilding the
     zones ten thousand times in a fleet study.
 
-    ``impairment``/``impairment_seed``/``retry`` mirror the
-    :class:`StudyConfig` chaos knobs; they are ignored when an explicit
+    ``impairment``/``impairment_seed``/``retry``/``engine`` mirror the
+    :class:`StudyConfig` knobs; they are ignored when an explicit
     ``scenario`` is passed (the scenario's own spec already decided).
+    ``scenario_cache`` (a :class:`~repro.atlas.scenario.ScenarioCache`)
+    lets fleet executors reuse one topology across a shard; results are
+    byte-identical with or without it.
     """
     if not spec.online:
         return None
     if scenario is None:
-        scenario = build_scenario(
-            ScenarioSpec(
-                probe=spec, impairment=impairment, impairment_seed=impairment_seed
-            ),
-            directory=directory,
+        sspec = ScenarioSpec(
+            probe=spec,
+            impairment=impairment,
+            impairment_seed=impairment_seed,
+            engine=engine,
         )
+        if scenario_cache is not None:
+            scenario = scenario_cache.get(sspec, directory=directory)
+        else:
+            scenario = build_scenario(sspec, directory=directory)
     client = MeasurementClient(
         scenario.network, scenario.host, retry_policy=retry
     )

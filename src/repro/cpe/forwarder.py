@@ -58,6 +58,14 @@ class ForwarderEngine:
     def upstream_for_family(self, family: int) -> Optional[IPAddress]:
         return self.upstream_v4 if family == 4 else self.upstream_v6
 
+    def reset(self) -> None:
+        """Return the engine to its just-constructed state (scenario
+        reuse): no pending relays, id allocator and counters rewound."""
+        self._pending.clear()
+        self._next_upstream_id = 0x1000
+        self.client_queries = 0
+        self.upstream_queries = 0
+
     # -- client side --------------------------------------------------------
 
     def handle_client_query(

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field, replace
 
 from .enums import Opcode, QClass, QType, RCode
 from .name import DnsName, name
-from .rr import ResourceRecord
+from .rr import MxData, NameData, RData, ResourceRecord, SoaData
 from .wire import WireError, WireReader, WireWriter
 
 _FLAG_QR = 0x8000
@@ -159,8 +159,24 @@ class Message:
     # -- wire format -------------------------------------------------------
 
     def encode(self) -> bytes:
+        msg_id = self.msg_id
+        if not 0 <= msg_id <= 0xFFFF:
+            raise WireError(f"u16 out of range: {msg_id}")
+        # Everything after the 2-byte id encodes identically for messages
+        # with the same content, including compression pointer offsets
+        # (the id is fixed-width), so the tail is memoised and only the id
+        # is re-stamped. Keys are case-exact (see _encode_key) because
+        # DnsName equality is case-insensitive but encoding is not.
+        try:
+            key = _encode_key(self)
+            tail = _ENCODE_TAILS.get(key)
+        except TypeError:
+            key = None
+            tail = None
+        if tail is not None:
+            return msg_id.to_bytes(2, "big") + tail
         writer = WireWriter()
-        writer.write_u16(self.msg_id)
+        writer.write_u16(msg_id)
         writer.write_u16(self.flags.encode())
         writer.write_u16(len(self.questions))
         writer.write_u16(len(self.answers))
@@ -171,7 +187,12 @@ class Message:
         for section in (self.answers, self.authorities, self.additionals):
             for record in section:
                 record.encode(writer)
-        return writer.getvalue()
+        wire = writer.getvalue()
+        if key is not None:
+            if len(_ENCODE_TAILS) >= _ENCODE_CACHE_MAX:
+                _ENCODE_TAILS.clear()
+            _ENCODE_TAILS[key] = wire[2:]
+        return wire
 
     @classmethod
     def decode(cls, data: bytes) -> "Message":
@@ -256,6 +277,69 @@ def make_query(
     )
 
 
+# -- hot-path caches -------------------------------------------------------
+#
+# The measurement pipeline encodes and decodes the same handful of
+# logical messages millions of times, differing only in the 2-byte id.
+# Both caches below key on everything *except* the id and re-stamp it.
+
+#: Content key -> encoded bytes after the id. Bounded; cleared when full.
+_ENCODE_TAILS: dict[tuple, bytes] = {}
+_ENCODE_CACHE_MAX = 4096
+
+#: Wire tail (bytes after the id) -> decoded Message template, or the
+#: garbage marker when those bytes do not decode. Bounded as above.
+_DECODE_GARBAGE = object()
+_DECODE_CACHE: "dict[bytes, Message | object]" = {}
+_DECODE_CACHE_MAX = 4096
+
+
+def _rdata_key(rdata: RData) -> object:
+    # DnsName equality/hash is case-insensitive, so every RDATA kind that
+    # carries a name is keyed on its exact label spelling here. Value-only
+    # kinds (A/AAAA/TXT/Opaque) compare exactly and key as themselves.
+    if isinstance(rdata, NameData):
+        return (type(rdata).__name__, rdata.target.labels)
+    if isinstance(rdata, SoaData):
+        return (
+            "SOA",
+            rdata.mname.labels,
+            rdata.rname.labels,
+            rdata.serial,
+            rdata.refresh,
+            rdata.retry,
+            rdata.expire,
+            rdata.minimum,
+        )
+    if isinstance(rdata, MxData):
+        return ("MX", rdata.preference, rdata.exchange.labels)
+    return (type(rdata).__name__, rdata)
+
+
+def _record_key(record: ResourceRecord) -> tuple:
+    return (
+        record.name.labels,
+        int(record.rdtype),
+        int(record.rdclass),
+        record.ttl,
+        _rdata_key(record.rdata),
+    )
+
+
+def _encode_key(message: Message) -> tuple:
+    """Case-exact content key for the encode-tail cache (id excluded)."""
+    return (
+        message.flags,
+        tuple(
+            (q.qname.labels, int(q.qtype), int(q.qclass))
+            for q in message.questions
+        ),
+        tuple(_record_key(r) for r in message.answers),
+        tuple(_record_key(r) for r in message.authorities),
+        tuple(_record_key(r) for r in message.additionals),
+    )
+
+
 def decode_or_none(data: bytes) -> Message | None:
     """Decode ``data``; return None (rather than raising) on garbage.
 
@@ -268,8 +352,40 @@ def decode_or_none(data: bytes) -> Message | None:
     decoders wrap stray ``ValueError``-family exceptions at the source in
     ``rr.py``), and ``repro.fuzz``'s hostile-bytes oracle enforces that
     ``Message.decode`` raises nothing else on arbitrary buffers.
+
+    Results are memoised on the bytes after the id. The one way the id
+    bytes can influence anything beyond ``msg_id`` is a compression
+    pointer targeting offset 0 or 1 (i.e. the two-byte sequences C0 00 /
+    C0 01 somewhere in the buffer); such buffers bypass the cache.
     """
-    try:
-        return Message.decode(data)
-    except (WireError, IndexError):
+    if len(data) < 2:
         return None
+    if b"\xc0\x00" in data or b"\xc0\x01" in data:
+        try:
+            return Message.decode(data)
+        except (WireError, IndexError):
+            return None
+    key = bytes(data[2:])
+    cached = _DECODE_CACHE.get(key)
+    if cached is None:
+        try:
+            cached = Message.decode(data)
+        except (WireError, IndexError):
+            cached = _DECODE_GARBAGE
+        if len(_DECODE_CACHE) >= _DECODE_CACHE_MAX:
+            _DECODE_CACHE.clear()
+        _DECODE_CACHE[key] = cached
+    if cached is _DECODE_GARBAGE:
+        return None
+    assert isinstance(cached, Message)
+    msg_id = int.from_bytes(data[:2], "big")
+    if cached.msg_id == msg_id:
+        return cached
+    return Message(
+        msg_id,
+        cached.flags,
+        cached.questions,
+        cached.answers,
+        cached.authorities,
+        cached.additionals,
+    )

@@ -91,7 +91,7 @@ def _escape_label(label: str) -> str:
 class DnsName:
     """An immutable, case-insensitively-compared domain name."""
 
-    __slots__ = ("_labels", "_key")
+    __slots__ = ("_labels", "_key", "_hash")
 
     def __init__(self, labels: Iterable[str] = ()) -> None:
         labels = tuple(labels)
@@ -109,6 +109,7 @@ class DnsName:
             raise NameError_(f"name too long ({encoded_len} bytes)")
         self._labels = labels
         self._key = tuple(label.lower() for label in labels)
+        self._hash: int | None = None
 
     # -- construction --------------------------------------------------
 
@@ -251,7 +252,10 @@ class DnsName:
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(self._key)
+        cached = self._hash
+        if cached is None:
+            cached = self._hash = hash(self._key)
+        return cached
 
     def __lt__(self, other: "DnsName") -> bool:
         return self._key < other._key
@@ -263,8 +267,20 @@ class DnsName:
         return self.to_text()
 
 
+#: Presentation-text parse memo for :func:`name`. Keys are the raw input
+#: strings, so distinct spellings (case, escapes) stay distinct.
+_NAME_CACHE: dict[str, DnsName] = {}
+_NAME_CACHE_MAX = 4096
+
+
 def name(text: "str | DnsName") -> DnsName:
     """Coerce ``text`` to a :class:`DnsName` (identity for DnsName input)."""
     if isinstance(text, DnsName):
         return text
-    return DnsName.from_text(text)
+    cached = _NAME_CACHE.get(text)
+    if cached is None:
+        cached = DnsName.from_text(text)
+        if len(_NAME_CACHE) >= _NAME_CACHE_MAX:
+            _NAME_CACHE.clear()
+        _NAME_CACHE[text] = cached
+    return cached

@@ -286,12 +286,20 @@ class ResourceRecord:
         writer.write_u16(int(self.rdtype))
         writer.write_u16(int(self.rdclass))
         writer.write_u32(self.ttl)
-        # rdlength placeholder: encode rdata to a scratch writer first.
-        scratch = WireWriter()
-        self.rdata.encode(scratch)
-        payload = scratch.getvalue()
-        writer.write_u16(len(payload))
-        writer.write_bytes(payload)
+        # Write a zero rdlength placeholder, encode the RDATA in place,
+        # then patch the real length in — no scratch writer, no copy.
+        # Name remembering is paused so RDATA-internal names (always
+        # uncompressed) stay invisible to the message's compression map,
+        # exactly as when they were encoded into a throwaway buffer.
+        length_at = writer.offset
+        writer.write_u16(0)
+        prior = writer.pause_names()
+        try:
+            self.rdata.encode(writer)
+        finally:
+            writer.resume_names(prior)
+        rdlength = writer.offset - length_at - 2
+        writer.patch_u16(length_at, rdlength)
 
     @classmethod
     def decode(cls, reader: WireReader) -> "ResourceRecord":

@@ -20,40 +20,70 @@ class TruncatedMessageError(WireError):
 
 
 class WireWriter:
-    """Append-only writer producing a DNS wire-format byte string."""
+    """Append-only writer producing a DNS wire-format byte string.
+
+    Bytes accumulate in a single ``bytearray``: appends extend the buffer
+    in place without wrapping each chunk in a fresh ``bytes`` object, and
+    already-written fields (e.g. an RDLENGTH placeholder) can be patched
+    through :meth:`patch_u16` once their value is known.
+    """
 
     def __init__(self) -> None:
-        self._chunks: list[bytes] = []
-        self._length = 0
+        self._buffer = bytearray()
         # Name compression state: lowercase label-tuple suffix -> offset.
         self._name_offsets: dict[tuple[str, ...], int] = {}
+        # While True, remember_name is a no-op. RDATA encoders set this so
+        # names inside RDATA (always encoded uncompressed) never become
+        # compression targets for later names in the same message.
+        self._names_paused = False
 
     def __len__(self) -> int:
-        return self._length
+        return len(self._buffer)
 
     @property
     def offset(self) -> int:
         """Current write offset (== number of bytes written so far)."""
-        return self._length
+        return len(self._buffer)
 
     def write_bytes(self, data: bytes) -> None:
-        self._chunks.append(bytes(data))
-        self._length += len(data)
+        # ``+=`` copies the payload into the buffer directly; immutable
+        # input no longer takes an extra bytes(data) round trip, and
+        # mutable buffers (bytearray/memoryview) are still copied by the
+        # extend itself, so later mutation cannot corrupt the message.
+        self._buffer += data
 
     def write_u8(self, value: int) -> None:
         if not 0 <= value <= 0xFF:
             raise WireError(f"u8 out of range: {value}")
-        self.write_bytes(struct.pack("!B", value))
+        self._buffer.append(value)
 
     def write_u16(self, value: int) -> None:
         if not 0 <= value <= 0xFFFF:
             raise WireError(f"u16 out of range: {value}")
-        self.write_bytes(struct.pack("!H", value))
+        self._buffer += struct.pack("!H", value)
 
     def write_u32(self, value: int) -> None:
         if not 0 <= value <= 0xFFFFFFFF:
             raise WireError(f"u32 out of range: {value}")
-        self.write_bytes(struct.pack("!I", value))
+        self._buffer += struct.pack("!I", value)
+
+    def patch_u16(self, offset: int, value: int) -> None:
+        """Overwrite two already-written bytes at ``offset`` with ``value``."""
+        if not 0 <= value <= 0xFFFF:
+            raise WireError(f"u16 out of range: {value}")
+        if not 0 <= offset <= len(self._buffer) - 2:
+            raise WireError(f"patch offset out of range: {offset}")
+        struct.pack_into("!H", self._buffer, offset, value)
+
+    def pause_names(self) -> bool:
+        """Stop remembering compression targets; returns the prior state."""
+        prior = self._names_paused
+        self._names_paused = True
+        return prior
+
+    def resume_names(self, prior: bool = False) -> None:
+        """Restore the name-remembering state saved by :meth:`pause_names`."""
+        self._names_paused = prior
 
     def remember_name(self, key: tuple[str, ...], offset: int) -> None:
         """Record that the name suffix ``key`` was encoded at ``offset``.
@@ -61,6 +91,8 @@ class WireWriter:
         Compression pointers can only target the first 0x3FFF bytes;
         suffixes beyond that are silently not remembered.
         """
+        if self._names_paused:
+            return
         if offset <= 0x3FFF and key not in self._name_offsets:
             self._name_offsets[key] = offset
 
@@ -69,7 +101,7 @@ class WireWriter:
         return self._name_offsets.get(key)
 
     def getvalue(self) -> bytes:
-        return b"".join(self._chunks)
+        return bytes(self._buffer)
 
 
 class WireReader:

@@ -57,22 +57,50 @@ DEFAULT_BOGON_V4 = ipaddress.IPv4Address("192.0.2.53")
 DEFAULT_BOGON_V6 = ipaddress.IPv6Address("2001:db8::53")
 
 
+#: String -> address memo for :func:`parse_ip`. The hot path parses the
+#: same few dozen literals (provider anycast addresses, gateway/bogon
+#: constants) once per packet hop; ip_address() re-tokenises every time.
+#: Address objects are immutable, so sharing them is safe. Bounded;
+#: cleared when full.
+_PARSE_CACHE: dict[str, IPAddress] = {}
+_PARSE_CACHE_MAX = 4096
+
+
 def parse_ip(value: "str | IPAddress") -> IPAddress:
     """Coerce ``value`` to an address object (identity for address input)."""
     if isinstance(value, (ipaddress.IPv4Address, ipaddress.IPv6Address)):
         return value
-    return ipaddress.ip_address(value)
+    hit = _PARSE_CACHE.get(value)
+    if hit is None:
+        hit = ipaddress.ip_address(value)
+        if len(_PARSE_CACHE) >= _PARSE_CACHE_MAX:
+            _PARSE_CACHE.clear()
+        _PARSE_CACHE[value] = hit
+    return hit
 
 
 def is_ipv6(value: "str | IPAddress") -> bool:
     return parse_ip(value).version == 6
 
 
+#: Bogon classification memo: the border router checks every packet it
+#: forwards against the same handful of addresses, and prefix membership
+#: is pure in the address. Bounded; cleared when full.
+_BOGON_CACHE: dict[IPAddress, bool] = {}
+_BOGON_CACHE_MAX = 4096
+
+
 def is_bogon(value: "str | IPAddress") -> bool:
     """True if ``value`` falls in unroutable (bogon) space."""
     address = parse_ip(value)
-    prefixes = BOGON_V4_PREFIXES if address.version == 4 else BOGON_V6_PREFIXES
-    return any(address in prefix for prefix in prefixes)
+    hit = _BOGON_CACHE.get(address)
+    if hit is None:
+        prefixes = BOGON_V4_PREFIXES if address.version == 4 else BOGON_V6_PREFIXES
+        hit = any(address in prefix for prefix in prefixes)
+        if len(_BOGON_CACHE) >= _BOGON_CACHE_MAX:
+            _BOGON_CACHE.clear()
+        _BOGON_CACHE[address] = hit
+    return hit
 
 
 def is_private(value: "str | IPAddress") -> bool:

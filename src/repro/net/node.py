@@ -104,6 +104,7 @@ class Host(Node):
 
     def add_address(self, address: "str | IPAddress") -> None:
         self._addresses.add(parse_ip(address))
+        self.invalidate_addresses()
         if self.network is not None:
             self.network.reindex(self)
 

@@ -91,12 +91,16 @@ class Packet:
     # -- rewriting helpers -------------------------------------------------
 
     def _derived(self, **changes) -> "Packet":
-        child = replace(
-            self,
-            uid=next(_packet_counter),
-            lineage=self.lineage + (self.uid,),
-            **changes,
-        )
+        # Rewrites happen once or more per hop, so this skips
+        # dataclasses.replace and __post_init__ re-validation: every field
+        # either carries over from this (already validated) packet or is
+        # supplied pre-parsed by the with_*/truncated helpers below.
+        child = Packet.__new__(Packet)
+        state = dict(self.__dict__)
+        state.update(changes)
+        state["uid"] = next(_packet_counter)
+        state["lineage"] = self.lineage + (self.uid,)
+        child.__dict__.update(state)
         return child
 
     def decrement_ttl(self) -> "Packet":

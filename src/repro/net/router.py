@@ -41,10 +41,13 @@ class RoutingTable:
         self._routes: list[Route] = []
         # Host routes (/32, /128) answer most lookups; keep them O(1).
         self._host_routes: dict[IPAddress, Route] = {}
+        # Destination -> next hop memo; invalidated on any table change.
+        self._lookup_cache: dict[IPAddress, Optional[str]] = {}
 
     def add(self, prefix: "str | IPNetwork", next_hop: str) -> None:
         if isinstance(prefix, str):
             prefix = ipaddress.ip_network(prefix)
+        self._lookup_cache.clear()
         route = Route(prefix, next_hop)
         if prefix.prefixlen == prefix.max_prefixlen:
             self._host_routes[prefix.network_address] = route
@@ -62,6 +65,7 @@ class RoutingTable:
         """Remove all routes for ``prefix``; True if any existed."""
         if isinstance(prefix, str):
             prefix = ipaddress.ip_network(prefix)
+        self._lookup_cache.clear()
         if prefix.prefixlen == prefix.max_prefixlen:
             return self._host_routes.pop(prefix.network_address, None) is not None
         before = len(self._routes)
@@ -75,13 +79,24 @@ class RoutingTable:
 
     def lookup(self, dst: "str | IPAddress") -> Optional[str]:
         address = parse_ip(dst)
+        cache = self._lookup_cache
+        try:
+            return cache[address]
+        except KeyError:
+            pass
         host = self._host_routes.get(address)
         if host is not None:
-            return host.next_hop
-        for route in self._routes:
-            if route.prefix.version == address.version and address in route.prefix:
-                return route.next_hop
-        return None
+            result: Optional[str] = host.next_hop
+        else:
+            result = None
+            for route in self._routes:
+                if route.prefix.version == address.version and address in route.prefix:
+                    result = route.next_hop
+                    break
+        if len(cache) >= 1024:
+            cache.clear()
+        cache[address] = result
+        return result
 
     def __len__(self) -> int:
         return len(self._routes) + len(self._host_routes)
@@ -118,6 +133,7 @@ class Router(Node):
 
     def add_address(self, address: "str | IPAddress") -> None:
         self._addresses.add(parse_ip(address))
+        self.invalidate_addresses()
         if self.network is not None:
             self.network.reindex(self)
 
@@ -142,7 +158,9 @@ class Router(Node):
         if next_hop is None:
             self.trace("drop", packet, "no route")
             return
-        self.trace("forward", packet, f"-> {next_hop}")
+        network = self.network
+        if network is not None and network.observing:
+            self.trace("forward", packet, f"-> {next_hop}")
         self.send(next_hop, packet)
 
     def inspect_transit(self, packet: Packet) -> bool:
@@ -165,7 +183,7 @@ class Router(Node):
 
     def send_toward(self, packet: Packet) -> None:
         """Route a locally generated packet (replies, ICMP)."""
-        if packet.dst in self.addresses():
+        if packet.dst in self.cached_addresses():
             self.deliver_local(packet)
             return
         next_hop = self.routes.lookup(packet.dst)

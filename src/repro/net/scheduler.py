@@ -1,0 +1,207 @@
+"""Event schedulers for the simulator core.
+
+Two implementations of one priority-queue contract over event entries
+``(time_us, seq, fn, arg)``:
+
+* :class:`HeapScheduler` — a plain binary heap; the reference engine.
+* :class:`CalendarScheduler` — a bucketed calendar queue sized for the
+  simulator's traffic shape (bursts of near-future events a few hundred
+  microseconds apart), with a binary heap as overflow for events beyond
+  the bucket window. This is the fast engine's scheduler.
+
+Both order strictly by ``(time_us, seq)``; given the same pushes they pop
+the same sequence, which is what lets the fast engine keep the simulator's
+byte-identical determinism contract.
+
+Integer-microsecond contract: event times are non-negative integers in
+microseconds. :meth:`repro.net.sim.Network.schedule` quantises float
+millisecond delays with ``round(delay_ms * 1000)`` at the boundary, so no
+float ever enters a comparison between events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+#: An event entry: (absolute time in µs, tie-break sequence, callable, arg).
+#: ``arg`` is passed to ``fn`` when not None; comparisons never reach the
+#: callable because ``seq`` is unique.
+Entry = tuple
+
+#: Calendar geometry. 256 µs buckets x 512 slots ≈ a 131 ms window —
+#: wider than any single link latency plus jitter in the topology, so the
+#: overflow heap only sees retry timers and similar far-future events.
+_BUCKET_WIDTH_US = 256
+_BUCKET_COUNT = 512
+
+
+class HeapScheduler:
+    """Reference scheduler: a single binary heap of entries."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: list[Entry] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, entry: Entry) -> None:
+        heapq.heappush(self._heap, entry)
+
+    def pop_due(self, limit_us: Optional[int]) -> Optional[Entry]:
+        """Pop and return the earliest entry with time <= ``limit_us``.
+
+        Returns None when the queue is empty or the earliest entry lies
+        beyond the limit (``limit_us=None`` means no limit).
+        """
+        heap = self._heap
+        if not heap:
+            return None
+        if limit_us is not None and heap[0][0] > limit_us:
+            return None
+        return heapq.heappop(heap)
+
+    def clear(self) -> None:
+        self._heap.clear()
+
+
+class CalendarScheduler:
+    """Calendar queue: an array of bucket heaps plus an overflow heap.
+
+    ``_base`` is the absolute bucket index (``time_us >> shift``) of the
+    cursor; every bucketed entry's index lies in ``[_base, _base + size)``
+    (the *window invariant*), so the pop scan walks forward from the
+    cursor and the first non-empty bucket's heap top is the global
+    minimum. Entries beyond the window go to the overflow heap and
+    migrate into buckets as the cursor advances.
+
+    The cursor can also move *backwards*: after an overflow jump, a
+    ``run(until=...)`` boundary may leave the simulation clock behind the
+    cursor, and the next push can be earlier than ``_base``. ``_rewind``
+    restores the window invariant by spilling entries that the shrunken
+    window can no longer hold back into the overflow heap.
+    """
+
+    __slots__ = (
+        "_buckets",
+        "_mask",
+        "_shift",
+        "_size",
+        "_base",
+        "_overflow",
+        "_count",
+        "_window_count",
+    )
+
+    def __init__(
+        self,
+        bucket_width_us: int = _BUCKET_WIDTH_US,
+        bucket_count: int = _BUCKET_COUNT,
+    ) -> None:
+        if bucket_width_us & (bucket_width_us - 1) or bucket_width_us <= 0:
+            raise ValueError("bucket_width_us must be a power of two")
+        if bucket_count & (bucket_count - 1) or bucket_count <= 0:
+            raise ValueError("bucket_count must be a power of two")
+        self._shift = bucket_width_us.bit_length() - 1
+        self._size = bucket_count
+        self._mask = bucket_count - 1
+        self._buckets: list[list[Entry]] = [[] for _ in range(bucket_count)]
+        self._base = 0
+        self._overflow: list[Entry] = []
+        self._count = 0
+        self._window_count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def push(self, entry: Entry) -> None:
+        index = entry[0] >> self._shift
+        if self._count == 0:
+            # Empty queue: park the window wherever the event lands.
+            self._base = index
+        elif index < self._base:
+            self._rewind(index)
+        if index < self._base + self._size:
+            heapq.heappush(self._buckets[index & self._mask], entry)
+            self._window_count += 1
+        else:
+            heapq.heappush(self._overflow, entry)
+        self._count += 1
+
+    def _rewind(self, index: int) -> None:
+        """Move the cursor back to ``index``, restoring the invariant.
+
+        Bucket positions that the new, earlier window re-claims may hold
+        entries from indices at the far end of the old window; those no
+        longer fit and are spilled to the overflow heap.
+        """
+        overflow = self._overflow
+        span = min(self._base - index, self._size)
+        for offset in range(span):
+            bucket = self._buckets[(index + offset) & self._mask]
+            if bucket:
+                self._window_count -= len(bucket)
+                for entry in bucket:
+                    heapq.heappush(overflow, entry)
+                del bucket[:]
+        self._base = index
+
+    def _migrate(self) -> None:
+        """Pull overflow entries that now fit the window into buckets."""
+        overflow = self._overflow
+        shift = self._shift
+        limit = self._base + self._size
+        while overflow and (overflow[0][0] >> shift) < limit:
+            entry = heapq.heappop(overflow)
+            heapq.heappush(self._buckets[(entry[0] >> shift) & self._mask], entry)
+            self._window_count += 1
+
+    def pop_due(self, limit_us: Optional[int]) -> Optional[Entry]:
+        """Pop and return the earliest entry with time <= ``limit_us``.
+
+        Returns None when the queue is empty or the earliest entry lies
+        beyond the limit (``limit_us=None`` means no limit). May advance
+        the cursor past empty buckets even when returning None.
+        """
+        if self._count == 0:
+            return None
+        if self._window_count == 0:
+            # Everything pending is far-future: jump straight to the
+            # overflow minimum instead of scanning empty buckets.
+            self._base = self._overflow[0][0] >> self._shift
+        self._migrate()
+        buckets = self._buckets
+        mask = self._mask
+        base = self._base
+        while True:
+            bucket = buckets[base & mask]
+            if bucket:
+                self._base = base
+                if limit_us is not None and bucket[0][0] > limit_us:
+                    return None
+                self._window_count -= 1
+                self._count -= 1
+                return heapq.heappop(bucket)
+            base += 1
+            if self._overflow and (self._overflow[0][0] >> self._shift) < base + self._size:
+                self._base = base
+                self._migrate()
+
+    def clear(self) -> None:
+        for bucket in self._buckets:
+            del bucket[:]
+        self._overflow.clear()
+        self._base = 0
+        self._count = 0
+        self._window_count = 0
+
+
+def make_scheduler(kind: str) -> "HeapScheduler | CalendarScheduler":
+    """Build a scheduler by engine name (``calendar`` or ``heap``)."""
+    if kind == "calendar":
+        return CalendarScheduler()
+    if kind == "heap":
+        return HeapScheduler()
+    raise ValueError(f"unknown scheduler kind: {kind!r}")

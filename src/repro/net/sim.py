@@ -13,8 +13,8 @@ the event queue are broken by a sequence number, never by object ids).
 
 from __future__ import annotations
 
-import heapq
 import itertools
+import math
 import random
 import warnings
 from typing import Callable, Optional
@@ -28,11 +28,14 @@ from .impairment import (
     truncate_cut,
 )
 from .packet import Packet
+from .scheduler import make_scheduler
 from .trace import TraceRecorder
 
 #: Default one-way link latency in milliseconds.
 DEFAULT_LATENCY_MS = 1.0
-#: Hard cap on events per ``run`` call; a loop guard, not a tuning knob.
+#: Default bound on how many *new* events a single ``run`` call may
+#: schedule. A self-sustaining loop (each event arming the next) grows
+#: this without bound and trips; a large pre-scheduled batch does not.
 MAX_EVENTS_PER_RUN = 1_000_000
 
 
@@ -56,6 +59,10 @@ class Node:
         self.name = name
         self.asn = asn
         self.network: Optional["Network"] = None
+        # Lazily built frozenset of addresses() for per-packet delivery
+        # checks; anything that changes a node's addresses must go
+        # through Network.reindex (or invalidate_addresses) to reset it.
+        self._addr_cache: Optional[frozenset] = None
 
     # -- wiring -----------------------------------------------------------
 
@@ -67,11 +74,25 @@ class Node:
         """Addresses owned by this node (local delivery targets)."""
         return set()
 
+    def invalidate_addresses(self) -> None:
+        """Drop the cached address set after an addressing change."""
+        self._addr_cache = None
+
+    def cached_addresses(self) -> frozenset:
+        """``addresses()`` as a cached frozenset for per-packet checks."""
+        cache = self._addr_cache
+        if cache is None:
+            cache = self._addr_cache = frozenset(self.addresses())
+        return cache
+
     # -- packet handling ----------------------------------------------------
 
     def receive(self, packet: Packet) -> None:
         """Entry point for a packet arriving at this node."""
-        if packet.dst in self.addresses():
+        cache = self._addr_cache
+        if cache is None:
+            cache = self._addr_cache = frozenset(self.addresses())
+        if packet.dst in cache:
             self.deliver_local(packet)
         else:
             self.forward(packet)
@@ -93,11 +114,12 @@ class Node:
         self.network.transmit(self.name, next_hop, packet)
 
     def trace(self, action: str, packet: Packet, detail: str = "") -> None:
-        if self.network is not None:
-            if action == "drop" and self.network.metrics.enabled:
-                self.network.metrics.inc("sim.drops." + _drop_reason(detail))
-            self.network.recorder.record(
-                self.network.now, self.name, action, packet, detail
+        network = self.network
+        if network is not None and network.observing:
+            if action == "drop" and network.metrics.enabled:
+                network.metrics.inc("sim.drops." + _drop_reason(detail))
+            network.recorder.record(
+                network.now, self.name, action, packet, detail
             )
 
     def __repr__(self) -> str:
@@ -112,6 +134,8 @@ class Network:
         trace: bool = False,
         loss_seed: "int | str" = 0,
         impairment: Optional[LinkProfile] = None,
+        scheduler: str = "calendar",
+        max_events_per_run: int = MAX_EVENTS_PER_RUN,
     ) -> None:
         # Imported lazily: repro.core pulls in the measurement stack,
         # which imports repro.net — a cycle at module-import time, but
@@ -125,12 +149,31 @@ class Network:
         self.metrics = active_registry()
         self.nodes: dict[str, Node] = {}
         self._links: dict[tuple[str, str], float] = {}
+        #: Link latencies pre-quantised to integer µs for the transmit
+        #: fast path (parallel to ``_links``, which stays in float ms as
+        #: the public unit).
+        self._latency_us: dict[tuple[str, str], int] = {}
         #: Per-direction impairment state; empty on unimpaired networks,
         #: so the ``transmit`` fast path is one falsy-dict check.
         self._impaired: dict[tuple[str, str], ImpairedLink] = {}
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        #: (a, b, profile) in install order, for deterministic stream
+        #: re-derivation by ``reset_events``.
+        self._profile_installs: list[tuple[str, str, LinkProfile]] = []
+        try:
+            self._queue = make_scheduler(scheduler)
+        except ValueError as exc:
+            raise SimulationError(str(exc)) from None
         self._seq = itertools.count()
-        self.now = 0.0
+        #: Simulation clock in integer microseconds; ``now`` presents it
+        #: in float milliseconds, the public unit.
+        self._now_us = 0
+        if max_events_per_run <= 0:
+            raise SimulationError(
+                f"max_events_per_run must be positive: {max_events_per_run}"
+            )
+        self.max_events_per_run = max_events_per_run
+        self._in_run = False
+        self._run_scheduled = 0
         self.recorder = TraceRecorder(enabled=trace)
         self._address_index: dict[IPAddress, str] = {}
         #: Deterministic randomness for link impairments: legacy
@@ -146,6 +189,26 @@ class Network:
         #: per-link profile is given.
         self.default_impairment = impairment
 
+    @property
+    def now(self) -> float:
+        """Simulation time in milliseconds (float view of the µs clock)."""
+        return self._now_us / 1000.0
+
+    @now.setter
+    def now(self, value: float) -> None:
+        self._now_us = round(value * 1000)
+
+    @property
+    def observing(self) -> bool:
+        """True when tracing or metrics can see this network's events.
+
+        Hot paths consult this before building trace detail strings, so
+        an unobserved run pays neither the formatting nor the record
+        calls. A property (not a cached flag) because tests flip
+        ``recorder.enabled`` mid-run.
+        """
+        return self.recorder.enabled or self.metrics.enabled
+
     # -- topology -----------------------------------------------------------
 
     def add_node(self, node: Node) -> Node:
@@ -153,14 +216,25 @@ class Network:
             raise SimulationError(f"duplicate node name: {node.name}")
         self.nodes[node.name] = node
         node.attached(self)
+        node.invalidate_addresses()
         for address in node.addresses():
             self._address_index[address] = node.name
         return node
 
     def reindex(self, node: Node) -> None:
         """Refresh the address index after a node gains addresses."""
+        node.invalidate_addresses()
         for address in node.addresses():
             self._address_index[address] = node.name
+
+    def rebuild_address_index(self) -> None:
+        """Recompute the full address index (after re-homing nodes)."""
+        index: dict[IPAddress, str] = {}
+        for name, node in self.nodes.items():
+            node.invalidate_addresses()
+            for address in node.addresses():
+                index[address] = name
+        self._address_index = index
 
     def node_for_address(self, address: "str | IPAddress") -> Optional[Node]:
         name = self._address_index.get(parse_ip(address))
@@ -190,6 +264,9 @@ class Network:
                 raise SimulationError(f"unknown node: {name}")
         self._links[(a, b)] = latency_ms
         self._links[(b, a)] = latency_ms
+        latency_us = round(latency_ms * 1000)
+        self._latency_us[(a, b)] = latency_us
+        self._latency_us[(b, a)] = latency_us
         if loss is not None:
             if profile is not None:
                 raise SimulationError("pass either loss= or profile=, not both")
@@ -217,6 +294,9 @@ class Network:
         if profile is None:
             self._impaired.pop((a, b), None)
             self._impaired.pop((b, a), None)
+            self._profile_installs = [
+                entry for entry in self._profile_installs if entry[:2] != (a, b)
+            ]
             return
         if not isinstance(profile, LinkProfile):
             raise SimulationError(
@@ -261,6 +341,10 @@ class Network:
         streams. The seed token is drawn from ``loss_rng`` once per
         install, so distinct links (and distinct ``loss_seed`` values)
         get independent, reproducible impairment schedules."""
+        self._profile_installs = [
+            entry for entry in self._profile_installs if entry[:2] != (a, b)
+        ]
+        self._profile_installs.append((a, b, profile))
         token = self.loss_rng.getrandbits(64)
         for sender, receiver in ((a, b), (b, a)):
             self._impaired[(sender, receiver)] = ImpairedLink(
@@ -284,20 +368,43 @@ class Network:
     def schedule(self, delay_ms: float, action: Callable[[], None]) -> None:
         if delay_ms < 0:
             raise SimulationError(f"negative delay: {delay_ms}")
-        heapq.heappush(self._queue, (self.now + delay_ms, next(self._seq), action))
+        if not math.isfinite(delay_ms):
+            # NaN slips past the < 0 check (it compares false to
+            # everything) and then poisons event ordering; inf parks an
+            # event the loop can never reach. Both are caller bugs.
+            raise SimulationError(f"non-finite delay: {delay_ms}")
+        self._schedule_us(round(delay_ms * 1000), action, None)
+
+    def _schedule_us(
+        self, delay_us: int, fn: Callable, arg: Optional[Packet]
+    ) -> None:
+        """Internal enqueue with a pre-quantised integer-µs delay.
+
+        ``fn`` is called with ``arg`` unless ``arg`` is None — passing
+        the packet through the entry avoids a closure allocation per
+        transmitted packet.
+        """
+        if self._in_run:
+            self._run_scheduled += 1
+        self._queue.push((self._now_us + delay_us, next(self._seq), fn, arg))
 
     def transmit(self, sender: str, receiver: str, packet: Packet) -> None:
         """Move ``packet`` from ``sender`` to adjacent ``receiver``."""
-        latency = self.latency(sender, receiver)
         if self._impaired:
             state = self._impaired.get((sender, receiver))
             if state is not None and state.active:
-                self._transmit_impaired(sender, receiver, packet, latency, state)
+                self._transmit_impaired(
+                    sender, receiver, packet, self.latency(sender, receiver), state
+                )
                 return
-        self.metrics.inc("sim.link_transits")
-        self.recorder.record(self.now, sender, "send", packet, f"-> {receiver}")
-        node = self.nodes[receiver]
-        self.schedule(latency, lambda: node.receive(packet))
+        try:
+            latency_us = self._latency_us[(sender, receiver)]
+        except KeyError:
+            raise SimulationError(f"no link {sender} <-> {receiver}") from None
+        if self.observing:
+            self.metrics.inc("sim.link_transits")
+            self.recorder.record(self.now, sender, "send", packet, f"-> {receiver}")
+        self._schedule_us(latency_us, self.nodes[receiver].receive, packet)
 
     def _transmit_impaired(
         self,
@@ -317,20 +424,23 @@ class Network:
         """
         profile = state.profile
         rng = state.rng if state.rng is not None else self.loss_rng
+        observing = self.observing
         if profile.loss and rng.random() < profile.loss:
-            self.metrics.inc("net.impair.dropped")
-            self.metrics.inc("sim.drops.link-loss")
-            self.recorder.record(
-                self.now, sender, "drop", packet, f"link loss -> {receiver}"
-            )
+            if observing:
+                self.metrics.inc("net.impair.dropped")
+                self.metrics.inc("sim.drops.link-loss")
+                self.recorder.record(
+                    self.now, sender, "drop", packet, f"link loss -> {receiver}"
+                )
             return
         if profile.corrupt and rng.random() < profile.corrupt:
             # Bit damage fails the receiver's UDP checksum, so a
             # corrupted datagram is a drop counted under its own name.
-            self.metrics.inc("net.impair.corrupted")
-            self.recorder.record(
-                self.now, sender, "drop", packet, f"corrupted -> {receiver}"
-            )
+            if observing:
+                self.metrics.inc("net.impair.corrupted")
+                self.recorder.record(
+                    self.now, sender, "drop", packet, f"corrupted -> {receiver}"
+                )
             return
         if (
             profile.truncate
@@ -339,14 +449,16 @@ class Network:
             and rng.random() < profile.truncate
         ):
             packet = packet.truncated(truncate_cut(rng, len(packet.udp.payload)))
-            self.metrics.inc("net.impair.truncated")
-            self.recorder.record(
-                self.now, sender, "mangle", packet, f"truncated -> {receiver}"
-            )
+            if observing:
+                self.metrics.inc("net.impair.truncated")
+                self.recorder.record(
+                    self.now, sender, "mangle", packet, f"truncated -> {receiver}"
+                )
         copies = 1
         if profile.duplicate and rng.random() < profile.duplicate:
             copies = 2
-            self.metrics.inc("net.impair.duplicated")
+            if observing:
+                self.metrics.inc("net.impair.duplicated")
         node = self.nodes[receiver]
         for copy_index in range(copies):
             delay = latency + copy_index * duplicate_spacing_ms()
@@ -354,32 +466,57 @@ class Network:
                 delay += profile.draw_jitter(rng)
             if profile.reorder and rng.random() < profile.reorder:
                 delay += rng.uniform(0.0, profile.reorder_window_ms)
-                self.metrics.inc("net.impair.reordered")
-            self.metrics.inc("sim.link_transits")
-            detail = f"-> {receiver}" + (" (dup)" if copy_index else "")
-            self.recorder.record(self.now, sender, "send", packet, detail)
-            self.schedule(delay, lambda p=packet: node.receive(p))
+                if observing:
+                    self.metrics.inc("net.impair.reordered")
+            if observing:
+                self.metrics.inc("sim.link_transits")
+                detail = f"-> {receiver}" + (" (dup)" if copy_index else "")
+                self.recorder.record(self.now, sender, "send", packet, detail)
+            self._schedule_us(round(delay * 1000), node.receive, packet)
 
     def inject(self, at: str, packet: Packet, delay_ms: float = 0.0) -> None:
         """Deliver ``packet`` directly to node ``at`` (test/measurement hook)."""
-        node = self.nodes[at]
-        self.schedule(delay_ms, lambda: node.receive(packet))
+        if delay_ms < 0:
+            raise SimulationError(f"negative delay: {delay_ms}")
+        if not math.isfinite(delay_ms):
+            raise SimulationError(f"non-finite delay: {delay_ms}")
+        self._schedule_us(round(delay_ms * 1000), self.nodes[at].receive, packet)
 
     def run(self, until: Optional[float] = None) -> int:
-        """Process events (up to simulated time ``until``); return count."""
+        """Process events (up to simulated time ``until``); return count.
+
+        The runaway guard bounds *queue growth*: events scheduled while
+        the loop spins (a self-feeding loop grows this forever) rather
+        than a flat per-call event count (which a single legitimately
+        large pre-scheduled batch would trip).
+        """
+        queue = self._queue
+        limit_us = None if until is None else round(until * 1000)
+        budget = self.max_events_per_run
         processed = 0
-        while self._queue:
-            time, _seq, action = self._queue[0]
-            if until is not None and time > until:
-                break
-            heapq.heappop(self._queue)
-            self.now = max(self.now, time)
-            action()
-            processed += 1
-            if processed > MAX_EVENTS_PER_RUN:
-                raise SimulationError("event-loop runaway (routing loop?)")
-        if until is not None and until > self.now:
-            self.now = until
+        self._run_scheduled = 0
+        self._in_run = True
+        try:
+            while True:
+                entry = queue.pop_due(limit_us)
+                if entry is None:
+                    break
+                time_us = entry[0]
+                if time_us > self._now_us:
+                    self._now_us = time_us
+                fn = entry[2]
+                arg = entry[3]
+                if arg is None:
+                    fn()
+                else:
+                    fn(arg)
+                processed += 1
+                if self._run_scheduled > budget:
+                    raise SimulationError("event-loop runaway (routing loop?)")
+        finally:
+            self._in_run = False
+        if limit_us is not None and limit_us > self._now_us:
+            self._now_us = limit_us
         if processed:
             self.metrics.inc("sim.events_dispatched", processed)
         return processed
@@ -390,3 +527,34 @@ class Network:
     @property
     def pending_events(self) -> int:
         return len(self._queue)
+
+    # -- per-probe reuse ----------------------------------------------------
+
+    def reset_events(self, loss_seed: "int | str") -> None:
+        """Return the event loop to its just-built state for probe reuse.
+
+        Clears the queue, clock, sequence counter, trace buffer and any
+        host of leftover events; re-captures the ambient metrics registry
+        (store segments swap registries between probes); reseeds
+        ``loss_rng`` and re-derives every impairment stream in the
+        original install order, so a reused network's impairment
+        schedule is identical to a freshly built one's.
+        """
+        from repro.core.metrics import active_registry
+
+        self.metrics = active_registry()
+        self._queue.clear()
+        self._seq = itertools.count()
+        self._now_us = 0
+        self._in_run = False
+        self._run_scheduled = 0
+        self.recorder.clear()
+        self.loss_rng = random.Random(loss_seed)
+        if self._profile_installs:
+            self._impaired.clear()
+            for a, b, profile in self._profile_installs:
+                token = self.loss_rng.getrandbits(64)
+                for sender, receiver in ((a, b), (b, a)):
+                    self._impaired[(sender, receiver)] = ImpairedLink(
+                        profile, link_stream(token, sender, receiver)
+                    )

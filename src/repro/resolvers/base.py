@@ -74,6 +74,15 @@ def chaos_respond(
     return ChaosOutcome.IGNORE
 
 
+#: Cached-serve outcome kinds (see ``DnsServerNode._serve``).
+_CACHE_INVALID = 0  # payload is not a DNS query: dropped, not counted
+_CACHE_NO_ANSWER = 1  # counted as a query, server chose not to answer
+_CACHE_ANSWER = 2  # counted, reply wire is query id + cached tail
+
+#: Bound on each server's answer-template cache; cleared when full.
+_RESPONSE_CACHE_MAX = 4096
+
+
 class DnsServerNode(Node):
     """A network node that serves DNS on UDP/53."""
 
@@ -95,6 +104,13 @@ class DnsServerNode(Node):
         #: Name presented on the server's DoT certificate. None disables
         #: DoT service (port 853 closed).
         self.tls_identity = tls_identity
+        #: Opt-in answer-template cache (fast engine only): serving is a
+        #: pure function of ``(payload minus id, response_signature)``,
+        #: so repeated identical queries replay the cached wire with the
+        #: new id spliced in. Stays off unless a scenario builder that
+        #: has audited this node's purity turns it on.
+        self.response_cache_enabled = False
+        self._response_cache: dict = {}
 
     def addresses(self) -> set[IPAddress]:
         return set(self._addresses)
@@ -118,23 +134,68 @@ class DnsServerNode(Node):
             return
         self.trace("drop", packet, f"closed port {packet.udp.dport}")
 
+    def response_signature(self, packet: Packet) -> tuple:
+        """Everything besides the query wire that ``respond`` may read
+        from ``packet``. The answer-template cache keys on it; subclasses
+        whose answers depend on more of the source address must widen it
+        (see :class:`~repro.resolvers.public.PublicResolverNode`)."""
+        return (packet.src.version,)
+
     def _serve(self, packet: Packet, payload: bytes, dot: bool) -> None:
+        cache = None
+        key = None
+        if (
+            self.response_cache_enabled
+            and not dot
+            and len(payload) >= 2
+            # The cached path emits no trace/metric events, so it only
+            # runs when nobody is watching; an observed run takes the
+            # reference path below and records everything.
+            and (self.network is None or not self.network.observing)
+        ):
+            cache = self._response_cache
+            key = (payload[2:], self.response_signature(packet))
+            hit = cache.get(key)
+            if hit is not None:
+                kind, tail = hit
+                if kind == _CACHE_INVALID:
+                    return
+                self.queries_seen += 1
+                if kind == _CACHE_NO_ANSWER:
+                    return
+                self.emit(make_reply(packet, payload[:2] + tail))
+                return
         query = decode_or_none(payload)
         if query is None or query.is_response or query.question is None:
             self.trace("drop", packet, "not a DNS query")
+            if cache is not None:
+                self._cache_store(key, (_CACHE_INVALID, b""))
             return
         self.queries_seen += 1
         response = self.respond(query, packet)
         if response is None:
             self.trace("drop", packet, "server chose not to answer")
+            if cache is not None:
+                self._cache_store(key, (_CACHE_NO_ANSWER, b""))
             return
         wire = response.encode()
+        # Cache only when the reply id echoes the query id, so a hit can
+        # rebuild the exact wire from the incoming payload's first two
+        # bytes (it always does — reply() preserves msg_id — but the
+        # check keeps a future exotic responder from poisoning the cache).
+        if cache is not None and wire[:2] == payload[:2]:
+            self._cache_store(key, (_CACHE_ANSWER, wire[2:]))
         if dot:
             assert self.tls_identity is not None
             wire = wrap_dot(wire, self.tls_identity)
         reply = make_reply(packet, wire)
         self.trace("send", reply, "dns response" + (" (DoT)" if dot else ""))
         self.emit(reply)
+
+    def _cache_store(self, key, value) -> None:
+        if len(self._response_cache) >= _RESPONSE_CACHE_MAX:
+            self._response_cache.clear()
+        self._response_cache[key] = value
 
     def emit(self, packet: Packet) -> None:
         """Send a locally generated packet toward its destination."""

@@ -181,6 +181,15 @@ class PublicResolverNode(DnsServerNode):
         self.directory = directory
         self.catchment = catchment
 
+    def response_signature(self, packet: Packet) -> tuple:
+        """Anycast answers depend on the client address: the catchment
+        picks the site and the last address byte picks the instance/
+        machine number in Quad9 and OpenDNS location answers. Keying on
+        ``catchment(src)`` (not just the site formula's inputs) keeps
+        custom catchment functions safe too."""
+        src = packet.src
+        return (src.version, self.catchment(src), src.packed[-1])
+
     # -- location answers --------------------------------------------------
 
     def site_for(self, client: IPAddress) -> str:

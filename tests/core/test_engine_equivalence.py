@@ -1,0 +1,131 @@
+"""Fast-engine vs reference-engine equivalence — the PR's contract.
+
+The fast engine layers a calendar-queue scheduler, per-personality answer
+templates, scenario reuse and probe dedup under the measurement pipeline.
+None of that may be observable: records, metrics snapshots and store
+journals must be byte-identical to the reference engine (plain heap, no
+caches, every probe measured from a fresh topology) at any worker count,
+clean or impaired. These tests *are* the certification of every shortcut;
+weakening them weakens the contract.
+"""
+
+import pytest
+
+from repro.atlas.population import generate_population
+from repro.core.study import StudyConfig, run_pilot_study
+from repro.net.impairment import impairment_profile
+from repro.store import ResultStore, StoreInterrupted
+
+#: Big enough that the generated fleet contains offline probes, dual-stack
+#: probes, interceptors at every location, *and* repeated scenario
+#: signatures (so scenario reuse and probe dedup actually engage).
+FLEET_SIZE = 48
+SEED = 2021
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return generate_population(size=FLEET_SIZE, seed=SEED)
+
+
+def run(fleet, engine, workers=1, impair=None, **kwargs):
+    config = StudyConfig(
+        workers=workers,
+        engine=engine,
+        impairment=impairment_profile(impair) if impair else None,
+        impairment_seed=11,
+        **kwargs,
+    )
+    return run_pilot_study(fleet, config)
+
+
+class TestRecordEquivalence:
+    @pytest.mark.parametrize("workers", [1, 3])
+    @pytest.mark.parametrize("impair", [None, "residential"])
+    def test_records_identical(self, fleet, workers, impair):
+        fast = run(fleet, "fast", workers=workers, impair=impair)
+        reference = run(fleet, "reference", workers=workers, impair=impair)
+        assert fast.records == reference.records
+
+    def test_dedup_engages_and_substitutes_identity(self, fleet):
+        """The serial fast path must dedup at least one probe on this
+        fleet (otherwise the test fleet stopped exercising the memo) and
+        the substituted identity fields must match each probe's spec."""
+        from repro.atlas.scenario import ScenarioSpec, scenario_signature
+
+        keys = {
+            (
+                scenario_signature(ScenarioSpec(probe=s)),
+                s.responds_v4,
+                s.responds_v6,
+                s.online,
+            )
+            for s in fleet
+        }
+        assert len(keys) < len(fleet), "fleet has no duplicate measurements"
+        records = run(fleet, "fast").records
+        for spec, record in zip(fleet, records):
+            assert record.probe_id == spec.probe_id
+            assert record.organization == spec.organization.name
+            assert record.asn == spec.asn
+            assert record.country == spec.country
+            assert record.true_location == spec.true_location().value
+
+
+class TestMetricsEquivalence:
+    @pytest.mark.parametrize("impair", [None, "residential"])
+    def test_snapshots_identical_modulo_wall_clock(self, fleet, impair):
+        """``to_dict()`` omits wall-clock timings — everything else
+        (counters, histograms, event log) must match exactly. Metrics
+        runs disable the answer-template caches and probe dedup, so this
+        also proves those gates work."""
+        fast = run(fleet, "fast", impair=impair, metrics=True)
+        reference = run(fleet, "reference", impair=impair, metrics=True)
+        assert fast.records == reference.records
+        assert fast.metrics.to_dict() == reference.metrics.to_dict()
+
+
+class TestStoreEquivalence:
+    def test_journal_reconstruction_matches_reference(self, fleet, tmp_path):
+        stored = run_pilot_study(
+            fleet,
+            StudyConfig(workers=1, engine="fast"),
+            store=ResultStore(str(tmp_path / "fast")),
+        )
+        reference = run(fleet, "reference")
+        assert stored.records == reference.records
+
+    def test_resume_may_mix_engines(self, fleet, tmp_path):
+        """``engine`` is a run-shape knob like ``workers``: it is
+        excluded from the store fingerprint, so a study interrupted
+        under one engine resumes under the other and the journal-
+        reconstructed result is still byte-identical."""
+        path = str(tmp_path / "mixed")
+        with pytest.raises(StoreInterrupted):
+            run_pilot_study(
+                fleet,
+                StudyConfig(workers=1, engine="reference"),
+                store=ResultStore(path, probe_budget=10),
+            )
+        resumed = run_pilot_study(
+            fleet,
+            StudyConfig(workers=1, engine="fast"),
+            store=ResultStore(path, resume=True),
+        )
+        plain = run(fleet, "fast")
+        assert resumed.records == plain.records
+
+
+class TestEngineValidation:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            StudyConfig(engine="warp")
+
+    def test_engine_survives_config_round_trip(self):
+        from repro.analysis.export import config_from_dict, config_to_dict
+
+        config = StudyConfig(engine="reference")
+        # Like workers, engine shapes *how* a run executes, not what it
+        # measures: exports intentionally omit it and round-trip to the
+        # default.
+        assert config_from_dict(config_to_dict(config)).engine == "fast"
