@@ -10,7 +10,7 @@ Household                        opportunistic  strict
 clean                            clean         clean
 UDP-only ISP interceptor         clean         clean
 DoT-terminating ISP interceptor  INTERCEPTED   HIJACK DEFEATED
-hijacking XB6 (UDP/53 DNAT)      clean         clean
+hijacking XB6 (downgrades DoT)   INTERCEPTED   HIJACK DEFEATED
 ===============================  ============  =================
 """
 
@@ -21,7 +21,11 @@ from repro.analysis.formatting import render_table
 from repro.atlas.geo import organization_by_name
 from repro.atlas.measurement import MeasurementClient
 from repro.atlas.scenario import build_scenario
-from repro.core.dot_probe import DotProfile, DotStatus, detect_dot_provider
+from repro.core.encrypted_probe import (
+    EncryptedProfile,
+    EncryptedStatus,
+    detect_encrypted_provider,
+)
 from repro.cpe.firmware import xb6_profile
 from repro.interceptors.policy import intercept_all
 from repro.resolvers.public import Provider
@@ -56,8 +60,8 @@ def test_dot_privacy_profile_matrix(benchmark):
             client = MeasurementClient(scenario.network, scenario.host)
             rng = random.Random(spec.probe_id)
             row = {}
-            for profile in DotProfile:
-                verdict = detect_dot_provider(
+            for profile in EncryptedProfile:
+                verdict = detect_encrypted_provider(
                     client, Provider.GOOGLE, profile=profile, rng=rng
                 )
                 row[profile] = verdict.status
@@ -73,8 +77,8 @@ def test_dot_privacy_profile_matrix(benchmark):
             [
                 (
                     label,
-                    row[DotProfile.OPPORTUNISTIC].value,
-                    row[DotProfile.STRICT].value,
+                    row[EncryptedProfile.OPPORTUNISTIC].value,
+                    row[EncryptedProfile.STRICT].value,
                 )
                 for label, row in outcomes
             ],
@@ -83,19 +87,22 @@ def test_dot_privacy_profile_matrix(benchmark):
     )
 
     expected = {
-        "clean": (DotStatus.NOT_INTERCEPTED, DotStatus.NOT_INTERCEPTED),
+        "clean": (EncryptedStatus.NOT_INTERCEPTED, EncryptedStatus.NOT_INTERCEPTED),
         "udp-only interceptor": (
-            DotStatus.NOT_INTERCEPTED,
-            DotStatus.NOT_INTERCEPTED,
+            EncryptedStatus.NOT_INTERCEPTED,
+            EncryptedStatus.NOT_INTERCEPTED,
         ),
         "DoT-terminating interceptor": (
-            DotStatus.INTERCEPTED,
-            DotStatus.HIJACK_DEFEATED,
+            EncryptedStatus.INTERCEPTED,
+            EncryptedStatus.HIJACK_DEFEATED,
         ),
-        "hijacking XB6": (DotStatus.NOT_INTERCEPTED, DotStatus.NOT_INTERCEPTED),
+        "hijacking XB6": (
+            EncryptedStatus.INTERCEPTED,
+            EncryptedStatus.HIJACK_DEFEATED,
+        ),
     }
     for label, row in outcomes:
         assert (
-            row[DotProfile.OPPORTUNISTIC],
-            row[DotProfile.STRICT],
+            row[EncryptedProfile.OPPORTUNISTIC],
+            row[EncryptedProfile.STRICT],
         ) == expected[label], label

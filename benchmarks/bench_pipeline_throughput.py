@@ -315,6 +315,79 @@ def _run_overhead(args) -> int:
     return 1 if failed else 0
 
 
+def compare_transport_throughput(fleet: int, seed: int) -> dict:
+    """Serial throughput of the study pipeline per transport axis.
+
+    The ``udp53`` row is the plain plaintext study; each encrypted row
+    runs the full evasion axis (plaintext locator *plus* the
+    opportunistic encrypted retry on every intercepted probe), so its
+    delta over the baseline is the marginal cost of the evasion study —
+    near zero on mostly-clean fleets, since only intercepted probes pay
+    for extra exchanges. Every row's records are additionally verified
+    worker-invariant (1 vs 2 workers).
+    """
+    specs = generate_population(size=fleet, seed=seed)
+    rows = []
+    for transport in ("udp53", "dot", "doh", "doq"):
+        evasion = transport != "udp53"
+        config = StudyConfig(
+            workers=1, seed=seed, transport=transport, evasion=evasion
+        )
+        run_pilot_study(specs, config)  # warm-up
+        started = time.perf_counter()
+        serial = run_pilot_study(specs, config)
+        elapsed = time.perf_counter() - started
+        sharded = run_pilot_study(
+            specs,
+            StudyConfig(
+                workers=2, seed=seed, transport=transport, evasion=evasion
+            ),
+        )
+        if sharded.records != serial.records:
+            raise AssertionError(
+                f"{transport}: sharded records differ from serial — "
+                "determinism broken"
+            )
+        outcomes = sum(
+            1 for r in serial.records if r.evasion_outcome is not None
+        )
+        rows.append(
+            {
+                "transport": transport,
+                "evasion": evasion,
+                "seconds": elapsed,
+                "probes_per_s": fleet / elapsed,
+                "evasion_outcomes": outcomes,
+            }
+        )
+    return {"fleet": fleet, "seed": seed, "rows": rows}
+
+
+def _run_transports(args) -> int:
+    stats = compare_transport_throughput(args.fleet, args.seed)
+    print(f"fleet={stats['fleet']} probes  serial, evasion axis on encrypted rows")
+    baseline = stats["rows"][0]["seconds"]
+    for row in stats["rows"]:
+        delta = (row["seconds"] / baseline - 1.0) * 100.0
+        print(
+            f"{row['transport']:6s} : {row['seconds']:7.2f}s  "
+            f"{row['probes_per_s']:8.1f} probes/s  "
+            f"{row['evasion_outcomes']:3d} evasion outcomes  "
+            f"({delta:+.1f}% vs udp53; workers 1==2 verified)"
+        )
+    encrypted = [row for row in stats["rows"] if row["evasion"]]
+    if args.min_probes_per_sec is not None and any(
+        row["probes_per_s"] < args.min_probes_per_sec for row in encrypted
+    ):
+        worst = min(row["probes_per_s"] for row in encrypted)
+        print(
+            f"FAIL: slowest evasion transport {worst:.1f} probes/s "
+            f"below required {args.min_probes_per_sec:.1f}"
+        )
+        return 1
+    return 0
+
+
 def _run_throughput(args) -> int:
     stats = compare_fleet_throughput(args.fleet, args.seed, args.workers)
     print(
@@ -371,6 +444,12 @@ def main(argv=None) -> int:
         "and write BENCH_pipeline_throughput.json at the repo root",
     )
     parser.add_argument(
+        "--transports",
+        action="store_true",
+        help="measure serial study throughput per transport axis "
+        "(udp53 baseline vs dot/doh/doq evasion runs)",
+    )
+    parser.add_argument(
         "--reference-fleet",
         type=int,
         default=500,
@@ -414,6 +493,8 @@ def main(argv=None) -> int:
         return _run_overhead(args)
     if args.engines:
         return _run_engines(args)
+    if args.transports:
+        return _run_transports(args)
     return _run_throughput(args)
 
 

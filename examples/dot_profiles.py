@@ -4,13 +4,14 @@
 Four households, two DoT privacy profiles (RFC 7858), one question: can
 the interceptor still hijack the location query?
 
-- A **UDP-only interceptor** (including the hijacking XB6, whose DNAT
-  rule matches UDP/53 only) is blind to port 853: DoT restores the
+- A **UDP-only middlebox** is blind to port 853: DoT restores the
   user's resolver choice outright.
-- A **DoT-terminating interceptor** can still fool the *opportunistic*
-  profile (no certificate validation) — but against the *strict*
-  profile it can only turn silent hijacking into a visible failure,
-  because it cannot present the target resolver's certificate.
+- A **DoT-terminating interceptor** — the ISP middlebox here, or the
+  buggy XB6 downgrading the session on its own certificate — can still
+  fool the *opportunistic* profile (no certificate validation), but
+  against the *strict* profile it can only turn silent hijacking into
+  a visible failure, because it cannot present the target resolver's
+  certificate.
 
 Run:  python examples/dot_profiles.py
 """
@@ -23,7 +24,7 @@ from repro.atlas.geo import organization_by_name
 from repro.atlas.measurement import MeasurementClient
 from repro.atlas.probe import IspBehavior, ProbeSpec
 from repro.atlas.scenario import build_scenario
-from repro.core.dot_probe import DotProfile, detect_dot_provider
+from repro.core.encrypted_probe import EncryptedProfile, detect_encrypted_provider
 from repro.cpe.firmware import honest_router, xb6_profile
 from repro.interceptors.policy import intercept_all
 from repro.resolvers.public import Provider
@@ -52,7 +53,7 @@ def main() -> None:
             ),
         ),
         (
-            "hijacking XB6 (UDP/53 DNAT)",
+            "hijacking XB6 (downgrades DoT)",
             ProbeSpec(
                 probe_id=4004, organization=comcast, firmware=xb6_profile()
             ),
@@ -65,16 +66,16 @@ def main() -> None:
         client = MeasurementClient(scenario.network, scenario.host)
         rng = random.Random(spec.probe_id)
         statuses = {}
-        for profile in DotProfile:
-            verdict = detect_dot_provider(
+        for profile in EncryptedProfile:
+            verdict = detect_encrypted_provider(
                 client, Provider.GOOGLE, profile=profile, rng=rng
             )
             statuses[profile] = verdict.status.value
         rows.append(
             (
                 label,
-                statuses[DotProfile.OPPORTUNISTIC],
-                statuses[DotProfile.STRICT],
+                statuses[EncryptedProfile.OPPORTUNISTIC],
+                statuses[EncryptedProfile.STRICT],
             )
         )
 

@@ -27,6 +27,12 @@ from .stability import (
     build_stability_report,
     compare_verdicts,
 )
+from .evasion import (
+    EVASION_CLASSES,
+    EvasionRow,
+    EvasionTable,
+    build_evasion_table,
+)
 from .export import load_study, save_study, study_from_json, study_to_json
 from .tables import (
     Table4,
@@ -60,6 +66,10 @@ __all__ = [
     "VerdictFlip",
     "build_stability_report",
     "compare_verdicts",
+    "EVASION_CLASSES",
+    "EvasionRow",
+    "EvasionTable",
+    "build_evasion_table",
     "load_study",
     "save_study",
     "study_from_json",

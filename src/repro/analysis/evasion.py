@@ -1,0 +1,133 @@
+"""The encryption-evasion table: what encrypting the stub buys, by
+interceptor location.
+
+For every probe the plaintext locator classified as intercepted, the
+evasion study retried the intercepted providers over one encrypted
+transport (opportunistic profile) and recorded the worst per-probe
+outcome — ``evaded`` (the session reached the real resolver),
+``blocked`` (the interceptor killed it) or ``downgraded`` (somebody
+terminated the session and answered under a foreign certificate). This
+module aggregates those outcomes per interception class: CPE
+interceptors, in-ISP middleboxes, and the unplaceable ``unknown`` class
+(middleboxes beyond the ISP, or bogon-discarding ones).
+
+The shape deliberately mirrors the paper's location tables: rows are
+where the interceptor sits, columns are what encryption did about it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classifier import LocatorVerdict
+from repro.core.encrypted_probe import EvasionOutcome
+from repro.core.study import ProbeRecord, StudyResult
+
+from .formatting import render_table
+
+#: Interception classes the table reports, in presentation order.
+EVASION_CLASSES: tuple[LocatorVerdict, ...] = (
+    LocatorVerdict.CPE,
+    LocatorVerdict.WITHIN_ISP,
+    LocatorVerdict.UNKNOWN,
+)
+
+
+@dataclass(frozen=True)
+class EvasionRow:
+    """Evasion outcomes of one interception class."""
+
+    location: str
+    total: int
+    evaded: int
+    blocked: int
+    downgraded: int
+
+    def fraction(self, count: int) -> float:
+        return count / self.total if self.total else 0.0
+
+    @property
+    def evaded_fraction(self) -> float:
+        return self.fraction(self.evaded)
+
+    @property
+    def blocked_fraction(self) -> float:
+        return self.fraction(self.blocked)
+
+    @property
+    def downgraded_fraction(self) -> float:
+        return self.fraction(self.downgraded)
+
+
+@dataclass(frozen=True)
+class EvasionTable:
+    """Per-class rows plus the all-interceptors total."""
+
+    transport: str
+    rows: tuple[EvasionRow, ...]
+    total: EvasionRow
+
+    def render(self) -> str:
+        def cells(row: EvasionRow) -> list[object]:
+            return [
+                row.location,
+                row.total,
+                f"{row.evaded} ({row.evaded_fraction:.0%})",
+                f"{row.blocked} ({row.blocked_fraction:.0%})",
+                f"{row.downgraded} ({row.downgraded_fraction:.0%})",
+            ]
+
+        return render_table(
+            ["interceptor", "probes", "evaded", "blocked", "downgraded"],
+            [cells(row) for row in self.rows] + [cells(self.total)],
+            title=f"Encryption evasion over {self.transport} "
+            "(intercepted probes, opportunistic profile)",
+        )
+
+
+def _evasion_records(study: StudyResult) -> list[ProbeRecord]:
+    return [r for r in study.records if r.evasion_outcome is not None]
+
+
+def _row(location: str, records: list[ProbeRecord]) -> EvasionRow:
+    counts = {outcome: 0 for outcome in EvasionOutcome}
+    for record in records:
+        counts[EvasionOutcome(record.evasion_outcome)] += 1
+    return EvasionRow(
+        location=location,
+        total=len(records),
+        evaded=counts[EvasionOutcome.EVADED],
+        blocked=counts[EvasionOutcome.BLOCKED],
+        downgraded=counts[EvasionOutcome.DOWNGRADED],
+    )
+
+
+def build_evasion_table(study: StudyResult) -> EvasionTable:
+    """Aggregate a study's evasion outcomes by interceptor location.
+
+    Raises :class:`ValueError` when the study never ran the evasion
+    axis (no record carries an outcome and the config does not name an
+    encrypted transport) — rendering an all-zero table would read as
+    "nothing was evaded" rather than "nothing was measured".
+    """
+    measured = _evasion_records(study)
+    transport = study.config.transport if study.config is not None else None
+    if transport in (None, "udp53"):
+        transport = next(
+            (r.evasion_transport for r in measured if r.evasion_transport), None
+        )
+    if transport is None:
+        raise ValueError(
+            "study has no evasion data; run it with "
+            "StudyConfig(transport=..., evasion=True)"
+        )
+    rows = tuple(
+        _row(
+            verdict.value,
+            [r for r in measured if r.verdict == verdict.value],
+        )
+        for verdict in EVASION_CLASSES
+    )
+    return EvasionTable(
+        transport=transport, rows=rows, total=_row("all", measured)
+    )

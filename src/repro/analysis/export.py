@@ -58,6 +58,7 @@ def record_to_dict(record: ProbeRecord) -> dict[str, Any]:
     # Tuples become lists in JSON; normalise provider_status rows.
     data["provider_status"] = [list(row) for row in record.provider_status]
     data["inconclusive_steps"] = list(record.inconclusive_steps)
+    data["evasion_status"] = [list(row) for row in record.evasion_status]
     return data
 
 
@@ -73,6 +74,11 @@ def record_from_dict(data: dict[str, Any]) -> ProbeRecord:
     # Absent in pre-impairment exports: default to "no step degraded".
     payload["inconclusive_steps"] = tuple(
         str(step) for step in payload.get("inconclusive_steps", ())
+    )
+    # Absent in pre-evasion exports: default to "evasion never ran".
+    payload["evasion_status"] = tuple(
+        (str(provider), str(outcome))
+        for provider, outcome in payload.get("evasion_status", [])
     )
     return ProbeRecord(**payload)
 
@@ -103,6 +109,10 @@ def config_to_dict(config: StudyConfig) -> dict[str, Any]:
                 **dataclasses.asdict(config.retry),
             }
         ),
+        # The evasion axis changes *what* is measured, so unlike
+        # workers/engine it belongs in exports and store fingerprints.
+        "transport": config.transport,
+        "evasion": config.evasion,
     }
 
 
@@ -130,6 +140,8 @@ def config_from_dict(data: dict[str, Any]) -> StudyConfig:
         impairment=None if impairment is None else LinkProfile(**impairment),
         impairment_seed=int(data.get("impairment_seed", 0)),
         retry=retry_policy,
+        transport=str(data.get("transport", "udp53")),
+        evasion=bool(data.get("evasion", False)),
     )
 
 

@@ -18,7 +18,10 @@ from .geo import (
 from .measurement import (
     DEFAULT_TIMEOUT_MS,
     DnsExchangeResult,
+    DohExchangeResult,
+    DoqExchangeResult,
     DotExchangeResult,
+    EncryptedExchangeResult,
     ExchangeResult,
     ExchangeStatus,
     MeasurementClient,
@@ -47,6 +50,14 @@ from .scenario import (
     build_scenario,
     resolver_software,
 )
+from .transport import (
+    ENCRYPTED_TRANSPORTS,
+    TRANSPORTS,
+    doh_exchange,
+    doq_exchange,
+    resolve,
+    udp53_exchange,
+)
 
 __all__ = [
     "Campaign",
@@ -59,12 +70,21 @@ __all__ = [
     "organization_by_name",
     "DEFAULT_TIMEOUT_MS",
     "DnsExchangeResult",
+    "DohExchangeResult",
+    "DoqExchangeResult",
     "DotExchangeResult",
+    "EncryptedExchangeResult",
     "ExchangeResult",
     "ExchangeStatus",
     "dot_exchange",
     "MeasurementClient",
     "dns_exchange",
+    "ENCRYPTED_TRANSPORTS",
+    "TRANSPORTS",
+    "resolve",
+    "doh_exchange",
+    "doq_exchange",
+    "udp53_exchange",
     "CPE_TRUE_SOFTWARE",
     "PROVIDERS",
     "PopulationConfig",

@@ -7,24 +7,25 @@ claimed source must be the queried address, the port must match, and the
 DNS message id must echo — which is exactly why interceptors *must*
 spoof sources to stay transparent (§2).
 
-Both transports (UDP port 53 and DNS-over-TLS port 853) return the same
-shape: a :class:`DnsExchangeResult` / :class:`DotExchangeResult` sharing
-the :class:`ExchangeResult` base (status, rcode, txt_answer, rtt_ms,
-attempts), so callers and metrics hooks never special-case the
-transport. Every exchange also reports into the network's metrics
-registry (:mod:`repro.core.metrics`): queries sent, retransmissions,
-rejected datagrams and per-transmission RTTs.
+Every transport returns the same shape: a subclass of
+:class:`ExchangeResult` (status, rcode, txt_answer, rtt_ms, attempts),
+so callers and metrics hooks never special-case the transport. The
+transport implementations live in the :mod:`repro.atlas.transport`
+registry; this module owns the result shapes, the metrics hook, the
+:class:`MeasurementClient`, and the deprecated ``dns_exchange`` /
+``dot_exchange`` wrappers around the registry.
 """
 
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.dnswire import DNS_PORT, Message, decode_or_none
+from repro.dnswire import Message
 from repro.net import Host, Network
-from repro.net.addr import IPAddress, parse_ip
+from repro.net.addr import IPAddress
 from repro.net.node import ReceivedDatagram, ReceivedIcmp
 from repro.net.packet import DEFAULT_TTL
 
@@ -39,8 +40,9 @@ class ExchangeStatus(enum.Enum):
 
     ANSWERED = "answered"
     TIMEOUT = "timeout"
-    #: Strict-profile DoT only: bytes arrived but the authenticated
-    #: server identity was wrong, so the client refused the session.
+    #: Strict-profile encrypted transports only: bytes arrived but the
+    #: authenticated server identity was wrong, so the client refused
+    #: the session.
     IDENTITY_REJECTED = "identity-rejected"
 
 
@@ -50,7 +52,7 @@ class ExchangeResult:
 
     The unified surface is ``status`` / ``rcode`` / ``txt_answer()`` /
     ``rtt_ms`` / ``attempts``; transport-specific detail lives on the
-    :class:`DnsExchangeResult` and :class:`DotExchangeResult`
+    :class:`DnsExchangeResult` and :class:`EncryptedExchangeResult`
     subclasses. ``timed_out`` is kept as a deprecated read-only alias of
     ``status is ExchangeStatus.TIMEOUT``.
     """
@@ -61,7 +63,7 @@ class ExchangeResult:
     response: Optional[Message] = None
     rtt_ms: Optional[float] = None
     #: Transmissions performed (1 + retransmissions for UDP; always 1
-    #: for DoT, which rides the session's reliability instead).
+    #: for encrypted transports, which ride the session's reliability).
     attempts: int = 1
     status: ExchangeStatus = ExchangeStatus.TIMEOUT
 
@@ -115,14 +117,15 @@ class DnsExchangeResult(ExchangeResult):
 
 
 @dataclass
-class DotExchangeResult(ExchangeResult):
-    """DNS-over-TLS exchange outcome: the shared shape plus identity.
+class EncryptedExchangeResult(ExchangeResult):
+    """Encrypted-session exchange outcome: the shared shape plus identity.
 
-    ``strict`` clients (the RFC 7858 strict privacy profile) reject any
-    session whose authenticated identity differs from the one they
-    dialed; ``response`` is then None even though bytes arrived —
-    ``status`` is ``IDENTITY_REJECTED`` (the deprecated
-    ``identity_rejected`` alias mirrors it).
+    Common to DoT, DoH and DoQ. ``strict`` clients (the RFC 7858 strict
+    privacy profile and its DoH/DoQ analogues) reject any session whose
+    authenticated identity differs from the one they dialed;
+    ``response`` is then None even though bytes arrived — ``status`` is
+    ``IDENTITY_REJECTED`` (the deprecated ``identity_rejected`` alias
+    mirrors it).
     """
 
     expected_identity: str = ""
@@ -139,6 +142,29 @@ class DotExchangeResult(ExchangeResult):
         if self.observed_identity is None:
             return None
         return self.observed_identity == self.expected_identity
+
+
+@dataclass
+class DotExchangeResult(EncryptedExchangeResult):
+    """DNS-over-TLS exchange outcome (the common encrypted shape)."""
+
+
+@dataclass
+class DohExchangeResult(EncryptedExchangeResult):
+    """DNS-over-HTTPS exchange outcome: encrypted shape plus HTTP detail."""
+
+    #: RFC 8484 wire shape used for the request ("GET" or "POST").
+    method: str = "POST"
+    #: HTTP status of the last response frame seen, if any arrived.
+    http_status: Optional[int] = None
+
+
+@dataclass
+class DoqExchangeResult(EncryptedExchangeResult):
+    """DNS-over-QUIC exchange outcome: encrypted shape plus stream id."""
+
+    #: QUIC stream the query ran on (always 0: fresh connection per query).
+    stream_id: int = 0
 
 
 def _record_exchange(network: Network, result: ExchangeResult) -> None:
@@ -178,99 +204,27 @@ def dns_exchange(
     retry_interval_ms: float = 1000.0,
     retry_policy: Optional[RetryPolicy] = None,
 ) -> DnsExchangeResult:
-    """Send ``query`` to ``destination`` and collect the outcome.
+    """Deprecated: use :func:`repro.atlas.transport.resolve` (or
+    :func:`repro.atlas.transport.udp53_exchange`) instead."""
+    warnings.warn(
+        "dns_exchange() is deprecated; use repro.atlas.transport.resolve("
+        "client, query, destination, transport='udp53') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .transport import udp53_exchange
 
-    Runs the simulated network forward until the timeout. All datagrams
-    arriving at the ephemeral port are validated: claimed source must be
-    ``destination`` and the message id must match. ICMP errors quoting
-    this probe's packets are gathered for TTL analysis.
-
-    Retransmissions (same message id, same socket) are governed by
-    ``retry_policy`` — any :class:`~repro.atlas.retry.RetryPolicy`, e.g.
-    exponential backoff with jitter for chaos studies. The legacy
-    ``retries`` / ``retry_interval_ms`` pair builds the equivalent
-    :class:`~repro.atlas.retry.FixedIntervalRetry` and remains the
-    default spelling. Whatever the policy, the overall ``timeout_ms``
-    budget covers all attempts and no retransmission is sent at or past
-    the deadline.
-    """
     if retry_policy is None:
         retry_policy = FixedIntervalRetry(retries=retries, interval_ms=retry_interval_ms)
-    delays = retry_policy.delays_ms(query.msg_id)
-    destination = parse_ip(destination)
-    result = DnsExchangeResult(query=query, destination=destination)
-    sock = host.open_socket()
-    icmp_mark = len(host.icmp_inbox)
-
-    send_times: list[float] = []
-
-    def classify(datagrams: "list[ReceivedDatagram]") -> None:
-        for datagram in datagrams:
-            message = decode_or_none(datagram.payload)
-            if (
-                message is None
-                or not message.is_response
-                or message.msg_id != query.msg_id
-                or datagram.src != destination
-                or datagram.sport != DNS_PORT
-            ):
-                result.rejected.append(datagram)
-                continue
-            result.accepted.append(message)
-            if result.response is None:
-                result.response = message
-                # RTT against the transmission this answer responds to:
-                # the most recent send at or before its arrival, not the
-                # first one — an answer to the Nth retransmission must
-                # not be inflated by N retry intervals.
-                earlier = [t for t in send_times if t <= datagram.time]
-                sent_at = earlier[-1] if earlier else send_times[0]
-                result.rtt_ms = datagram.time - sent_at
-                result.status = ExchangeStatus.ANSWERED
-
-    try:
-        send_times.append(network.now)
-        sock.sendto(query.encode(), destination, DNS_PORT, ttl=ttl)
-        deadline = send_times[0] + timeout_ms
-        retry_index = 0
-        next_retry = send_times[0] + delays[0] if delays else deadline
-        while True:
-            pending = retry_index < len(delays)
-            # A retransmission scheduled at or past the deadline never
-            # goes out: the horizon min() stops the clock at the
-            # deadline first and the loop exits on the budget check.
-            horizon = min(deadline, next_retry) if pending else deadline
-            network.run(until=horizon)
-            # Validate what arrived *before* deciding whether to keep
-            # retrying: a rejected datagram (wrong source/port/id — the
-            # off-path junk validation exists to discard) must not
-            # cancel the remaining retransmissions.
-            classify(sock.drain())
-            if result.accepted:
-                break
-            if network.now >= deadline or not pending:
-                break
-            send_times.append(network.now)
-            sock.sendto(query.encode(), destination, DNS_PORT, ttl=ttl)
-            retry_index += 1
-            if retry_index < len(delays):
-                next_retry = network.now + delays[retry_index]
-        result.attempts = len(send_times)
-        result.icmp = [
-            icmp
-            for icmp in host.icmp_inbox[icmp_mark:]
-            if icmp.quoted is not None
-            and icmp.quoted.udp is not None
-            and icmp.quoted.udp.sport == sock.port
-        ]
-    finally:
-        sock.close()
-    if result.rejected and network.metrics.enabled:
-        network.metrics.inc("exchange.rejected_datagrams", len(result.rejected))
-    if result.replicated:
-        network.metrics.inc("exchange.replicated")
-    _record_exchange(network, result)
-    return result
+    return udp53_exchange(
+        network,
+        host,
+        destination,
+        query,
+        timeout_ms=timeout_ms,
+        ttl=ttl,
+        retry=retry_policy,
+    )
 
 
 def dot_exchange(
@@ -282,64 +236,32 @@ def dot_exchange(
     strict: bool = True,
     timeout_ms: float = DEFAULT_TIMEOUT_MS,
 ) -> DotExchangeResult:
-    """Send ``query`` over (abstracted) DNS-over-TLS to port 853.
+    """Deprecated: use :func:`repro.atlas.transport.resolve` (or
+    :func:`repro.atlas.transport.dot_exchange`) instead."""
+    warnings.warn(
+        "dot_exchange() is deprecated; use repro.atlas.transport.resolve("
+        "client, query, destination, transport='dot') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .transport import dot_exchange as modern_dot_exchange
 
-    The strict profile validates the server identity against
-    ``expected_identity``; the opportunistic profile accepts any
-    identity — which is precisely why it remains interceptable (§6).
-    """
-    from repro.net.dot import DOT_PORT, unwrap_dot, wrap_dot
-
-    destination = parse_ip(destination)
-    result = DotExchangeResult(
-        query=query,
-        destination=destination,
-        transport="dot",
+    return modern_dot_exchange(
+        network,
+        host,
+        destination,
+        query,
         expected_identity=expected_identity,
         strict=strict,
+        timeout_ms=timeout_ms,
     )
-    sock = host.open_socket()
-    rejected_session = False
-    try:
-        sent_at = network.now
-        # The client->server frame carries no server identity (that is
-        # established by the server's certificate on the way back).
-        sock.sendto(wrap_dot(query.encode(), ""), destination, DOT_PORT)
-        network.run(until=sent_at + timeout_ms)
-        for datagram in sock.drain():
-            if datagram.src != destination or datagram.sport != DOT_PORT:
-                continue
-            frame = unwrap_dot(datagram.payload)
-            if frame is None:
-                continue
-            message = decode_or_none(frame.dns_payload)
-            if message is None or message.msg_id != query.msg_id:
-                continue
-            result.observed_identity = frame.server_identity
-            if strict and frame.server_identity != expected_identity:
-                rejected_session = True
-                continue
-            if result.response is None:
-                result.response = message
-                result.rtt_ms = datagram.time - sent_at
-    finally:
-        sock.close()
-    # A rejected session dominates: a strict client that refused the
-    # interceptor's certificate reports the hijack attempt even if the
-    # genuine answer also slipped through.
-    if rejected_session:
-        result.status = ExchangeStatus.IDENTITY_REJECTED
-    elif result.response is not None:
-        result.status = ExchangeStatus.ANSWERED
-    _record_exchange(network, result)
-    return result
 
 
 @dataclass
 class MeasurementClient:
     """Convenience wrapper binding a network and a probe host.
 
-    ``retry_policy`` applies stub-style retransmission to every
+    ``retry_policy`` applies stub-style retransmission to every UDP
     exchange — set it when measuring over lossy or impaired paths. The
     legacy ``retries`` / ``retry_interval_ms`` pair still works and
     builds a fixed-interval policy.
@@ -352,6 +274,33 @@ class MeasurementClient:
     retry_interval_ms: float = 1000.0
     retry_policy: Optional[RetryPolicy] = None
 
+    def effective_retry_policy(self) -> Optional[RetryPolicy]:
+        """The retry policy ``resolve()`` applies by default."""
+        if self.retry_policy is not None:
+            return self.retry_policy
+        if self.retries:
+            return FixedIntervalRetry(
+                retries=self.retries, interval_ms=self.retry_interval_ms
+            )
+        return None
+
+    def resolve(
+        self,
+        query: Message,
+        destination: "str | IPAddress",
+        transport: str = "udp53",
+        **options,
+    ) -> ExchangeResult:
+        """Resolve over any registered transport — the unified surface.
+
+        Delegates to :func:`repro.atlas.transport.resolve`; see there
+        for the per-transport options (``retry``, ``expected_identity``,
+        ``strict``, ``method``, ``ttl``, ``timeout_ms``).
+        """
+        from .transport import resolve
+
+        return resolve(self, query, destination, transport, **options)
+
     def exchange(
         self,
         destination: "str | IPAddress",
@@ -359,16 +308,16 @@ class MeasurementClient:
         ttl: int = DEFAULT_TTL,
         timeout_ms: Optional[float] = None,
     ) -> DnsExchangeResult:
-        return dns_exchange(
+        from .transport import udp53_exchange
+
+        return udp53_exchange(
             self.network,
             self.host,
             destination,
             query,
             timeout_ms=timeout_ms if timeout_ms is not None else self.timeout_ms,
             ttl=ttl,
-            retries=self.retries,
-            retry_interval_ms=self.retry_interval_ms,
-            retry_policy=self.retry_policy,
+            retry=self.effective_retry_policy(),
         )
 
     def can_reach_family(self, family: int) -> bool:
@@ -382,12 +331,14 @@ class MeasurementClient:
         strict: bool = True,
         timeout_ms: Optional[float] = None,
     ) -> DotExchangeResult:
-        return dot_exchange(
+        from .transport import dot_exchange as modern_dot_exchange
+
+        return modern_dot_exchange(
             self.network,
             self.host,
             destination,
             query,
-            expected_identity,
+            expected_identity=expected_identity,
             strict=strict,
             timeout_ms=timeout_ms if timeout_ms is not None else self.timeout_ms,
         )

@@ -33,6 +33,11 @@ from repro.cpe.firmware import (
     open_wan_forwarder,
     pihole_profile,
 )
+from repro.interceptors.encrypted import (
+    EncryptedAction,
+    EncryptedDnsPolicy,
+    downgrade_all,
+)
 from repro.interceptors.policy import (
     InterceptMode,
     InterceptionPolicy,
@@ -105,6 +110,14 @@ class PopulationConfig:
     #: those, fraction with WAN port 53 open (the Appendix A confounder).
     honest_forwarder_share: float = 0.35
     honest_wan_open_share: float = 0.05
+    #: Encrypted-DNS postures of middlebox interceptors: the fraction
+    #: that firewall port 853 (DoT+DoQ blocked, DoH hides in HTTPS) and
+    #: the fraction that terminate-and-downgrade all three transports;
+    #: the rest have no opinion and pass encrypted sessions through.
+    #: Sampled from a dedicated RNG stream so the plaintext fleet stays
+    #: byte-identical to pre-encrypted-workload exports.
+    middlebox_encrypted_block_share: float = 0.35
+    middlebox_encrypted_downgrade_share: float = 0.25
 
 
 #: version.bind software mix for the 47 true CPE interceptors. Together
@@ -408,6 +421,60 @@ class PopulationGenerator:
             drafts.append(_Draft(organization=org, firmware=firmware, note="honest"))
         return drafts
 
+    # -- encrypted-DNS postures ----------------------------------------------------
+
+    def _assign_encrypted_postures(self, drafts: "list[_Draft]") -> None:
+        """Give every interceptor draft an encrypted-DNS personality.
+
+        CPE postures follow the firmware model deterministically (an
+        XB6 downgrades like its plaintext bug, a pi-hole blocklists the
+        public-resolver SNIs, a plain DNAT box firewalls port 853);
+        middlebox postures are sampled. The sampling uses its own
+        :class:`random.Random` — consuming the generator's main stream
+        here would reshuffle every downstream draw and silently change
+        the plaintext fleet this generator is calibrated to produce.
+        """
+        import dataclasses
+
+        cfg = self.config
+        enc_rng = random.Random(cfg.seed * 48947 + 853)
+        port_block = EncryptedDnsPolicy(
+            dot=EncryptedAction.BLOCK, doq=EncryptedAction.BLOCK
+        )
+        for draft in drafts:
+            if draft.note == "cpe":
+                firmware = draft.firmware
+                if firmware.model == "XB6":
+                    posture = downgrade_all()
+                elif firmware.model == "pi-hole":
+                    posture = pihole_profile().encrypted_dns
+                else:
+                    posture = dnat_interceptor().encrypted_dns
+                draft.firmware = dataclasses.replace(
+                    firmware, encrypted_dns=posture
+                )
+                continue
+            if not (draft.middlebox_policies or draft.external_policies):
+                continue
+            roll = enc_rng.random()
+            if roll < cfg.middlebox_encrypted_block_share:
+                posture = port_block
+            elif roll < (
+                cfg.middlebox_encrypted_block_share
+                + cfg.middlebox_encrypted_downgrade_share
+            ):
+                posture = downgrade_all()
+            else:
+                continue  # no opinion: encrypted sessions pass through
+            draft.middlebox_policies = [
+                dataclasses.replace(policy, encrypted=posture)
+                for policy in draft.middlebox_policies
+            ]
+            draft.external_policies = [
+                dataclasses.replace(policy, encrypted=posture)
+                for policy in draft.external_policies
+            ]
+
     # -- assembly ------------------------------------------------------------------
 
     def generate(self) -> list[ProbeSpec]:
@@ -419,6 +486,7 @@ class PopulationGenerator:
             + self._draft_external()
         )
         self._add_v6_interception(drafts)
+        self._assign_encrypted_postures(drafts)
         honest_needed = max(0, cfg.size - len(drafts))
         drafts += self._draft_honest(honest_needed)
         self.rng.shuffle(drafts)

@@ -273,6 +273,7 @@ def build_scenario(
         wan_port53_open=spec.firmware.wan_port53_open,
         model=spec.firmware.model,
         asn=org.asn,
+        encrypted_dns=spec.firmware.encrypted_dns,
     )
     if spec.firmware.intercepts_v4:
         cpe.enable_interception(family=4)
@@ -565,6 +566,7 @@ def reset_scenario(scenario: Scenario, sspec: ScenarioSpec) -> Scenario:
     cpe.nat = NatTable(wan_v4=wan_v4)
     if cpe.forwarder is not None:
         cpe.forwarder.reset()
+    cpe.encrypted.reset()
     if old_lan_v6 is not None:
         cpe.routes.remove(str(old_lan_v6))
     cpe.lan_v6_prefix = home_v6 if spec.has_ipv6 else None
@@ -596,6 +598,8 @@ def reset_scenario(scenario: Scenario, sspec: ScenarioSpec) -> Scenario:
             node.queries_seen = 0
         elif isinstance(node, _Middlebox):
             node._flows.clear()
+            node._encrypted_flows.clear()
+            node._doq_streams.clear()
             node.intercepted_queries = 0
 
     net.rebuild_address_index()
@@ -622,7 +626,8 @@ class ScenarioCache:
         self.misses = 0
         #: Probe-dedup memo used by :func:`repro.core.parallel.measure_shard`
         #: (fast engine, clean links, metrics off): records keyed by
-        #: ``(signature, responds_v4, responds_v6, online, run_transparency)``.
+        #: ``(signature, responds_v4, responds_v6, online, run_transparency,
+    #: transport, evasion)``.
         #: It lives here because its lifetime must match the cache's — one
         #: per worker or per serial run, never shared across configs.
         self.record_memo: dict = {}

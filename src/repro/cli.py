@@ -57,9 +57,9 @@ from repro.atlas.probe import IspBehavior, ProbeSpec
 from repro.atlas.retry import ExponentialBackoffRetry
 from repro.atlas.scenario import ScenarioSpec, build_scenario
 from repro.core.catalog import location_query_table
-from repro.core.dot_probe import DotProfile, detect_dot_provider
+from repro.core.encrypted_probe import EncryptedProfile, detect_encrypted_provider
 from repro.core.metrics import TRACE_LEVELS
-from repro.core.study import StudyConfig, run_pilot_study
+from repro.core.study import STUDY_TRANSPORTS, StudyConfig, run_pilot_study
 from repro.net.impairment import IMPAIRMENT_PROFILES, impairment_profile
 from repro.core.ttl_probe import ttl_probe
 from repro.cpe.firmware import (
@@ -259,6 +259,20 @@ def cmd_study(args: argparse.Namespace) -> int:
     if args.chaos_trials and not args.impair:
         print("--chaos-trials requires --impair", file=sys.stderr)
         return 2
+    if args.evasion and args.transport == "udp53":
+        print(
+            "--evasion needs an encrypted transport: add --transport "
+            "dot/doh/doq",
+            file=sys.stderr,
+        )
+        return 2
+    if args.transport != "udp53" and not args.evasion and not args.load:
+        print(
+            f"--transport {args.transport} without --evasion would measure "
+            "nothing; add --evasion",
+            file=sys.stderr,
+        )
+        return 2
     for flag, name in ((args.resume, "--resume"), (args.probe_budget, "--probe-budget")):
         if flag and not args.store:
             print(f"{name} requires --store", file=sys.stderr)
@@ -290,6 +304,8 @@ def cmd_study(args: argparse.Namespace) -> int:
             seed=args.seed,
             metrics=bool(args.metrics),
             trace=args.trace,
+            transport=args.transport,
+            evasion=args.evasion,
         )
         if args.chaos_trials:
             return _run_chaos_study(args, specs, config)
@@ -350,6 +366,14 @@ def cmd_study(args: argparse.Namespace) -> int:
     print(build_table5(study).render())
     print()
     print("Location summary:", build_location_summary(study).render())
+    has_evasion = (study.config is not None and study.config.evasion) or any(
+        record.evasion_transport is not None for record in study.records
+    )
+    if has_evasion:
+        from repro.analysis.evasion import build_evasion_table
+
+        print()
+        print(build_evasion_table(study).render())
     print()
     from repro.analysis.replication import build_replication_report
 
@@ -490,15 +514,17 @@ def cmd_dot(args: argparse.Namespace) -> int:
     rows = []
     for provider in Provider:
         statuses = []
-        for profile in (DotProfile.OPPORTUNISTIC, DotProfile.STRICT):
-            verdict = detect_dot_provider(client, provider, profile=profile, rng=rng)
+        for profile in (EncryptedProfile.OPPORTUNISTIC, EncryptedProfile.STRICT):
+            verdict = detect_encrypted_provider(
+                client, provider, transport=args.transport, profile=profile, rng=rng
+            )
             statuses.append(verdict.status.value)
         rows.append((provider.value, *statuses))
     print(
         render_table(
             ("Resolver", "opportunistic", "strict"),
             rows,
-            title="DoT location-query outcomes by privacy profile.",
+            title=f"{args.transport} location-query outcomes by privacy profile.",
         )
     )
     return 0
@@ -583,6 +609,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="retransmission budget per exchange under --impair "
         "(default: 5 when impaired, 0 otherwise)",
     )
+    study.add_argument(
+        "--transport",
+        choices=STUDY_TRANSPORTS,
+        default="udp53",
+        help="with --evasion: encrypted transport intercepted probes retry "
+        "their intercepted providers over (dot/doh/doq)",
+    )
+    study.add_argument(
+        "--evasion",
+        action="store_true",
+        help="run the encryption-evasion axis: after the plaintext locator, "
+        "retry intercepted providers over --transport (opportunistic "
+        "profile) and report evaded/blocked/downgraded per interceptor "
+        "location",
+    )
     study.add_argument("--save", metavar="PATH", help="write records as JSON")
     study.add_argument(
         "--load", metavar="PATH", help="analyse previously saved records"
@@ -663,8 +704,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ttl.set_defaults(handler=cmd_ttl)
 
-    dot = subparsers.add_parser("dot", help="the §6 DoT privacy-profile matrix")
+    dot = subparsers.add_parser(
+        "dot", help="the §6 encrypted-transport privacy-profile matrix"
+    )
     _add_household_arguments(dot)
+    dot.add_argument(
+        "--transport",
+        choices=("dot", "doh", "doq"),
+        default="dot",
+        help="encrypted transport to probe over (default: dot)",
+    )
     dot.set_defaults(handler=cmd_dot)
 
     return parser

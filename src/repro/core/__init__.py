@@ -39,13 +39,13 @@ from .transparency import (
     check_transparency,
 )
 from .classifier import InterceptionLocator, LocatorVerdict, ProbeClassification
-from .dot_probe import (
-    DotProfile,
-    DotReport,
-    DotStatus,
-    DotVerdict,
-    detect_dot_all,
-    detect_dot_provider,
+from .encrypted_probe import (
+    EncryptedProfile,
+    EncryptedReport,
+    EncryptedStatus,
+    EncryptedVerdict,
+    detect_encrypted_all,
+    detect_encrypted_provider,
 )
 from .baseline import (
     AuthoritativeObservation,
@@ -71,6 +71,28 @@ from .study import (
     measure_probe,
     run_pilot_study,
 )
+
+#: Deprecated DoT-specific names still reachable from the package; each
+#: access defers to :mod:`repro.core.dot_probe`, which warns.
+_DEPRECATED_DOT_NAMES = frozenset(
+    {
+        "DotProfile",
+        "DotReport",
+        "DotStatus",
+        "DotVerdict",
+        "detect_dot_all",
+        "detect_dot_provider",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_DOT_NAMES:
+        from . import dot_probe
+
+        return getattr(dot_probe, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "LOCATION_QUERIES",
@@ -103,6 +125,12 @@ __all__ = [
     "TransparencyResult",
     "WhoamiObservation",
     "check_transparency",
+    "EncryptedProfile",
+    "EncryptedReport",
+    "EncryptedStatus",
+    "EncryptedVerdict",
+    "detect_encrypted_all",
+    "detect_encrypted_provider",
     "DotProfile",
     "DotReport",
     "DotStatus",

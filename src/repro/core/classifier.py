@@ -23,9 +23,17 @@ from typing import Optional
 
 from repro.atlas.measurement import ExchangeStatus, MeasurementClient
 from repro.net.addr import IPAddress
+from repro.resolvers.public import Provider
 
 from .cpe_check import CpeCheckResult, check_cpe
 from .detector import DetectionReport, InterceptionStatus, detect_all
+from .encrypted_probe import (
+    EncryptedProfile,
+    EncryptedVerdict,
+    EvasionOutcome,
+    detect_encrypted_provider,
+    evasion_outcome_of,
+)
 from .isp_check import IspCheckResult, check_isp
 from .metrics import active_registry
 from .transparency import ProbeTransparency, TransparencyResult, check_transparency
@@ -69,6 +77,12 @@ class ProbeClassification:
     transparency: Optional[TransparencyResult] = None
     #: Per-step outcome; steps that never ran are absent.
     step_outcomes: dict[str, StepOutcome] = field(default_factory=dict)
+    #: Encrypted transport the evasion study retried over (None when the
+    #: study ran plaintext-only).
+    evasion_transport: Optional[str] = None
+    #: Opportunistic-profile encrypted verdicts, one per intercepted
+    #: provider of the analysis family; empty when evasion did not run.
+    evasion: dict[Provider, EncryptedVerdict] = field(default_factory=dict)
 
     @property
     def intercepted(self) -> bool:
@@ -102,6 +116,13 @@ class ProbeClassification:
             return None
         return self.cpe_check.cpe_version
 
+    def evasion_outcomes(self) -> dict[Provider, "EvasionOutcome"]:
+        """Per-provider evasion outcome (empty when evasion did not run)."""
+        return {
+            provider: evasion_outcome_of(verdict)
+            for provider, verdict in self.evasion.items()
+        }
+
 
 class InterceptionLocator:
     """Runs the pipeline for one probe.
@@ -122,6 +143,7 @@ class InterceptionLocator:
         run_transparency: bool = True,
         both_addresses: bool = True,
         skip=None,
+        evasion_transport: Optional[str] = None,
     ) -> None:
         self.client = client
         self.cpe_public = {4: cpe_public_v4, 6: cpe_public_v6}
@@ -130,6 +152,10 @@ class InterceptionLocator:
         self.run_transparency = run_transparency
         self.both_addresses = both_addresses
         self.skip = skip
+        #: When set (``"dot"``/``"doh"``/``"doq"``), every intercepted
+        #: probe retries its intercepted providers over this transport
+        #: in the opportunistic profile — the encryption-evasion study.
+        self.evasion_transport = evasion_transport
 
     def classify(self) -> ProbeClassification:
         metrics = active_registry()
@@ -220,6 +246,24 @@ class InterceptionLocator:
                     self.client, intercepted, family=family, rng=self.rng
                 )
             metrics.inc("locator.transparency.ran")
+
+        # Evasion: retry the intercepted providers over the encrypted
+        # transport, opportunistic profile (see ``evasion_transport``).
+        if self.evasion_transport is not None:
+            result.evasion_transport = self.evasion_transport
+            with metrics.timer("locator.wall_ms.evasion"):
+                for provider in intercepted:
+                    result.evasion[provider] = detect_encrypted_provider(
+                        self.client,
+                        provider,
+                        transport=self.evasion_transport,
+                        profile=EncryptedProfile.OPPORTUNISTIC,
+                        family=family,
+                        rng=self.rng,
+                    )
+            metrics.inc("locator.evasion.ran")
+            for outcome in result.evasion_outcomes().values():
+                metrics.inc("locator.evasion." + outcome.value)
         metrics.inc("locator.verdict." + result.verdict.value)
         return result
 

@@ -1,128 +1,42 @@
-"""DoT interception detection — the paper's second §6 future-work item.
+"""Deprecated: DoT-specific spellings of :mod:`repro.core.encrypted_probe`.
 
-"While our approach should theoretically detect DNS interception in DNS
-over TLS (DoT), we did not evaluate it on RIPE Atlas. [...] the
-'opportunistic privacy profile' of DoT disables client certificate
-validation, so this configuration could allow interception."
-
-This module runs the Step-1 location-query check over (abstracted) DoT
-in both privacy profiles and classifies the outcome:
-
-- ``NOT_INTERCEPTED`` — standard-format answer from a session whose
-  certificate matches the target resolver;
-- ``INTERCEPTED`` — an answer arrived but is non-standard (only possible
-  when the client accepted a foreign certificate, i.e. the
-  opportunistic profile);
-- ``HIJACK_DEFEATED`` — strict profile only: bytes arrived but the
-  certificate identity was wrong, so the client rejected the session.
-  Interception was *attempted and blocked* — the detection signal the
-  strict profile gives for free;
-- ``NO_RESPONSE`` — nothing came back (port 853 filtered or dropped).
+The DoT-only detector grew into a transport-generic one when DoH and
+DoQ joined the workload. Every name here is an alias for its
+``Encrypted*`` counterpart (whose default transport is already
+``"dot"``); importing any of them emits a :class:`DeprecationWarning`
+once per access and then behaves exactly as before.
 """
 
 from __future__ import annotations
 
-import enum
-import random
-from dataclasses import dataclass, field
-from typing import Optional
+import warnings
 
-from repro.atlas.measurement import DotExchangeResult, ExchangeStatus, MeasurementClient
-from repro.resolvers.public import PROVIDER_TLS_IDENTITIES, Provider
+from . import encrypted_probe as _generic
 
-from .catalog import LOCATION_QUERIES, PROVIDER_ORDER, provider_addresses
-from .matchers import match_location_response
+#: Old DoT-specific name -> generic replacement. The classes are the
+#: *same objects*, so isinstance checks and equality across the old and
+#: new spellings keep working.
+_ALIASES = {
+    "DotProfile": _generic.EncryptedProfile,
+    "DotStatus": _generic.EncryptedStatus,
+    "DotVerdict": _generic.EncryptedVerdict,
+    "DotReport": _generic.EncryptedReport,
+    "detect_dot_provider": _generic.detect_encrypted_provider,
+    "detect_dot_all": _generic.detect_encrypted_all,
+}
 
-
-class DotProfile(enum.Enum):
-    """RFC 7858 privacy profiles."""
-
-    STRICT = "strict"
-    OPPORTUNISTIC = "opportunistic"
-
-
-class DotStatus(enum.Enum):
-    NOT_INTERCEPTED = "not-intercepted"
-    INTERCEPTED = "intercepted"
-    HIJACK_DEFEATED = "hijack-defeated"
-    NO_RESPONSE = "no-response"
+__all__ = list(_ALIASES)
 
 
-@dataclass
-class DotVerdict:
-    """DoT Step-1 outcome for one (provider, profile)."""
-
-    provider: Provider
-    profile: DotProfile
-    exchange: Optional[DotExchangeResult] = None
-
-    @property
-    def status(self) -> DotStatus:
-        exchange = self.exchange
-        if exchange is None or exchange.status is ExchangeStatus.TIMEOUT:
-            return DotStatus.NO_RESPONSE
-        if exchange.status is ExchangeStatus.IDENTITY_REJECTED:
-            return DotStatus.HIJACK_DEFEATED
-        if exchange.response is None:
-            return DotStatus.NO_RESPONSE
-        match = match_location_response(self.provider, exchange.response)
-        if match.standard and exchange.identity_ok:
-            return DotStatus.NOT_INTERCEPTED
-        return DotStatus.INTERCEPTED
-
-
-def detect_dot_provider(
-    client: MeasurementClient,
-    provider: Provider,
-    profile: DotProfile = DotProfile.STRICT,
-    family: int = 4,
-    rng: Optional[random.Random] = None,
-) -> DotVerdict:
-    """Issue the provider's location query over DoT in the given profile."""
-    spec = LOCATION_QUERIES[provider]
-    address = provider_addresses(provider, family)[0]
-    exchange = client.dot(
-        address,
-        spec.build_query(rng=rng),
-        expected_identity=PROVIDER_TLS_IDENTITIES[provider],
-        strict=profile is DotProfile.STRICT,
+def __getattr__(name: str):
+    replacement = _ALIASES.get(name)
+    if replacement is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    warnings.warn(
+        f"repro.core.dot_probe.{name} is deprecated; use "
+        f"repro.core.encrypted_probe.{replacement.__name__} "
+        "(transport='dot') instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return DotVerdict(provider=provider, profile=profile, exchange=exchange)
-
-
-@dataclass
-class DotReport:
-    """Both-profile DoT verdicts across all providers."""
-
-    verdicts: dict[tuple[Provider, DotProfile], DotVerdict] = field(
-        default_factory=dict
-    )
-
-    def status_of(self, provider: Provider, profile: DotProfile) -> DotStatus:
-        verdict = self.verdicts.get((provider, profile))
-        return verdict.status if verdict else DotStatus.NO_RESPONSE
-
-    def any_intercepted(self) -> bool:
-        return any(
-            v.status is DotStatus.INTERCEPTED for v in self.verdicts.values()
-        )
-
-    def any_hijack_defeated(self) -> bool:
-        return any(
-            v.status is DotStatus.HIJACK_DEFEATED for v in self.verdicts.values()
-        )
-
-
-def detect_dot_all(
-    client: MeasurementClient,
-    profiles: tuple[DotProfile, ...] = (DotProfile.STRICT, DotProfile.OPPORTUNISTIC),
-    family: int = 4,
-    rng: Optional[random.Random] = None,
-) -> DotReport:
-    report = DotReport()
-    for profile in profiles:
-        for provider in PROVIDER_ORDER:
-            report.verdicts[(provider, profile)] = detect_dot_provider(
-                client, provider, profile=profile, family=family, rng=rng
-            )
-    return report
+    return replacement

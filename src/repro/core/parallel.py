@@ -182,6 +182,8 @@ def measure_shard(
     impairment_seed = config.impairment_seed if config is not None else 0
     retry = config.retry if config is not None else None
     engine = config.engine if config is not None else "fast"
+    transport = config.transport if config is not None else "udp53"
+    evasion = config.evasion if config is not None else False
     registry = active_registry()
     # Dedup is only sound when nothing per-probe beyond the memo key can
     # influence the record: impairment streams and retry jitter are
@@ -211,6 +213,8 @@ def measure_shard(
                     spec.responds_v6,
                     spec.online,
                     run_transparency,
+                    transport,
+                    evasion,
                 )
                 cached = memo.get(key)
                 if cached is not None:
@@ -245,6 +249,8 @@ def measure_shard(
             retry=retry,
             engine=engine,
             scenario_cache=scenario_cache,
+            transport=transport,
+            evasion=evasion,
         )
         record = classification_to_record(spec, classification)
         if key is not None:

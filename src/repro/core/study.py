@@ -28,8 +28,13 @@ from repro.resolvers.public import Provider
 
 from .classifier import InterceptionLocator, LocatorVerdict, ProbeClassification
 from .detector import InterceptionStatus
+from .encrypted_probe import EVASION_PRIORITY, evasion_outcome_of
 from .metrics import TRACE_LEVELS, MetricsSnapshot
 from .transparency import ProbeTransparency
+
+#: Transports a study may run: plaintext, or one encrypted transport
+#: for the evasion axis (the Do53 locator always runs regardless).
+STUDY_TRANSPORTS: tuple[str, ...] = ("udp53", "dot", "doh", "doq")
 
 
 @dataclass(frozen=True)
@@ -72,6 +77,17 @@ class StudyConfig:
         (like ``workers``, the engine changes *how*, never *what*, so
         it is excluded from store fingerprints and exports — resumed
         stores may mix segments from both engines).
+    ``transport`` / ``evasion``
+        The encryption-evasion study axis: ``transport`` names the
+        encrypted transport (``"dot"``, ``"doh"``, ``"doq"``) every
+        intercepted probe retries its intercepted providers over, in
+        the opportunistic profile, after the plaintext locator runs;
+        ``evasion`` switches the axis on. They travel together —
+        ``transport="udp53"`` (the default) means no evasion pass, and
+        naming an encrypted transport without ``evasion=True`` would
+        silently measure nothing, so both mismatches are rejected.
+        Unlike ``workers``/``engine`` these change *what* is measured,
+        so they are serialized into exports and store fingerprints.
     """
 
     workers: Optional[int] = 1
@@ -83,6 +99,8 @@ class StudyConfig:
     impairment_seed: int = 0
     retry: Optional[RetryPolicy] = None
     engine: str = "fast"
+    transport: str = "udp53"
+    evasion: bool = False
 
     def __post_init__(self) -> None:
         if self.trace not in TRACE_LEVELS:
@@ -90,6 +108,21 @@ class StudyConfig:
         if self.engine not in ("fast", "reference"):
             raise ValueError(
                 f'engine must be "fast" or "reference", got {self.engine!r}'
+            )
+        if self.transport not in STUDY_TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {STUDY_TRANSPORTS}, "
+                f"got {self.transport!r}"
+            )
+        if self.evasion and self.transport == "udp53":
+            raise ValueError(
+                "evasion=True needs an encrypted transport "
+                '(transport="dot"/"doh"/"doq")'
+            )
+        if not self.evasion and self.transport != "udp53":
+            raise ValueError(
+                f"transport={self.transport!r} without evasion=True would "
+                "measure nothing; pass evasion=True (or drop the transport)"
             )
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be >= 1 or None, got {self.workers}")
@@ -124,6 +157,16 @@ class ProbeRecord:
     #: runs and on pre-impairment exports.
     inconclusive_steps: tuple[str, ...] = ()
     true_location: str = InterceptorLocation.NONE.value
+    #: Encrypted transport the evasion pass ran over; None on plaintext
+    #: studies and on pre-evasion exports.
+    evasion_transport: Optional[str] = None
+    #: Per-provider evasion outcome, ``(provider value, outcome value)``
+    #: pairs over the intercepted providers of the analysis family.
+    evasion_status: tuple[tuple[str, str], ...] = ()
+    #: Aggregate evasion outcome (worst case wins: downgraded >
+    #: blocked > evaded); None when evasion did not run or the probe
+    #: was not intercepted.
+    evasion_outcome: Optional[str] = None
 
     # -- per-provider helpers ----------------------------------------------
 
@@ -213,6 +256,16 @@ def classification_to_record(
         replication = replication or any(
             p.exchange.replicated for p in verdict.probes
         )
+    evasion_status: tuple[tuple[str, str], ...] = ()
+    evasion_outcome: Optional[str] = None
+    if classification.evasion:
+        outcomes = classification.evasion_outcomes()
+        evasion_status = tuple(
+            sorted((p.value, o.value) for p, o in outcomes.items())
+        )
+        evasion_outcome = next(
+            o for o in EVASION_PRIORITY if o in outcomes.values()
+        ).value
     return ProbeRecord(
         probe_id=spec.probe_id,
         organization=spec.organization.name,
@@ -226,6 +279,9 @@ def classification_to_record(
         replication_seen=replication,
         inconclusive_steps=classification.inconclusive_steps,
         true_location=spec.true_location().value,
+        evasion_transport=classification.evasion_transport,
+        evasion_status=evasion_status,
+        evasion_outcome=evasion_outcome,
     )
 
 
@@ -239,6 +295,8 @@ def measure_probe(
     retry: Optional[RetryPolicy] = None,
     engine: str = "fast",
     scenario_cache=None,
+    transport: str = "udp53",
+    evasion: bool = False,
 ) -> Optional[ProbeClassification]:
     """Run the full pipeline for one probe; None when the probe is offline.
 
@@ -253,6 +311,11 @@ def measure_probe(
     ``scenario_cache`` (a :class:`~repro.atlas.scenario.ScenarioCache`)
     lets fleet executors reuse one topology across a shard; results are
     byte-identical with or without it.
+
+    ``transport``/``evasion`` mirror the :class:`StudyConfig` pair: with
+    ``evasion=True`` the locator retries every intercepted provider over
+    ``transport`` in the opportunistic profile after the plaintext
+    pipeline finishes.
     """
     if not spec.online:
         return None
@@ -287,6 +350,7 @@ def measure_probe(
         rng=rng,
         run_transparency=run_transparency,
         skip=skip,
+        evasion_transport=transport if evasion else None,
     )
     return locator.classify()
 

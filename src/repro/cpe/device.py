@@ -35,9 +35,13 @@ from repro.net import (
     udp53_dnat_rule,
 )
 from repro.net.addr import IPAddress, IPNetwork, parse_ip
+from repro.net.doh import DOH_PORT
+from repro.net.dot import DOT_PORT
 from repro.net.router import Router
+from repro.interceptors.encrypted import EncryptedDnsPolicy
 from repro.resolvers.software import ServerSoftware
 
+from .encrypted import DOWNGRADE_PORT, EncryptedDnsEngine
 from .forwarder import UPSTREAM_PORT, ForwarderEngine
 
 
@@ -81,6 +85,7 @@ class CpeDevice(Router):
         wan_port53_open: bool = False,
         model: str = "generic",
         asn: Optional[int] = None,
+        encrypted_dns: Optional[EncryptedDnsPolicy] = None,
     ) -> None:
         import ipaddress as _ip
 
@@ -111,6 +116,7 @@ class CpeDevice(Router):
         self.prerouting = Chain("PREROUTING")
         self.forwarder = forwarder
         self.wan_port53_open = wan_port53_open
+        self.encrypted = EncryptedDnsEngine(encrypted_dns)
 
         # LAN-side routes: home prefixes to the host, default upstream.
         self.routes.add(str(lan_v4_prefix), lan_host)
@@ -168,6 +174,12 @@ class CpeDevice(Router):
         this behaviour.
         """
         if packet.protocol is Protocol.UDP and self.is_from_lan(packet):
+            assert packet.udp is not None
+            if packet.udp.dport in (
+                DOT_PORT,
+                DOH_PORT,
+            ) and self.encrypted.handle_client_session(self, packet):
+                return
             verdict = self.prerouting.evaluate(packet)
             if verdict.action is Action.DROP:
                 self.trace("drop", packet, "firewall DROP")
@@ -233,6 +245,14 @@ class CpeDevice(Router):
             and packet.dst in (self.wan_v4, self.wan_v6)
         ):
             self.forwarder.handle_upstream_response(self, packet)
+            return
+
+        # 2b. Answers to the encrypted engine's downgraded relays.
+        if packet.udp.dport == DOWNGRADE_PORT and packet.dst in (
+            self.wan_v4,
+            self.wan_v6,
+        ):
+            self.encrypted.handle_upstream_response(self, packet)
             return
 
         # 3. DNS service on the CPE itself.

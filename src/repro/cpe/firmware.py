@@ -11,6 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.interceptors.encrypted import (
+    EncryptedAction,
+    EncryptedDnsPolicy,
+    PASS_THROUGH,
+    downgrade_all,
+)
 from repro.resolvers.software import (
     ChaosBehavior,
     ServerSoftware,
@@ -39,6 +45,12 @@ class FirmwareProfile:
     intercepts_v6: bool = False
     wan_port53_open: bool = False
     notes: str = ""
+    #: How this firmware treats encrypted DNS leaving the LAN (block /
+    #: downgrade-to-53 / pass-through, per protocol and optionally per
+    #: SNI). Part of the profile's identity: it feeds the scenario
+    #: signature through the frozen dataclass hash like every other
+    #: field, so two probes differing only here never share a scenario.
+    encrypted_dns: EncryptedDnsPolicy = PASS_THROUGH
 
     @property
     def is_interceptor(self) -> bool:
@@ -79,13 +91,23 @@ def dnat_interceptor(
     v4: bool = True,
     v6: bool = False,
 ) -> FirmwareProfile:
-    """A gateway whose PREROUTING chain hijacks port 53 to its forwarder."""
+    """A gateway whose PREROUTING chain hijacks port 53 to its forwarder.
+
+    Its encrypted-DNS posture matches its plaintext aggression within
+    its means: port 853 (DoT and DoQ) is firewalled outright, but DoH
+    shares port 443 with every other HTTPS flow, so it slips through —
+    the asymmetry that makes DoH the strongest evasion transport.
+    """
     return FirmwareProfile(
         model=model,
         software=software or dnsmasq("2.80"),
         intercepts_v4=v4,
         intercepts_v6=v6,
         notes="DNAT interception",
+        encrypted_dns=EncryptedDnsPolicy(
+            dot=EncryptedAction.BLOCK,
+            doq=EncryptedAction.BLOCK,
+        ),
     )
 
 
@@ -95,6 +117,12 @@ def xb6_profile(buggy: bool = True) -> FirmwareProfile:
     The XDNS filtering service is opt-in; ``buggy=True`` models the units
     the paper found redirecting *all* queries to the ISP resolver without
     user consent.
+
+    The buggy units also terminate encrypted transports and *downgrade*
+    them: the session ends on the gateway's own certificate and the
+    query is forced through the ISP resolver over plaintext — the XDNS
+    redirection applied one layer up. Only opportunistic-profile clients
+    accept the swap; strict profiles see the foreign identity.
     """
     return FirmwareProfile(
         model="XB6",
@@ -102,17 +130,41 @@ def xb6_profile(buggy: bool = True) -> FirmwareProfile:
         intercepts_v4=buggy,
         intercepts_v6=False,
         notes="RDK-B XDNS DNAT redirection bug" if buggy else "RDK-B XDNS (opt-in off)",
+        encrypted_dns=downgrade_all() if buggy else PASS_THROUGH,
     )
+
+
+#: Canonical public-resolver TLS names a DNS-filtering deployment
+#: blocklists to stop clients bypassing it over encrypted transports
+#: (the Mozilla-canary / known-DoH-endpoint blocklist pattern). Spelled
+#: out here rather than imported from :mod:`repro.resolvers.public` —
+#: a blocklist is curated by name, and drifting with the provider
+#: catalog would hide exactly the gaps such lists have in reality.
+PUBLIC_RESOLVER_SNIS: frozenset[str] = frozenset(
+    {"one.one.one.one", "dns.google", "dns.quad9.net", "dns.opendns.com"}
+)
 
 
 def pihole_profile(version: str = "2.81") -> FirmwareProfile:
     """A home network whose owner deliberately intercepts DNS with a
-    Pi-hole (the paper saw eight of these among the 49 CPE interceptors)."""
+    Pi-hole (the paper saw eight of these among the 49 CPE interceptors).
+
+    Owners who filter on purpose also stop the escape hatches — but by
+    *blocklist*, not by port: sessions dialing the canonical public
+    resolvers are blocked on every encrypted transport, while anything
+    off-list (a private DoH endpoint, say) passes untouched.
+    """
     return FirmwareProfile(
         model="pi-hole",
         software=pi_hole(version),
         intercepts_v4=True,
         notes="owner-installed ad blocking",
+        encrypted_dns=EncryptedDnsPolicy(
+            dot=EncryptedAction.BLOCK,
+            doh=EncryptedAction.BLOCK,
+            doq=EncryptedAction.BLOCK,
+            sni_targets=PUBLIC_RESOLVER_SNIS,
+        ),
     )
 
 

@@ -22,6 +22,7 @@ from typing import Optional
 from repro.net.addr import IPAddress, IPNetwork
 
 from .device import CpeDevice
+from .firmware import xb6_profile
 from .forwarder import ForwarderEngine
 from repro.resolvers.software import xdns
 
@@ -76,6 +77,11 @@ def build_xb6(
         wan_port53_open=False,
         model="XB6",
         asn=asn,
+        # Buggy XDNS units downgrade encrypted transports too: the
+        # session terminates on the gateway's certificate and the query
+        # is forced through the ISP resolver over plaintext (§5's DNAT
+        # redirection, applied one layer up).
+        encrypted_dns=xb6_profile(buggy=buggy).encrypted_dns,
     )
     if buggy:
         device.enable_interception(family=4)

@@ -6,6 +6,17 @@ block, drop, replicate; all resolvers, a subset, or all-but-one; IPv4,
 IPv6, or both.
 """
 
+from .encrypted import (
+    ENCRYPTED_PROTOCOLS,
+    EncryptedAction,
+    EncryptedDnsPolicy,
+    EncryptedQuery,
+    PASS_THROUGH,
+    block_all,
+    downgrade_all,
+    parse_encrypted_query,
+    wrap_encrypted_response,
+)
 from .middlebox import ExternalInterceptor, InterceptedFlow, MiddleboxRouter
 from .policy import (
     InterceptMode,
@@ -24,4 +35,13 @@ __all__ = [
     "allow_only",
     "intercept_all",
     "intercept_only",
+    "ENCRYPTED_PROTOCOLS",
+    "EncryptedAction",
+    "EncryptedDnsPolicy",
+    "EncryptedQuery",
+    "PASS_THROUGH",
+    "block_all",
+    "downgrade_all",
+    "parse_encrypted_query",
+    "wrap_encrypted_response",
 ]

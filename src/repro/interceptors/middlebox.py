@@ -20,11 +20,18 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.dnswire import DNS_PORT, decode_or_none
-from repro.net import Packet, Protocol, make_reply
+from repro.net import Packet, Protocol, make_reply, make_udp
 from repro.net.addr import IPAddress, parse_ip
+from repro.net.doh import DOH_PORT
 from repro.net.dot import DOT_PORT, unwrap_dot, wrap_dot
 from repro.net.router import Router
 
+from .encrypted import (
+    EncryptedAction,
+    EncryptedQuery,
+    parse_encrypted_query,
+    wrap_encrypted_response,
+)
 from .policy import InterceptMode, InterceptionPolicy
 
 #: Identity the middlebox's TLS termination presents; never the target's.
@@ -36,6 +43,20 @@ class InterceptedFlow:
     """Original destination of one hijacked client flow."""
 
     original_dst: IPAddress
+
+
+@dataclass(frozen=True)
+class DowngradedFlow:
+    """One encrypted session this box terminated and downgraded to 53.
+
+    Remembers everything needed to dress the plaintext answer back up as
+    the encrypted protocol the client spoke: original destination, the
+    encrypted port dialed, and the query framing to mirror.
+    """
+
+    original_dst: IPAddress
+    dport: int
+    query: EncryptedQuery
 
 
 class MiddleboxRouter(Router):
@@ -68,6 +89,11 @@ class MiddleboxRouter(Router):
         )
         # (client addr, client port) -> original destination.
         self._flows: dict[tuple[IPAddress, int], InterceptedFlow] = {}
+        # (client addr, client port) -> terminated encrypted session.
+        self._encrypted_flows: dict[tuple[IPAddress, int], DowngradedFlow] = {}
+        # Per-connection DoQ stream ids already consumed (RFC 9250: a
+        # terminating proxy must reset streams it sees reused).
+        self._doq_streams: dict[tuple[IPAddress, int], set[int]] = {}
         self.intercepted_queries = 0
 
     def alternate_for_family(self, family: int) -> Optional[IPAddress]:
@@ -85,6 +111,13 @@ class MiddleboxRouter(Router):
         the alternate resolver, TTL applying per hop) — this asymmetry is
         what the TTL-probing extension observes.
         """
+        if (
+            packet.protocol is Protocol.UDP
+            and packet.udp is not None
+            and packet.udp.dport in (DOT_PORT, DOH_PORT)
+            and self._handle_encrypted_query(packet)
+        ):
+            return
         if (
             packet.protocol is Protocol.UDP
             and packet.udp is not None
@@ -108,6 +141,8 @@ class MiddleboxRouter(Router):
     def inspect_transit(self, packet: Packet) -> bool:
         if packet.protocol is not Protocol.UDP or packet.udp is None:
             return False
+        if packet.udp.sport == DNS_PORT and self._inspect_downgraded_reply(packet):
+            return True
         if packet.udp.dport in (DNS_PORT, DOT_PORT):
             return self._inspect_query(packet)
         if packet.udp.sport in (DNS_PORT, DOT_PORT):
@@ -173,6 +208,105 @@ class MiddleboxRouter(Router):
             "rewrite", spoofed, f"un-DNAT reply src {packet.src} -> {flow.original_dst}"
         )
         self.forward_by_route(spoofed)
+        return True
+
+    # -- encrypted transports (per-protocol policy) ----------------------------
+
+    def _encrypted_action(
+        self, packet: Packet, query: EncryptedQuery
+    ) -> EncryptedAction:
+        """First-match per-protocol/per-SNI action across the policies."""
+        for policy in self.policies:
+            if policy.encrypted is None or not policy.matches(packet):
+                continue
+            action = policy.encrypted.action_for(query.protocol, query.sni)
+            if action is not EncryptedAction.PASS:
+                return action
+        return EncryptedAction.PASS
+
+    def _handle_encrypted_query(self, packet: Packet) -> bool:
+        """Apply the encrypted-DNS policy to one session packet.
+
+        Runs before the TTL check like the other proxy-style actions: a
+        terminating box takes the session off the wire without a
+        forwarding decision. Returns True when the packet was consumed
+        (blocked or downgraded); False lets it continue — through the
+        legacy ``intercept_dot`` path for port 853, then normal routing.
+        """
+        assert packet.udp is not None
+        query = parse_encrypted_query(packet.udp.payload, packet.udp.dport)
+        if query is None:
+            return False
+        action = self._encrypted_action(packet, query)
+        if action is EncryptedAction.PASS:
+            return False
+        self.intercepted_queries += 1
+        if action is EncryptedAction.BLOCK:
+            self.trace("drop", packet, f"encrypted BLOCK ({query.protocol})")
+            return True
+        # DOWNGRADE: terminate the session, relay the inner query over
+        # plaintext UDP/53 to the *original* destination, keeping the
+        # client's source so the answer routes back through this box.
+        connection = (packet.src, packet.udp.sport)
+        if query.protocol == "doq":
+            seen = self._doq_streams.setdefault(connection, set())
+            if query.stream_id in seen:
+                self.trace(
+                    "drop", packet, f"DoQ stream {query.stream_id} reused: reset"
+                )
+                return True
+            seen.add(query.stream_id)
+        self._encrypted_flows[connection] = DowngradedFlow(
+            original_dst=packet.dst, dport=packet.udp.dport, query=query
+        )
+        relayed = make_udp(
+            packet.src,
+            packet.udp.sport,
+            packet.dst,
+            DNS_PORT,
+            query.dns_payload,
+            ttl=packet.ttl,
+        )
+        self.trace(
+            "intercept",
+            relayed,
+            f"downgrade-to-53 ({query.protocol}, sni={query.sni})",
+        )
+        self.forward_by_route(relayed)
+        return True
+
+    def _inspect_downgraded_reply(self, packet: Packet) -> bool:
+        """Dress a plaintext answer back up as the encrypted protocol.
+
+        The relayed UDP/53 answer from the original destination transits
+        this box on its way to the client; it is re-framed with the
+        middlebox's own TLS identity on the port the client dialed. The
+        answer *content* is the genuine resolver's — only the identity
+        gives the termination away, which is why only strict-profile
+        clients notice.
+        """
+        assert packet.udp is not None
+        flow = self._encrypted_flows.get((packet.dst, packet.udp.dport))
+        if flow is None or packet.src != flow.original_dst:
+            return False
+        del self._encrypted_flows[(packet.dst, packet.udp.dport)]
+        wire = wrap_encrypted_response(
+            flow.query, packet.udp.payload, MIDDLEBOX_TLS_IDENTITY
+        )
+        rewrapped = make_udp(
+            packet.src,
+            flow.dport,
+            packet.dst,
+            packet.udp.dport,
+            wire,
+            ttl=packet.ttl,
+        )
+        self.trace(
+            "rewrite",
+            rewrapped,
+            f"re-encrypt downgraded answer ({flow.query.protocol})",
+        )
+        self.forward_by_route(rewrapped)
         return True
 
     # -- BLOCK mode ------------------------------------------------------------

@@ -24,6 +24,8 @@ from repro.dnswire import RCode
 from repro.net import Packet, is_bogon
 from repro.net.addr import IPAddress, parse_ip
 
+from .encrypted import EncryptedDnsPolicy
+
 
 class InterceptMode(enum.Enum):
     REDIRECT = "redirect"  # hijack to the alternate resolver, spoof replies
@@ -60,6 +62,10 @@ class InterceptionPolicy:
     #: privacy profile — it cannot present the target's certificate, so
     #: strict-profile clients reject the hijacked session (§6).
     intercept_dot: bool = False
+    #: Per-protocol encrypted-DNS treatment (block / downgrade-to-53 /
+    #: pass-through, optionally per-SNI). None means the policy has no
+    #: opinion about encrypted transports beyond ``intercept_dot``.
+    encrypted: "Optional[EncryptedDnsPolicy]" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "families", frozenset(self.families))
@@ -88,6 +94,7 @@ class InterceptionPolicy:
         intercept_bogons: bool = True,
         block_rcode: int = RCode.REFUSED,
         intercept_dot: bool = False,
+        encrypted: "Optional[EncryptedDnsPolicy]" = None,
     ) -> "InterceptionPolicy":
         """One constructor for every observed policy shape.
 
@@ -105,6 +112,7 @@ class InterceptionPolicy:
             intercept_bogons=intercept_bogons,
             block_rcode=block_rcode,
             intercept_dot=intercept_dot,
+            encrypted=encrypted,
         )
 
 

@@ -31,6 +31,18 @@ from .packet import (
     make_udp,
 )
 from .dot import DOT_PORT, DotFrame, is_dot_payload, unwrap_dot, wrap_dot
+from .doh import (
+    DOH_PORT,
+    DohRequest,
+    DohResponse,
+    is_doh_payload,
+    unwrap_doh_query,
+    unwrap_doh_response,
+    wrap_doh_query,
+    wrap_doh_response,
+)
+from .doq import DOQ_PORT, DoqFrame, is_doq_payload, unwrap_doq, wrap_doq
+from .stream import pack_identity, unpack_identity
 from .impairment import (
     IMPAIRMENT_PROFILES,
     LinkProfile,
@@ -68,6 +80,21 @@ __all__ = [
     "is_dot_payload",
     "unwrap_dot",
     "wrap_dot",
+    "DOH_PORT",
+    "DohRequest",
+    "DohResponse",
+    "is_doh_payload",
+    "unwrap_doh_query",
+    "unwrap_doh_response",
+    "wrap_doh_query",
+    "wrap_doh_response",
+    "DOQ_PORT",
+    "DoqFrame",
+    "is_doq_payload",
+    "unwrap_doq",
+    "wrap_doq",
+    "pack_identity",
+    "unpack_identity",
     "IMPAIRMENT_PROFILES",
     "LinkProfile",
     "impairment_profile",

@@ -1,0 +1,75 @@
+"""DNS-over-QUIC framing for the simulator (RFC 9250, abstracted).
+
+DoQ shares port 853 with DoT; the simulator disambiguates the two by
+frame magic, the way a real stack disambiguates by the transport
+protocol underneath (QUIC/UDP vs TLS/TCP).
+
+Two RFC 9250 semantics survive the abstraction because interceptors and
+clients can observe them:
+
+- **per-query streams**: each query runs on its own QUIC stream and a
+  stream carries exactly one query/response pair. A client opens stream
+  0 on a fresh connection per query; the server echoes the stream id. A
+  terminating proxy that sees the *same* stream id reused on one
+  connection is looking at a protocol violation and resets the stream —
+  state a faithful proxy must track per connection.
+- **no TC retry**: RFC 9250 §4.3 forbids the TC bit — a truncated
+  response over DoQ is a protocol error, so the client discards it
+  rather than retrying over TCP.
+
+As with DoT/DoH, client frames carry the dialed server name (the SNI an
+on-path box can match) and server frames carry the certificate identity
+the client authenticated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .stream import pack_identity, unpack_identity
+
+#: DoQ shares the DoT port (RFC 9250 §8: the "doq" ALPN on UDP/853).
+DOQ_PORT = 853
+
+_MAGIC = b"DoQ1"
+
+
+@dataclass(frozen=True)
+class DoqFrame:
+    """One DoQ stream payload: stream id, identity/SNI, DNS bytes."""
+
+    stream_id: int
+    server_identity: str
+    dns_payload: bytes
+
+    def encode(self) -> bytes:
+        if not 0 <= self.stream_id <= 0xFFFF:
+            raise ValueError(f"stream id out of range: {self.stream_id}")
+        return (
+            _MAGIC
+            + self.stream_id.to_bytes(2, "big")
+            + pack_identity(self.server_identity)
+            + self.dns_payload
+        )
+
+
+def wrap_doq(dns_payload: bytes, server_identity: str, stream_id: int = 0) -> bytes:
+    """Frame ``dns_payload`` on ``stream_id`` for/by ``server_identity``."""
+    return DoqFrame(stream_id, server_identity, dns_payload).encode()
+
+
+def unwrap_doq(data: bytes) -> Optional[DoqFrame]:
+    """Parse a DoQ frame; None if ``data`` is not one."""
+    if len(data) < len(_MAGIC) + 2 or not data.startswith(_MAGIC):
+        return None
+    stream_id = int.from_bytes(data[len(_MAGIC) : len(_MAGIC) + 2], "big")
+    unpacked = unpack_identity(data, len(_MAGIC) + 2)
+    if unpacked is None:
+        return None
+    identity, start = unpacked
+    return DoqFrame(stream_id, identity, data[start:])
+
+
+def is_doq_payload(data: bytes) -> bool:
+    return data.startswith(_MAGIC)

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .stream import pack_identity, unpack_identity
+
 #: DNS-over-TLS port (RFC 7858).
 DOT_PORT = 853
 
@@ -30,16 +32,18 @@ _MAGIC = b"DoT1"
 
 @dataclass(frozen=True)
 class DotFrame:
-    """An abstracted DoT record: authenticated server identity + DNS bytes."""
+    """An abstracted DoT record: authenticated server identity + DNS bytes.
+
+    Client->server frames carry the *dialed* server name in the same
+    field (the SNI an on-path box could match on); server->client frames
+    carry the certificate identity the client authenticated.
+    """
 
     server_identity: str
     dns_payload: bytes
 
     def encode(self) -> bytes:
-        identity = self.server_identity.encode("utf-8")
-        if len(identity) > 255:
-            raise ValueError("server identity too long")
-        return _MAGIC + bytes([len(identity)]) + identity + self.dns_payload
+        return _MAGIC + pack_identity(self.server_identity) + self.dns_payload
 
 
 def wrap_dot(dns_payload: bytes, server_identity: str) -> bytes:
@@ -49,14 +53,13 @@ def wrap_dot(dns_payload: bytes, server_identity: str) -> bytes:
 
 def unwrap_dot(data: bytes) -> Optional[DotFrame]:
     """Parse a DoT frame; None if ``data`` is not one."""
-    if len(data) < len(_MAGIC) + 1 or not data.startswith(_MAGIC):
+    if not data.startswith(_MAGIC):
         return None
-    length = data[len(_MAGIC)]
-    start = len(_MAGIC) + 1
-    if len(data) < start + length:
+    unpacked = unpack_identity(data, len(_MAGIC))
+    if unpacked is None:
         return None
-    identity = data[start : start + length].decode("utf-8", "replace")
-    return DotFrame(identity, data[start + length :])
+    identity, start = unpacked
+    return DotFrame(identity, data[start:])
 
 
 def is_dot_payload(data: bytes) -> bool:

@@ -1,0 +1,41 @@
+"""Shared framing helpers for the simulated encrypted stream transports.
+
+All three encrypted transports (DoT, DoH, DoQ) abstract their session
+layer the same way: the security-relevant outcome of the handshake is a
+*name* — the server identity the client authenticated (on responses) or
+the server name the client dialed (SNI, on requests). Frames therefore
+all embed length-prefixed names, and this module owns that one encoding
+so the protocol modules (:mod:`repro.net.dot`, :mod:`repro.net.doh`,
+:mod:`repro.net.doq`) cannot drift apart.
+
+Wire shape: one length byte followed by that many bytes of UTF-8. Names
+longer than 255 bytes cannot be encoded (same bound as a TLS SNI
+host_name length in practice and as the original DoT framing here).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def pack_identity(identity: str) -> bytes:
+    """Encode ``identity`` as a length-prefixed UTF-8 name."""
+    encoded = identity.encode("utf-8")
+    if len(encoded) > 255:
+        raise ValueError("server identity too long")
+    return bytes([len(encoded)]) + encoded
+
+
+def unpack_identity(data: bytes, offset: int = 0) -> Optional[tuple[str, int]]:
+    """Decode a length-prefixed name at ``offset``.
+
+    Returns ``(identity, next_offset)``, or None when the buffer is too
+    short to hold the length byte or the name it promises.
+    """
+    if len(data) < offset + 1:
+        return None
+    length = data[offset]
+    start = offset + 1
+    if len(data) < start + length:
+        return None
+    return data[start : start + length].decode("utf-8", "replace"), start + length

@@ -24,6 +24,8 @@ from repro.dnswire import (
 from repro.dnswire.chaosnames import HOSTNAME_BIND, ID_SERVER, VERSION_BIND
 from repro.net import Packet, Protocol, make_reply
 from repro.net.addr import IPAddress
+from repro.net.doh import DOH_PORT, unwrap_doh_query, wrap_doh_response
+from repro.net.doq import is_doq_payload, unwrap_doq, wrap_doq
 from repro.net.dot import DOT_PORT, unwrap_dot, wrap_dot
 from repro.net.sim import Node
 
@@ -101,8 +103,9 @@ class DnsServerNode(Node):
         self.software = software or mute()
         self.gateway: Optional[str] = None
         self.queries_seen = 0
-        #: Name presented on the server's DoT certificate. None disables
-        #: DoT service (port 853 closed).
+        #: Name presented on the server's TLS certificate. None disables
+        #: encrypted service entirely (ports 853 and 443 closed); set, it
+        #: enables DoT and DoQ on 853 and DoH on 443 with this identity.
         self.tls_identity = tls_identity
         #: Opt-in answer-template cache (fast engine only): serving is a
         #: pure function of ``(payload minus id, response_signature)``,
@@ -123,14 +126,50 @@ class DnsServerNode(Node):
             return
         assert packet.udp is not None
         if packet.udp.dport == DNS_PORT:
-            self._serve(packet, packet.udp.payload, dot=False)
+            self._serve(packet, packet.udp.payload)
             return
         if packet.udp.dport == DOT_PORT and self.tls_identity is not None:
-            frame = unwrap_dot(packet.udp.payload)
+            # Port 853 is shared: DoQ (RFC 9250) and DoT are told apart
+            # by frame magic, as real stacks are by transport protocol.
+            payload = packet.udp.payload
+            if is_doq_payload(payload):
+                doq_frame = unwrap_doq(payload)
+                if doq_frame is None:
+                    self.trace("drop", packet, "malformed DoQ frame")
+                    return
+                identity = self.tls_identity
+                stream_id = doq_frame.stream_id
+                self._serve(
+                    packet,
+                    doq_frame.dns_payload,
+                    wrap=lambda wire: wrap_doq(wire, identity, stream_id),
+                    label="DoQ",
+                )
+                return
+            frame = unwrap_dot(payload)
             if frame is None:
                 self.trace("drop", packet, "malformed DoT frame")
                 return
-            self._serve(packet, frame.dns_payload, dot=True)
+            identity = self.tls_identity
+            self._serve(
+                packet,
+                frame.dns_payload,
+                wrap=lambda wire: wrap_dot(wire, identity),
+                label="DoT",
+            )
+            return
+        if packet.udp.dport == DOH_PORT and self.tls_identity is not None:
+            request = unwrap_doh_query(packet.udp.payload)
+            if request is None:
+                self.trace("drop", packet, "malformed DoH request")
+                return
+            identity = self.tls_identity
+            self._serve(
+                packet,
+                request.dns_payload,
+                wrap=lambda wire: wrap_doh_response(wire, identity),
+                label="DoH",
+            )
             return
         self.trace("drop", packet, f"closed port {packet.udp.dport}")
 
@@ -141,12 +180,17 @@ class DnsServerNode(Node):
         (see :class:`~repro.resolvers.public.PublicResolverNode`)."""
         return (packet.src.version,)
 
-    def _serve(self, packet: Packet, payload: bytes, dot: bool) -> None:
+    def _serve(self, packet: Packet, payload: bytes, wrap=None, label: str = "") -> None:
+        """Serve one decoded query. ``wrap`` re-frames the response wire
+        for encrypted transports (DoT/DoH/DoQ reply framing); None means
+        plaintext UDP/53. Encrypted serving never uses the
+        answer-template cache — session framing varies per query (DoQ
+        stream ids) and encrypted volume is too small to matter."""
         cache = None
         key = None
         if (
             self.response_cache_enabled
-            and not dot
+            and wrap is None
             and len(payload) >= 2
             # The cached path emits no trace/metric events, so it only
             # runs when nobody is watching; an observed run takes the
@@ -185,11 +229,10 @@ class DnsServerNode(Node):
         # check keeps a future exotic responder from poisoning the cache).
         if cache is not None and wire[:2] == payload[:2]:
             self._cache_store(key, (_CACHE_ANSWER, wire[2:]))
-        if dot:
-            assert self.tls_identity is not None
-            wire = wrap_dot(wire, self.tls_identity)
+        if wrap is not None:
+            wire = wrap(wire)
         reply = make_reply(packet, wire)
-        self.trace("send", reply, "dns response" + (" (DoT)" if dot else ""))
+        self.trace("send", reply, "dns response" + (f" ({label})" if label else ""))
         self.emit(reply)
 
     def _cache_store(self, key, value) -> None:

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.atlas.geo import organization_by_name
-from repro.atlas.measurement import MeasurementClient, dns_exchange
+from repro.atlas.measurement import MeasurementClient
+from repro.atlas.retry import FixedIntervalRetry
+from repro.atlas.transport import udp53_exchange
 from repro.atlas.scenario import ScenarioSpec, build_scenario
 from repro.cpe.firmware import dnat_interceptor, honest_router
 from repro.dnswire import QType, make_query
@@ -30,7 +32,7 @@ def clean(org):
 
 class TestValidation:
     def test_accepts_valid_response(self, clean):
-        result = dns_exchange(
+        result = udp53_exchange(
             clean.network, clean.host, "1.1.1.1", make_id_server_query(msg_id=1)
         )
         assert not result.timed_out
@@ -53,8 +55,8 @@ class TestValidation:
 
         ids = {decode_or_none(d.payload).msg_id for d in datagrams}
         assert 11 in ids  # the forgery arrived...
-        # ...but dns_exchange would have rejected it; verify via the API:
-        result = dns_exchange(
+        # ...but udp53_exchange would have rejected it; verify via the API:
+        result = udp53_exchange(
             clean.network, clean.host, "1.1.1.1", make_id_server_query(msg_id=12)
         )
         assert result.response.msg_id == 12
@@ -83,7 +85,7 @@ class TestValidation:
         clean.network.inject("host", wrong_src)
         clean.network.run()
         sock.close()
-        result = dns_exchange(
+        result = udp53_exchange(
             clean.network, clean.host, "1.1.1.1", make_id_server_query(msg_id=21)
         )
         assert str(result.destination) == "1.1.1.1"
@@ -94,19 +96,19 @@ class TestValidation:
         # Craft an exchange where a wrong-source datagram arrives: query a
         # dead address while injecting a fake answer from elsewhere.
         query = make_query("example.com.", QType.A, msg_id=30)
-        sock_port = sc.host._next_port  # the port dns_exchange will use
+        sock_port = sc.host._next_port  # the port udp53_exchange will use
         fake = make_udp(
             "203.0.113.99", 53, "192.168.1.100", sock_port, query.reply().encode()
         )
         sc.network.inject("host", fake, delay_ms=10.0)
-        result = dns_exchange(sc.network, sc.host, "198.51.100.99", query)
+        result = udp53_exchange(sc.network, sc.host, "198.51.100.99", query)
         assert result.timed_out
         assert len(result.rejected) == 1
 
 
 class TestTimeouts:
     def test_unreachable_destination_times_out(self, clean):
-        result = dns_exchange(
+        result = udp53_exchange(
             clean.network,
             clean.host,
             "203.0.113.99",
@@ -118,7 +120,7 @@ class TestTimeouts:
 
     def test_simulated_clock_advances_past_timeout(self, clean):
         before = clean.network.now
-        dns_exchange(
+        udp53_exchange(
             clean.network,
             clean.host,
             "203.0.113.99",
@@ -129,7 +131,7 @@ class TestTimeouts:
 
     def test_socket_closed_after_exchange(self, clean):
         port_before = clean.host._next_port
-        dns_exchange(
+        udp53_exchange(
             clean.network, clean.host, "1.1.1.1", make_id_server_query(msg_id=3)
         )
         assert len(clean.host._sockets) == 0
@@ -144,7 +146,7 @@ class TestReplication:
                 middlebox_policies=[intercept_all(mode=InterceptMode.REPLICATE)],
             )
         )
-        result = dns_exchange(
+        result = udp53_exchange(
             sc.network, sc.host, "1.1.1.1", make_id_server_query(msg_id=1)
         )
         assert result.replicated
@@ -172,20 +174,19 @@ class TestRetries:
         gave up at the first retry horizon instead of the deadline."""
         sc = build_scenario(ScenarioSpec(probe=make_spec(org, probe_id=901), trace=True))
         query = make_query("example.com.", QType.A, msg_id=30)
-        sock_port = sc.host._next_port  # the port dns_exchange will use
+        sock_port = sc.host._next_port  # the port udp53_exchange will use
         junk = make_udp(
             "203.0.113.99", 53, "192.168.1.100", sock_port, query.reply().encode()
         )
         sc.network.inject("host", junk, delay_ms=10.0)
         before = sc.network.now
-        result = dns_exchange(
+        result = udp53_exchange(
             sc.network,
             sc.host,
             "198.51.100.99",  # dead address: nothing ever answers
             query,
             timeout_ms=5000.0,
-            retries=3,
-            retry_interval_ms=500.0,
+            retry=FixedIntervalRetry(retries=3, interval_ms=500.0),
         )
         assert result.timed_out
         assert len(result.rejected) == 1
@@ -205,13 +206,12 @@ class TestRetries:
         # so exactly the first crossing (the original query) is dropped.
         sc.network.connect("cpe", "access", 4.0, loss=0.5)
         sc.network.loss_rng = ScriptedLossRng([0.0])
-        result = dns_exchange(
+        result = udp53_exchange(
             sc.network,
             sc.host,
             "1.1.1.1",
             make_id_server_query(msg_id=77),
-            retries=2,
-            retry_interval_ms=500.0,
+            retry=FixedIntervalRetry(retries=2, interval_ms=500.0),
         )
         assert not result.timed_out
         assert result.response is not None
@@ -232,13 +232,12 @@ class TestRetries:
             "203.0.113.99", 53, "192.168.1.100", sock_port, query.reply().encode()
         )
         sc.network.inject("host", junk, delay_ms=5.0)
-        result = dns_exchange(
+        result = udp53_exchange(
             sc.network,
             sc.host,
             "1.1.1.1",
             query,
-            retries=2,
-            retry_interval_ms=500.0,
+            retry=FixedIntervalRetry(retries=2, interval_ms=500.0),
         )
         assert not result.timed_out
         assert len(result.rejected) == 1
@@ -247,7 +246,7 @@ class TestRetries:
 
     def test_no_retries_behaviour_unchanged(self, clean):
         """retries=0 keeps the classic single-shot semantics."""
-        result = dns_exchange(
+        result = udp53_exchange(
             clean.network, clean.host, "1.1.1.1", make_id_server_query(msg_id=99)
         )
         assert not result.timed_out
@@ -256,13 +255,12 @@ class TestRetries:
     def test_accepted_answer_stops_retrying(self, org):
         """Once a validated answer arrives, no further retransmissions."""
         sc = build_scenario(ScenarioSpec(probe=make_spec(org, probe_id=904), trace=True))
-        result = dns_exchange(
+        result = udp53_exchange(
             sc.network,
             sc.host,
             "1.1.1.1",
             make_id_server_query(msg_id=101),
-            retries=5,
-            retry_interval_ms=100.0,
+            retry=FixedIntervalRetry(retries=5, interval_ms=100.0),
         )
         assert not result.timed_out
         transmissions = [

@@ -1,9 +1,9 @@
-"""Retry policies and the dns_exchange deadline/accounting boundaries."""
+"""Retry policies and the udp53_exchange deadline/accounting boundaries."""
 
 import pytest
 
 from repro.atlas.geo import organization_by_name
-from repro.atlas.measurement import dns_exchange
+from repro.atlas.transport import udp53_exchange
 from repro.atlas.retry import (
     ExponentialBackoffRetry,
     FixedIntervalRetry,
@@ -84,7 +84,7 @@ class TestDeadlineBoundaries:
             "198.51.100.99", 53, "192.168.1.100", sock_port, query.reply().encode()
         )
         sc.network.inject("host", answer, delay_ms=1000.0)
-        result = dns_exchange(
+        result = udp53_exchange(
             sc.network, sc.host, "198.51.100.99", query, timeout_ms=1000.0
         )
         assert not result.timed_out
@@ -96,14 +96,13 @@ class TestDeadlineBoundaries:
         exactly one retransmission (at 600ms), never one at 1200ms."""
         sc = build_scenario(ScenarioSpec(probe=make_spec(org, probe_id=911), trace=True))
         before = sc.network.now
-        result = dns_exchange(
+        result = udp53_exchange(
             sc.network,
             sc.host,
             "198.51.100.99",  # dead address: nothing answers
             make_query("example.com.", QType.A, msg_id=51),
             timeout_ms=1000.0,
-            retries=5,
-            retry_interval_ms=600.0,
+            retry=FixedIntervalRetry(retries=5, interval_ms=600.0),
         )
         assert result.timed_out
         assert result.attempts == 2
@@ -122,13 +121,13 @@ class TestDeadlineBoundaries:
         policy = ExponentialBackoffRetry(
             retries=3, base_ms=200.0, factor=2.0, jitter=0.0
         )
-        result = dns_exchange(
+        result = udp53_exchange(
             sc.network,
             sc.host,
             "198.51.100.99",
             make_query("example.com.", QType.A, msg_id=52),
             timeout_ms=5000.0,
-            retry_policy=policy,
+            retry=policy,
         )
         assert result.timed_out
         assert result.attempts == 4  # original + all three backoff sends
@@ -147,7 +146,7 @@ class TestDuplicationAccounting:
         exchange must report one attempt, one RTT sample, and must not
         claim query replication."""
         sc = self.duplicating_scenario(org, probe_id=913)
-        result = dns_exchange(
+        result = udp53_exchange(
             sc.network, sc.host, "1.1.1.1", make_id_server_query(msg_id=60)
         )
         assert not result.timed_out
@@ -163,7 +162,7 @@ class TestDuplicationAccounting:
         registry = MetricsRegistry(trace="off")
         with use_registry(registry):
             sc = self.duplicating_scenario(org, probe_id=914)
-            dns_exchange(
+            udp53_exchange(
                 sc.network, sc.host, "1.1.1.1", make_id_server_query(msg_id=61)
             )
         histogram = registry.histograms["exchange.rtt_ms.udp"]

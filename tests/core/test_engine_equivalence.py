@@ -28,6 +28,17 @@ def fleet():
     return generate_population(size=FLEET_SIZE, seed=SEED)
 
 
+#: The evasion axis only produces outcomes on *intercepted* probes, and
+#: at 48 probes this seed draws none — the encrypted tests need a fleet
+#: big enough to contain blockers, downgraders and DoH-evadable CPEs.
+EVASION_FLEET_SIZE = 240
+
+
+@pytest.fixture(scope="module")
+def evasion_fleet():
+    return generate_population(size=EVASION_FLEET_SIZE, seed=SEED)
+
+
 def run(fleet, engine, workers=1, impair=None, **kwargs):
     config = StudyConfig(
         workers=workers,
@@ -114,6 +125,106 @@ class TestStoreEquivalence:
         )
         plain = run(fleet, "fast")
         assert resumed.records == plain.records
+
+
+class TestEncryptedFleetEquivalence:
+    """The evasion axis must honour the same contract: records identical
+    across engines and worker counts when every intercepted probe is
+    retried over an encrypted transport."""
+
+    @pytest.mark.parametrize("transport", ["dot", "doh"])
+    def test_records_identical_across_engines(self, evasion_fleet, transport):
+        fast = run(evasion_fleet, "fast", transport=transport, evasion=True)
+        reference = run(
+            evasion_fleet, "reference", transport=transport, evasion=True
+        )
+        assert fast.records == reference.records
+        assert any(r.evasion_outcome is not None for r in fast.records)
+
+    def test_records_identical_across_workers(self, evasion_fleet):
+        serial = run(
+            evasion_fleet, "fast", workers=1, transport="doh", evasion=True
+        )
+        sharded = run(
+            evasion_fleet, "fast", workers=3, transport="doh", evasion=True
+        )
+        assert serial.records == sharded.records
+        assert any(r.evasion_outcome is not None for r in serial.records)
+
+
+class TestScenarioReset:
+    """``reset_scenario`` must rewind encrypted session state.
+
+    Both terminating proxies keep per-connection state keyed by the LAN
+    client's (address, port): the CPE engine's consumed-DoQ-stream set
+    and the middlebox's encrypted flow/stream tables. Scenario reuse
+    rewinds ephemeral ports, so a stale entry collides with the next
+    probe's first session — the DoQ stream-reuse guard then kills a
+    perfectly fresh query. These tests failed before ``reset_scenario``
+    learned to clear that state."""
+
+    def _doq_verdict(self, scenario):
+        import random
+
+        from repro.atlas.measurement import MeasurementClient
+        from repro.core.encrypted_probe import (
+            EncryptedProfile,
+            detect_encrypted_provider,
+        )
+        from repro.resolvers.public import Provider
+
+        client = MeasurementClient(scenario.network, scenario.host)
+        return detect_encrypted_provider(
+            client,
+            Provider.GOOGLE,
+            transport="doq",
+            profile=EncryptedProfile.OPPORTUNISTIC,
+            rng=random.Random(5),
+        )
+
+    def _roundtrip(self, sspec):
+        from repro.atlas.scenario import build_scenario, reset_scenario
+        from repro.core.encrypted_probe import EncryptedStatus
+
+        scenario = build_scenario(sspec)
+        first = self._doq_verdict(scenario)
+        assert first.status is EncryptedStatus.INTERCEPTED
+        reset_scenario(scenario, sspec)
+        second = self._doq_verdict(scenario)
+        # Pre-fix: the stale stream set flagged the fresh query as a
+        # reused stream and dropped it (NO_RESPONSE).
+        assert second.status is EncryptedStatus.INTERCEPTED
+        assert second.exchange.observed_identity == first.exchange.observed_identity
+
+    def test_cpe_downgrade_state_rewinds(self):
+        from repro.atlas.geo import organization_by_name
+        from repro.atlas.scenario import ScenarioSpec
+        from repro.cpe.firmware import xb6_profile
+
+        from tests.conftest import make_spec
+
+        org = organization_by_name("Comcast")
+        sspec = ScenarioSpec(
+            probe=make_spec(org, probe_id=7301, firmware=xb6_profile(buggy=True))
+        )
+        self._roundtrip(sspec)
+
+    def test_middlebox_downgrade_state_rewinds(self):
+        from dataclasses import replace
+
+        from repro.atlas.geo import organization_by_name
+        from repro.atlas.scenario import ScenarioSpec
+        from repro.interceptors.encrypted import downgrade_all
+        from repro.interceptors.policy import intercept_all
+
+        from tests.conftest import make_spec
+
+        org = organization_by_name("Comcast")
+        policy = replace(intercept_all(), encrypted=downgrade_all())
+        sspec = ScenarioSpec(
+            probe=make_spec(org, probe_id=7302, middlebox_policies=[policy])
+        )
+        self._roundtrip(sspec)
 
 
 class TestEngineValidation:

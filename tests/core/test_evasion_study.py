@@ -1,0 +1,231 @@
+"""The encryption-evasion study axis (firmware × transport × policy).
+
+Each case runs the full pipeline — plaintext locator first, then the
+opportunistic encrypted retry on whatever it found intercepted — and
+asserts the per-record evasion outcome the interceptor's posture should
+produce. The downgrade cases are the load-bearing ones: a downgrading
+proxy returns *standard* answer content under a foreign certificate,
+and the classifier must flag that rather than score it clean.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.evasion import build_evasion_table
+from repro.analysis.export import study_from_json, study_to_json
+from repro.atlas.geo import organization_by_name
+from repro.atlas.measurement import MeasurementClient
+from repro.atlas.population import generate_population
+from repro.atlas.scenario import build_scenario
+from repro.core.classifier import LocatorVerdict
+from repro.core.encrypted_probe import (
+    EncryptedProfile,
+    EncryptedStatus,
+    detect_encrypted_provider,
+)
+from repro.core.matchers import match_location_response
+from repro.core.study import StudyConfig, run_pilot_study
+from repro.cpe.firmware import dnat_interceptor, pihole_profile, xb6_profile
+from repro.interceptors.encrypted import (
+    EncryptedAction,
+    EncryptedDnsPolicy,
+    downgrade_all,
+)
+from repro.interceptors.policy import intercept_all
+from repro.resolvers.public import Provider
+
+from tests.conftest import make_spec
+
+
+@pytest.fixture
+def org():
+    return organization_by_name("Comcast")
+
+
+def run_single(spec, transport):
+    study = run_pilot_study(
+        [spec], StudyConfig(workers=1, transport=transport, evasion=True)
+    )
+    assert len(study.records) == 1
+    return study.records[0]
+
+
+#: Port-853 firewall, the middlebox analogue of the DNAT CPE's posture.
+PORT_BLOCK = EncryptedDnsPolicy(
+    dot=EncryptedAction.BLOCK, doq=EncryptedAction.BLOCK
+)
+
+
+class TestFirmwareMatrix:
+    """CPE firmware personalities: each encrypted posture is distinct."""
+
+    @pytest.mark.parametrize(
+        "transport,outcome",
+        [("dot", "blocked"), ("doh", "evaded"), ("doq", "blocked")],
+    )
+    def test_dnat_interceptor(self, org, transport, outcome):
+        record = run_single(
+            make_spec(org, probe_id=7400, firmware=dnat_interceptor()),
+            transport,
+        )
+        assert record.verdict == LocatorVerdict.CPE.value
+        assert record.evasion_transport == transport
+        assert record.evasion_outcome == outcome
+
+    @pytest.mark.parametrize("transport", ["dot", "doh", "doq"])
+    def test_buggy_xb6_downgrades(self, org, transport):
+        record = run_single(
+            make_spec(org, probe_id=7401, firmware=xb6_profile(buggy=True)),
+            transport,
+        )
+        assert record.verdict == LocatorVerdict.CPE.value
+        assert record.evasion_outcome == "downgraded"
+
+    @pytest.mark.parametrize("transport", ["dot", "doh", "doq"])
+    def test_pihole_blocklists_canonical_resolvers(self, org, transport):
+        record = run_single(
+            make_spec(org, probe_id=7402, firmware=pihole_profile()),
+            transport,
+        )
+        assert record.verdict == LocatorVerdict.CPE.value
+        assert record.evasion_outcome == "blocked"
+
+
+class TestMiddleboxMatrix:
+    """ISP middlebox encrypted policies behind a plaintext interceptor."""
+
+    def middlebox_spec(self, org, probe_id, encrypted):
+        policy = replace(intercept_all(), encrypted=encrypted)
+        return make_spec(org, probe_id=probe_id, middlebox_policies=[policy])
+
+    @pytest.mark.parametrize(
+        "transport,outcome",
+        [("dot", "blocked"), ("doh", "evaded"), ("doq", "blocked")],
+    )
+    def test_port_block(self, org, transport, outcome):
+        record = run_single(
+            self.middlebox_spec(org, 7410, PORT_BLOCK), transport
+        )
+        assert record.verdict == LocatorVerdict.WITHIN_ISP.value
+        assert record.evasion_outcome == outcome
+
+    @pytest.mark.parametrize("transport", ["dot", "doh", "doq"])
+    def test_downgrade(self, org, transport):
+        record = run_single(
+            self.middlebox_spec(org, 7411, downgrade_all()), transport
+        )
+        assert record.verdict == LocatorVerdict.WITHIN_ISP.value
+        assert record.evasion_outcome == "downgraded"
+
+    @pytest.mark.parametrize("transport", ["dot", "doh", "doq"])
+    def test_no_encrypted_policy_is_evaded(self, org, transport):
+        record = run_single(
+            self.middlebox_spec(org, 7412, None), transport
+        )
+        assert record.verdict == LocatorVerdict.WITHIN_ISP.value
+        assert record.evasion_outcome == "evaded"
+
+
+class TestDowngradeIsNotClean:
+    """The sneaky case: a middlebox downgrade relays the query to the
+    *original* resolver over plaintext, so the answer content is fully
+    standard — only the session's certificate identity betrays it. A
+    content-only classifier would score this clean."""
+
+    def test_standard_content_foreign_identity_flagged(self, org):
+        policy = replace(intercept_all(), encrypted=downgrade_all())
+        sc = build_scenario(
+            make_spec(org, probe_id=7420, middlebox_policies=[policy])
+        )
+        client = MeasurementClient(sc.network, sc.host)
+        verdict = detect_encrypted_provider(
+            client,
+            Provider.GOOGLE,
+            transport="dot",
+            profile=EncryptedProfile.OPPORTUNISTIC,
+            rng=random.Random(1),
+        )
+        exchange = verdict.exchange
+        match = match_location_response(Provider.GOOGLE, exchange.response)
+        assert match.standard  # genuine provider bytes came back...
+        assert not exchange.identity_ok  # ...under the middlebox's cert
+        assert verdict.status is EncryptedStatus.INTERCEPTED
+
+
+class TestSnapshotEquality:
+    """The evasion table and export must be worker-invariant."""
+
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        return generate_population(size=240, seed=2021)
+
+    def test_export_byte_identical_across_workers(self, fleet):
+        one = run_pilot_study(
+            fleet, StudyConfig(workers=1, transport="doh", evasion=True)
+        )
+        three = run_pilot_study(
+            fleet, StudyConfig(workers=3, transport="doh", evasion=True)
+        )
+        assert study_to_json(one) == study_to_json(three)
+        assert (
+            build_evasion_table(one).render()
+            == build_evasion_table(three).render()
+        )
+
+    def test_export_round_trips_evasion_fields(self, fleet):
+        study = run_pilot_study(
+            fleet[:60], StudyConfig(workers=1, transport="dot", evasion=True)
+        )
+        loaded = study_from_json(study_to_json(study))
+        assert loaded.records == study.records
+        assert loaded.config.transport == "dot"
+        assert loaded.config.evasion is True
+
+
+class TestConfigValidation:
+    def test_evasion_needs_encrypted_transport(self):
+        with pytest.raises(ValueError, match="encrypted transport"):
+            StudyConfig(transport="udp53", evasion=True)
+
+    def test_encrypted_transport_needs_evasion(self):
+        with pytest.raises(ValueError):
+            StudyConfig(transport="doh", evasion=False)
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            StudyConfig(transport="dnscrypt", evasion=True)
+
+
+class TestEvasionTable:
+    def test_no_evasion_data_raises(self, org):
+        study = run_pilot_study(
+            [make_spec(org, probe_id=7430)], StudyConfig(workers=1)
+        )
+        with pytest.raises(ValueError, match="no evasion data"):
+            build_evasion_table(study)
+
+    def test_rows_cover_interception_classes(self, org):
+        specs = [
+            make_spec(org, probe_id=7431, firmware=xb6_profile(buggy=True)),
+            make_spec(
+                org,
+                probe_id=7432,
+                middlebox_policies=[
+                    replace(intercept_all(), encrypted=PORT_BLOCK)
+                ],
+            ),
+        ]
+        study = run_pilot_study(
+            specs, StudyConfig(workers=1, transport="dot", evasion=True)
+        )
+        table = build_evasion_table(study)
+        assert table.transport == "dot"
+        by_location = {row.location: row for row in table.rows}
+        assert by_location["cpe"].downgraded == 1
+        assert by_location["within-isp"].blocked == 1
+        assert table.total.total == 2
+        rendered = table.render()
+        assert "Encryption evasion over dot" in rendered
+        assert "downgraded" in rendered

@@ -283,7 +283,7 @@ class TestExchangeResultSurface:
         assert result.rcode is None
 
     def test_dot_answered_shape(self, comcast):
-        from repro.atlas.measurement import dot_exchange
+        from repro.atlas.transport import dot_exchange
 
         scenario = build_scenario(make_spec(comcast, probe_id=32))
         result = dot_exchange(

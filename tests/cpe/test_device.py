@@ -7,7 +7,7 @@ These tests exercise the exact distinctions the paper's Step 2 relies on
 import pytest
 
 from repro.atlas.geo import organization_by_name
-from repro.atlas.measurement import MeasurementClient, dns_exchange
+from repro.atlas.measurement import MeasurementClient
 from repro.atlas.scenario import build_scenario
 from repro.cpe.firmware import (
     dnat_interceptor,

@@ -135,11 +135,11 @@ class TestGarbageInterceptor:
 
     def test_garbage_counted_as_rejected(self, org):
         from repro.dnswire.chaosnames import make_id_server_query
-        from repro.atlas.measurement import dns_exchange
+        from repro.atlas.transport import udp53_exchange
 
         sc = build_scenario(make_spec(org, probe_id=2501))
         splice_interceptor(sc, GarbageInterceptor)
-        result = dns_exchange(
+        result = udp53_exchange(
             sc.network, sc.host, "1.1.1.1", make_id_server_query(msg_id=3)
         )
         assert result.timed_out

@@ -11,8 +11,13 @@ from repro.atlas.geo import organization_by_name
 from repro.atlas.measurement import MeasurementClient
 from repro.atlas.scenario import build_scenario
 from repro.core.classifier import LocatorVerdict
-from repro.core.dot_probe import DotProfile, DotStatus, detect_dot_provider
+from repro.core.encrypted_probe import (
+    EncryptedProfile,
+    EncryptedStatus,
+    detect_encrypted_provider,
+)
 from repro.cpe.firmware import dnat_interceptor
+from repro.interceptors.encrypted import PASS_THROUGH
 from repro.interceptors.policy import allow_only, intercept_all
 from repro.resolvers.public import PROVIDER_SPECS, Provider
 
@@ -33,12 +38,14 @@ class TestDotThroughDnatCpe:
         """A hijacking XB6 plus a DoT-capable ISP interceptor: UDP/53 is
         eaten by the CPE (so the middlebox never sees it), while DoT
         passes the CPE and is hijacked by the middlebox — two different
-        interceptors visible on two different transports."""
+        interceptors visible on two different transports. The CPE's
+        encrypted posture is forced to pass-through: this household's
+        hijacker DNATs port 53 but leaves 853 unfirewalled."""
         dot_policy = replace(intercept_all(), intercept_dot=True)
         spec = make_spec(
             org,
             probe_id=2400,
-            firmware=dnat_interceptor(),
+            firmware=replace(dnat_interceptor(), encrypted_dns=PASS_THROUGH),
             middlebox_policies=[dot_policy],
         )
         sc = build_scenario(spec)
@@ -49,13 +56,13 @@ class TestDotThroughDnatCpe:
         assert result.verdict is LocatorVerdict.CPE
 
         # DoT opportunistic: hijacked by the *middlebox*.
-        verdict = detect_dot_provider(
+        verdict = detect_encrypted_provider(
             client,
             Provider.GOOGLE,
-            profile=DotProfile.OPPORTUNISTIC,
+            profile=EncryptedProfile.OPPORTUNISTIC,
             rng=random.Random(1),
         )
-        assert verdict.status is DotStatus.INTERCEPTED
+        assert verdict.status is EncryptedStatus.INTERCEPTED
         # And the middlebox's identity, not the CPE's, terminated it.
         assert verdict.exchange.observed_identity.startswith("dot.isp-resolver")
 

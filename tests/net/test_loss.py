@@ -3,7 +3,8 @@
 import pytest
 
 from repro.atlas.geo import organization_by_name
-from repro.atlas.measurement import dns_exchange
+from repro.atlas.retry import FixedIntervalRetry
+from repro.atlas.transport import udp53_exchange
 from repro.atlas.scenario import build_scenario
 from repro.dnswire.chaosnames import make_id_server_query
 from repro.net import Host, Network, SimulationError, make_udp
@@ -103,23 +104,22 @@ class TestRetransmission:
         with_retries = without_retries = 0
         for seed in range(1, 13):
             sc = self.make_lossy_scenario(0.4, seed)
-            result = dns_exchange(
+            result = udp53_exchange(
                 sc.network,
                 sc.host,
                 "1.1.1.1",
                 make_id_server_query(msg_id=seed),
-                retries=8,
-                retry_interval_ms=400.0,
+                retry=FixedIntervalRetry(retries=8, interval_ms=400.0),
             )
             with_retries += 0 if result.timed_out else 1
 
             sc2 = self.make_lossy_scenario(0.4, seed + 100)
-            result2 = dns_exchange(
+            result2 = udp53_exchange(
                 sc2.network,
                 sc2.host,
                 "1.1.1.1",
                 make_id_server_query(msg_id=seed),
-                retries=0,
+                retry=None,
             )
             without_retries += 0 if result2.timed_out else 1
         assert with_retries > without_retries
@@ -127,13 +127,12 @@ class TestRetransmission:
 
     def test_retry_preserves_message_id(self):
         sc = self.make_lossy_scenario(0.9, 42)
-        result = dns_exchange(
+        result = udp53_exchange(
             sc.network,
             sc.host,
             "1.1.1.1",
             make_id_server_query(msg_id=777),
-            retries=8,
-            retry_interval_ms=200.0,
+            retry=FixedIntervalRetry(retries=8, interval_ms=200.0),
         )
         if result.response is not None:
             assert result.response.msg_id == 777
@@ -141,12 +140,12 @@ class TestRetransmission:
     def test_no_retries_on_clean_path_single_rtt(self):
         org = organization_by_name("Comcast")
         sc = build_scenario(make_spec(org, probe_id=9))
-        result = dns_exchange(
+        result = udp53_exchange(
             sc.network,
             sc.host,
             "1.1.1.1",
             make_id_server_query(msg_id=1),
-            retries=3,
+            retry=FixedIntervalRetry(retries=3),
         )
         assert not result.timed_out
         assert result.rtt_ms < 200.0  # answered on the first attempt

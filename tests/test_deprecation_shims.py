@@ -89,3 +89,103 @@ class TestStudyShims:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             run_pilot_study([spec(802)], StudyConfig(workers=1))
+
+
+class TestExchangeShims:
+    """The pre-registry exchange functions: warn, then delegate."""
+
+    def _scenario(self, probe_id):
+        return build_scenario(spec(probe_id))
+
+    def test_dns_exchange_warns_and_answers(self):
+        from repro.atlas.measurement import dns_exchange
+        from repro.dnswire.chaosnames import make_id_server_query
+
+        sc = self._scenario(810)
+        with pytest.warns(DeprecationWarning, match="dns_exchange") as caught:
+            result = dns_exchange(
+                sc.network, sc.host, "1.1.1.1", make_id_server_query(msg_id=1)
+            )
+        assert len(caught) == 1
+        assert not result.timed_out
+
+    def test_dot_exchange_warns_and_answers(self):
+        from repro.atlas.measurement import dot_exchange
+        from repro.dnswire import QType, make_query
+
+        sc = self._scenario(811)
+        with pytest.warns(DeprecationWarning, match="dot_exchange") as caught:
+            result = dot_exchange(
+                sc.network,
+                sc.host,
+                "8.8.8.8",
+                make_query("o-o.myaddr.l.google.com.", QType.TXT, msg_id=2),
+                expected_identity="dns.google",
+            )
+        assert len(caught) == 1
+        assert result.answered and not result.identity_rejected
+
+    def test_registry_resolve_is_silent(self):
+        from repro.atlas.measurement import MeasurementClient
+        from repro.atlas.transport import resolve
+        from repro.dnswire.chaosnames import make_id_server_query
+
+        sc = self._scenario(812)
+        client = MeasurementClient(sc.network, sc.host)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for transport, kwargs in (
+                ("udp53", {}),
+                ("dot", {"expected_identity": "dns.google"}),
+                ("doh", {"expected_identity": "dns.google", "method": "GET"}),
+                ("doq", {"expected_identity": "dns.google"}),
+            ):
+                result = resolve(
+                    client,
+                    make_id_server_query(msg_id=3),
+                    "8.8.8.8",
+                    transport=transport,
+                    **kwargs,
+                )
+                assert result.answered, transport
+
+
+class TestDotProbeShims:
+    """``repro.core.dot_probe`` names: warn on access, then alias."""
+
+    def test_attribute_access_warns_and_aliases(self):
+        import repro.core.dot_probe as legacy
+        from repro.core import encrypted_probe as modern
+
+        for name, replacement in (
+            ("DotProfile", modern.EncryptedProfile),
+            ("DotStatus", modern.EncryptedStatus),
+            ("DotVerdict", modern.EncryptedVerdict),
+            ("DotReport", modern.EncryptedReport),
+            ("detect_dot_provider", modern.detect_encrypted_provider),
+            ("detect_dot_all", modern.detect_encrypted_all),
+        ):
+            with pytest.warns(DeprecationWarning, match=name) as caught:
+                obj = getattr(legacy, name)
+            assert len(caught) == 1
+            # Same object, not a copy: isinstance checks keep working
+            # across old and new spellings.
+            assert obj is replacement
+
+    def test_package_level_alias_warns(self):
+        import repro.core
+
+        with pytest.warns(DeprecationWarning, match="DotStatus"):
+            assert repro.core.DotStatus is repro.core.EncryptedStatus
+
+    def test_modern_names_are_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            from repro.core import (  # noqa: F401
+                EncryptedProfile,
+                EncryptedReport,
+                EncryptedStatus,
+                EncryptedVerdict,
+                detect_encrypted_all,
+                detect_encrypted_provider,
+            )
