@@ -24,7 +24,7 @@ from repro.atlas.scenario import build_scenario
 from repro.core.encrypted_probe import (
     EncryptedProfile,
     EncryptedStatus,
-    detect_encrypted_provider,
+    probe_encrypted_provider,
 )
 from repro.cpe.firmware import xb6_profile
 from repro.interceptors.policy import intercept_all
@@ -61,7 +61,7 @@ def test_dot_privacy_profile_matrix(benchmark):
             rng = random.Random(spec.probe_id)
             row = {}
             for profile in EncryptedProfile:
-                verdict = detect_encrypted_provider(
+                verdict = probe_encrypted_provider(
                     client, Provider.GOOGLE, profile=profile, rng=rng
                 )
                 row[profile] = verdict.status

@@ -388,6 +388,74 @@ def _run_transports(args) -> int:
     return 0
 
 
+def compare_detector_throughput(fleet: int, seed: int) -> dict:
+    """Serial study throughput per detector axis.
+
+    The ``heuristic`` row is the plain three-step locator study; the
+    ``both`` row adds the certificate cross-validation pass (per-provider
+    canaries, cert fetches, NXDOMAIN canaries) to every online probe.
+    On a mostly-clean fleet the record memo dedups identical scenarios,
+    so the *marginal* cost of adding the cert detector must stay small —
+    the ``--detectors`` gate asserts it under 2x. The ``both`` row's
+    records are additionally verified worker-invariant (1 vs 2).
+    """
+    specs = generate_population(size=fleet, seed=seed)
+    rows = []
+    for detector in ("heuristic", "both"):
+        config = StudyConfig(workers=1, seed=seed, detector=detector)
+        run_pilot_study(specs, config)  # warm-up
+        started = time.perf_counter()
+        serial = run_pilot_study(specs, config)
+        elapsed = time.perf_counter() - started
+        if detector == "both":
+            sharded = run_pilot_study(
+                specs, StudyConfig(workers=2, seed=seed, detector=detector)
+            )
+            if sharded.records != serial.records:
+                raise AssertionError(
+                    "both-detector sharded records differ from serial — "
+                    "determinism broken"
+                )
+        flagged = sum(
+            1
+            for r in serial.records
+            if r.cert_verdict == "intercepted"
+        )
+        rows.append(
+            {
+                "detector": detector,
+                "seconds": elapsed,
+                "probes_per_s": fleet / elapsed,
+                "cert_flagged": flagged,
+            }
+        )
+    return {"fleet": fleet, "seed": seed, "rows": rows}
+
+
+def _run_detectors(args) -> int:
+    stats = compare_detector_throughput(args.fleet, args.seed)
+    heuristic, both = stats["rows"]
+    ratio = both["seconds"] / heuristic["seconds"]
+    print(f"fleet={stats['fleet']} probes  serial, mostly-clean fleet")
+    for row in stats["rows"]:
+        print(
+            f"{row['detector']:9s} : {row['seconds']:7.2f}s  "
+            f"{row['probes_per_s']:8.1f} probes/s  "
+            f"{row['cert_flagged']:3d} cert-flagged"
+        )
+    print(
+        f"cost ratio : {ratio:.2f}x  (limit {args.max_detector_ratio:.2f}x; "
+        "both-detector workers 1==2 verified)"
+    )
+    if ratio > args.max_detector_ratio:
+        print(
+            f"FAIL: cert+heuristic study costs {ratio:.2f}x the "
+            f"heuristic-only study (limit {args.max_detector_ratio:.2f}x)"
+        )
+        return 1
+    return 0
+
+
 def _run_throughput(args) -> int:
     stats = compare_fleet_throughput(args.fleet, args.seed, args.workers)
     print(
@@ -450,6 +518,20 @@ def main(argv=None) -> int:
         "(udp53 baseline vs dot/doh/doq evasion runs)",
     )
     parser.add_argument(
+        "--detectors",
+        action="store_true",
+        help="measure serial study throughput per detector axis "
+        "(heuristic-only baseline vs the cert+heuristic agreement run)",
+    )
+    parser.add_argument(
+        "--max-detector-ratio",
+        type=float,
+        default=2.0,
+        metavar="X",
+        help="--detectors: exit nonzero if cert+heuristic costs more than "
+        "X times the heuristic-only study (default 2.0)",
+    )
+    parser.add_argument(
         "--reference-fleet",
         type=int,
         default=500,
@@ -495,6 +577,8 @@ def main(argv=None) -> int:
         return _run_engines(args)
     if args.transports:
         return _run_transports(args)
+    if args.detectors:
+        return _run_detectors(args)
     return _run_throughput(args)
 
 

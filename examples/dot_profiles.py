@@ -24,7 +24,7 @@ from repro.atlas.geo import organization_by_name
 from repro.atlas.measurement import MeasurementClient
 from repro.atlas.probe import IspBehavior, ProbeSpec
 from repro.atlas.scenario import build_scenario
-from repro.core.encrypted_probe import EncryptedProfile, detect_encrypted_provider
+from repro.core.encrypted_probe import EncryptedProfile, probe_encrypted_provider
 from repro.cpe.firmware import honest_router, xb6_profile
 from repro.interceptors.policy import intercept_all
 from repro.resolvers.public import Provider
@@ -67,7 +67,7 @@ def main() -> None:
         rng = random.Random(spec.probe_id)
         statuses = {}
         for profile in EncryptedProfile:
-            verdict = detect_encrypted_provider(
+            verdict = probe_encrypted_provider(
                 client, Provider.GOOGLE, profile=profile, rng=rng
             )
             statuses[profile] = verdict.status.value

@@ -27,6 +27,13 @@ from .stability import (
     build_stability_report,
     compare_verdicts,
 )
+from .agreement import (
+    CERT_AXIS,
+    CONTENT_ONLY,
+    HEURISTIC_AXIS,
+    AgreementTable,
+    build_agreement_table,
+)
 from .evasion import (
     EVASION_CLASSES,
     EvasionRow,
@@ -66,6 +73,11 @@ __all__ = [
     "VerdictFlip",
     "build_stability_report",
     "compare_verdicts",
+    "CERT_AXIS",
+    "CONTENT_ONLY",
+    "HEURISTIC_AXIS",
+    "AgreementTable",
+    "build_agreement_table",
     "EVASION_CLASSES",
     "EvasionRow",
     "EvasionTable",

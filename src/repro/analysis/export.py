@@ -109,10 +109,12 @@ def config_to_dict(config: StudyConfig) -> dict[str, Any]:
                 **dataclasses.asdict(config.retry),
             }
         ),
-        # The evasion axis changes *what* is measured, so unlike
-        # workers/engine it belongs in exports and store fingerprints.
+        # The evasion and detector axes change *what* is measured, so
+        # unlike workers/engine they belong in exports and store
+        # fingerprints.
         "transport": config.transport,
         "evasion": config.evasion,
+        "detector": config.detector,
     }
 
 
@@ -142,6 +144,7 @@ def config_from_dict(data: dict[str, Any]) -> StudyConfig:
         retry=retry_policy,
         transport=str(data.get("transport", "udp53")),
         evasion=bool(data.get("evasion", False)),
+        detector=str(data.get("detector", "heuristic")),
     )
 
 

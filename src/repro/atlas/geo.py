@@ -101,6 +101,20 @@ def organization_by_asn(asn: int) -> Organization:
     raise KeyError(asn)
 
 
+def as_identity(asn: "int | None", label: str) -> str:
+    """Certificate identity for an operator-run node inside an AS.
+
+    Every addressable node in the simulation presents a TLS identity
+    derived from its operator: ``as_identity(7922, "dot.isp-resolver")``
+    -> ``"dot.isp-resolver.as7922.example.net"``. Nodes without an AS
+    (hosted/transit infrastructure) fall back to the bare label under
+    ``example.net``.
+    """
+    if asn is None:
+        return f"{label}.example.net"
+    return f"{label}.as{asn}.example.net"
+
+
 def total_probe_weight() -> float:
     return sum(org.probe_weight for org in ORGANIZATIONS)
 

@@ -118,6 +118,21 @@ class PopulationConfig:
     #: byte-identical to pre-encrypted-workload exports.
     middlebox_encrypted_block_share: float = 0.35
     middlebox_encrypted_downgrade_share: float = 0.25
+    #: Encrypted-only interceptors: probes whose ISP middlebox leaves
+    #: plaintext port 53 untouched but terminates-and-downgrades every
+    #: encrypted transport. Invisible to the plaintext locator (the
+    #: heuristic scores them clean); the certificate cross-validation
+    #: detector flags the foreign per-AS identity. Design count at the
+    #: reference size, scaled like the interceptor counts; drawn from
+    #: the honest pool *after* the fleet shuffle, on a dedicated RNG.
+    encrypted_only_downgrade_count: int = 12
+    #: Fraction of in-ISP REDIRECT middleboxes whose alternate resolver
+    #: also monetises NXDOMAIN (wildcards unregistered names to an ad
+    #: server) — invisible to the resolvable-domain heuristic probes,
+    #: caught by the cert detector's NXDOMAIN canary.
+    isp_nxdomain_wildcard_share: float = 0.10
+    #: The forged address such monetising resolvers answer with.
+    nxdomain_wildcard_address: str = "203.0.113.80"
 
 
 #: version.bind software mix for the 47 true CPE interceptors. Together
@@ -190,6 +205,7 @@ class _Draft:
     force_ipv6: Optional[bool] = None
     note: str = ""
     resolver_key_override: Optional[str] = None
+    nxdomain_wildcard_to: Optional[str] = None
 
 
 class PopulationGenerator:
@@ -475,6 +491,62 @@ class PopulationGenerator:
                 for policy in draft.external_policies
             ]
 
+    def _assign_nxdomain_wildcards(self, drafts: "list[_Draft]") -> None:
+        """Give a share of ISP REDIRECT interceptors a monetising resolver.
+
+        Sampled on a dedicated RNG stream (like the encrypted postures):
+        the plaintext answers these resolvers give to *resolvable* names
+        are untouched, so the calibrated heuristic fleet must stay
+        byte-identical with the feature on or off.
+        """
+        cfg = self.config
+        wc_rng = random.Random(cfg.seed * 74093 + 53)
+        for draft in drafts:
+            if not draft.note.startswith("isp"):
+                continue
+            if not any(
+                p.mode is InterceptMode.REDIRECT and p.plaintext
+                for p in draft.middlebox_policies
+            ):
+                continue
+            if wc_rng.random() < cfg.isp_nxdomain_wildcard_share:
+                draft.nxdomain_wildcard_to = cfg.nxdomain_wildcard_address
+
+    def _convert_encrypted_only(self, drafts: "list[_Draft]") -> None:
+        """Turn the first N honest drafts into encrypted-only interceptors.
+
+        Runs *after* the fleet shuffle so the converted probes are spread
+        pseudo-randomly through the fleet without consuming the main RNG
+        stream (mutating a draft in place never touches ``self.rng``).
+        The policy's ``plaintext=False`` keeps ``true_location()`` at
+        NONE — ground truth agrees with the plaintext locator; only the
+        certificate detector sees these boxes.
+        """
+        cfg = self.config
+        count = cfg.encrypted_only_downgrade_count
+        if cfg.size < 9800:
+            scaled = count * cfg.size / 9800
+            conv_rng = random.Random(cfg.seed * 104729 + 443)
+            count = int(scaled) + (
+                1 if conv_rng.random() < scaled - int(scaled) else 0
+            )
+        converted = 0
+        for draft in drafts:
+            if converted >= count:
+                break
+            if draft.note != "honest":
+                continue
+            draft.note = "isp-encrypted-downgrade"
+            draft.middlebox_policies.append(
+                InterceptionPolicy(
+                    mode=InterceptMode.REDIRECT,
+                    plaintext=False,
+                    encrypted=downgrade_all(),
+                    intercept_bogons=False,
+                )
+            )
+            converted += 1
+
     # -- assembly ------------------------------------------------------------------
 
     def generate(self) -> list[ProbeSpec]:
@@ -487,9 +559,11 @@ class PopulationGenerator:
         )
         self._add_v6_interception(drafts)
         self._assign_encrypted_postures(drafts)
+        self._assign_nxdomain_wildcards(drafts)
         honest_needed = max(0, cfg.size - len(drafts))
         drafts += self._draft_honest(honest_needed)
         self.rng.shuffle(drafts)
+        self._convert_encrypted_only(drafts)
 
         specs: list[ProbeSpec] = []
         for index, draft in enumerate(drafts):
@@ -517,6 +591,7 @@ class PopulationGenerator:
                             or _org_resolver_key(draft.organization)
                         ),
                         middlebox_policies=tuple(draft.middlebox_policies),
+                        nxdomain_wildcard_to=draft.nxdomain_wildcard_to,
                     ),
                     external_policies=tuple(draft.external_policies),
                     has_ipv6=has_ipv6,

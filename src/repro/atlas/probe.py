@@ -42,6 +42,11 @@ class IspBehavior:
     # §6 limitation: if the ISP's resolver lives outside the client AS,
     # bogon queries can't prove "within ISP" even for in-ISP middleboxes.
     resolver_outside_as: bool = False
+    #: NXDOMAIN monetisation: the ISP resolver forges an A record
+    #: pointing here for nonexistent names (the cert detector's
+    #: nxdomain-rewrite canary catches it; plaintext content heuristics
+    #: never query a nonexistent name).
+    nxdomain_wildcard_to: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -74,9 +79,12 @@ class ProbeSpec:
         """Ground truth: where is this probe's (IPv4) interceptor?"""
         if self.firmware.is_interceptor:
             return InterceptorLocation.CPE
-        if self.isp.middlebox_policies:
+        # Encrypted-only middleboxes (plaintext=False) never touch the
+        # port-53 path the locator measures, so for *this* ground truth
+        # — which scores the plaintext locator — they do not count.
+        if any(p.plaintext for p in self.isp.middlebox_policies):
             return InterceptorLocation.ISP
-        if self.external_policies:
+        if any(p.plaintext for p in self.external_policies):
             return InterceptorLocation.BEYOND
         return InterceptorLocation.NONE
 

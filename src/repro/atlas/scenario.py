@@ -41,6 +41,7 @@ from repro.resolvers.software import (
     unbound_hidden,
 )
 
+from .geo import as_identity
 from .probe import ProbeSpec
 
 #: Transit-network prefix hosting the external interceptor and the
@@ -244,6 +245,12 @@ def build_scenario(
         directory=directory,
         software=resolver_software(spec.isp.resolver_software_key),
         asn=org.asn if inside_as else None,
+        # Operator-derived certificate identity: an in-AS resolver
+        # presents its ISP's per-AS name, a hosted one the generic one.
+        tls_identity=as_identity(
+            org.asn if inside_as else None, "dot.isp-resolver"
+        ),
+        nxdomain_wildcard_to=spec.isp.nxdomain_wildcard_to,
     )
 
     # -- home -----------------------------------------------------------------

@@ -31,6 +31,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from dataclasses import replace
@@ -57,7 +58,8 @@ from repro.atlas.probe import IspBehavior, ProbeSpec
 from repro.atlas.retry import ExponentialBackoffRetry
 from repro.atlas.scenario import ScenarioSpec, build_scenario
 from repro.core.catalog import location_query_table
-from repro.core.encrypted_probe import EncryptedProfile, detect_encrypted_provider
+from repro.core.detector_registry import STUDY_DETECTORS
+from repro.core.encrypted_probe import EncryptedProfile, probe_encrypted_provider
 from repro.core.metrics import TRACE_LEVELS
 from repro.core.study import STUDY_TRANSPORTS, StudyConfig, run_pilot_study
 from repro.net.impairment import IMPAIRMENT_PROFILES, impairment_profile
@@ -259,6 +261,16 @@ def cmd_study(args: argparse.Namespace) -> int:
     if args.chaos_trials and not args.impair:
         print("--chaos-trials requires --impair", file=sys.stderr)
         return 2
+    if args.evasion and args.detector == "cert":
+        print(
+            "--evasion needs the heuristic locator in the loop; use "
+            "--detector heuristic or both",
+            file=sys.stderr,
+        )
+        return 2
+    if args.agreement_json and args.detector != "both":
+        print("--agreement-json requires --detector both", file=sys.stderr)
+        return 2
     if args.evasion and args.transport == "udp53":
         print(
             "--evasion needs an encrypted transport: add --transport "
@@ -306,6 +318,7 @@ def cmd_study(args: argparse.Namespace) -> int:
             trace=args.trace,
             transport=args.transport,
             evasion=args.evasion,
+            detector=args.detector,
         )
         if args.chaos_trials:
             return _run_chaos_study(args, specs, config)
@@ -361,6 +374,18 @@ def cmd_study(args: argparse.Namespace) -> int:
         if not _write_output_file(args.save, study_to_json(study), "study records"):
             return 2
         print(f"saved records to {args.save}", file=sys.stderr)
+    detector = study.config.detector if study.config is not None else "heuristic"
+    if detector == "cert":
+        # Cert-only records carry CertVerdict values, which the
+        # heuristic tables (Table 4/5, figures) cannot consume.
+        print(_render_cert_summary(study))
+        if args.accuracy:
+            print(
+                "--accuracy scores locator verdicts; run --detector "
+                "heuristic or both",
+                file=sys.stderr,
+            )
+        return 0
     print(build_table4(study).render())
     print()
     print(build_table5(study).render())
@@ -374,6 +399,22 @@ def cmd_study(args: argparse.Namespace) -> int:
 
         print()
         print(build_evasion_table(study).render())
+    if detector == "both":
+        from repro.analysis.agreement import build_agreement_table
+
+        agreement = build_agreement_table(study)
+        print()
+        print(agreement.render())
+        if args.agreement_json:
+            payload = json.dumps(agreement.to_dict(), indent=2) + "\n"
+            if not _write_output_file(
+                args.agreement_json, payload, "agreement table"
+            ):
+                return 2
+            print(
+                f"saved agreement table to {args.agreement_json}",
+                file=sys.stderr,
+            )
     print()
     from repro.analysis.replication import build_replication_report
 
@@ -388,6 +429,25 @@ def cmd_study(args: argparse.Namespace) -> int:
         print()
         print(score_study(study).render())
     return 0
+
+
+def _render_cert_summary(study) -> str:
+    """Verdict/cause tallies of a cert-only study."""
+    counts: dict[tuple[str, str], int] = {}
+    for record in study.records:
+        if not record.online:
+            continue
+        key = (record.cert_verdict or "no-data", record.cert_cause or "-")
+        counts[key] = counts.get(key, 0) + 1
+    rows = [
+        [verdict, cause, count]
+        for (verdict, cause), count in sorted(counts.items())
+    ]
+    return render_table(
+        ("cert verdict", "cause", "probes"),
+        rows,
+        title="Certificate cross-validation summary (online probes)",
+    )
 
 
 def cmd_results(args: argparse.Namespace) -> int:
@@ -515,7 +575,7 @@ def cmd_dot(args: argparse.Namespace) -> int:
     for provider in Provider:
         statuses = []
         for profile in (EncryptedProfile.OPPORTUNISTIC, EncryptedProfile.STRICT):
-            verdict = detect_encrypted_provider(
+            verdict = probe_encrypted_provider(
                 client, provider, transport=args.transport, profile=profile, rng=rng
             )
             statuses.append(verdict.status.value)
@@ -623,6 +683,19 @@ def build_parser() -> argparse.ArgumentParser:
         "retry intercepted providers over --transport (opportunistic "
         "profile) and report evaded/blocked/downgraded per interceptor "
         "location",
+    )
+    study.add_argument(
+        "--detector",
+        choices=STUDY_DETECTORS,
+        default="heuristic",
+        help="which detector classifies each probe: the content heuristic, "
+        "the certificate cross-validator, or both (the agreement study)",
+    )
+    study.add_argument(
+        "--agreement-json",
+        metavar="PATH",
+        help="with --detector both: write the agreement confusion matrix "
+        "as JSON (byte-identical for any --workers value)",
     )
     study.add_argument("--save", metavar="PATH", help="write records as JSON")
     study.add_argument(

@@ -44,8 +44,26 @@ from .encrypted_probe import (
     EncryptedReport,
     EncryptedStatus,
     EncryptedVerdict,
-    detect_encrypted_all,
-    detect_encrypted_provider,
+    detect_encrypted_all,  # deprecated shim (warns when called)
+    detect_encrypted_provider,  # deprecated shim (warns when called)
+    probe_encrypted_all,
+    probe_encrypted_provider,
+)
+from .cert_validate import (
+    CertCause,
+    CertFetch,
+    CertObservation,
+    CertReport,
+    CertVerdict,
+    cert_fetch,
+    validate_certificates,
+)
+from .detector_registry import (
+    DETECTORS,
+    STUDY_DETECTORS,
+    Detector,
+    DetectorVerdict,
+    get_detector,
 )
 from .baseline import (
     AuthoritativeObservation,
@@ -131,6 +149,20 @@ __all__ = [
     "EncryptedVerdict",
     "detect_encrypted_all",
     "detect_encrypted_provider",
+    "probe_encrypted_all",
+    "probe_encrypted_provider",
+    "CertCause",
+    "CertFetch",
+    "CertObservation",
+    "CertReport",
+    "CertVerdict",
+    "cert_fetch",
+    "validate_certificates",
+    "DETECTORS",
+    "STUDY_DETECTORS",
+    "Detector",
+    "DetectorVerdict",
+    "get_detector",
     "DotProfile",
     "DotReport",
     "DotStatus",

@@ -25,14 +25,15 @@ from repro.atlas.measurement import ExchangeStatus, MeasurementClient
 from repro.net.addr import IPAddress
 from repro.resolvers.public import Provider
 
+from .cert_validate import CertReport
 from .cpe_check import CpeCheckResult, check_cpe
 from .detector import DetectionReport, InterceptionStatus, detect_all
 from .encrypted_probe import (
     EncryptedProfile,
     EncryptedVerdict,
     EvasionOutcome,
-    detect_encrypted_provider,
     evasion_outcome_of,
+    probe_encrypted_provider,
 )
 from .isp_check import IspCheckResult, check_isp
 from .metrics import active_registry
@@ -83,13 +84,21 @@ class ProbeClassification:
     #: Opportunistic-profile encrypted verdicts, one per intercepted
     #: provider of the analysis family; empty when evasion did not run.
     evasion: dict[Provider, EncryptedVerdict] = field(default_factory=dict)
+    #: Which registry detector(s) produced this classification
+    #: (``"heuristic"``, ``"cert"`` or ``"both"``).
+    detector: str = "heuristic"
+    #: Certificate cross-validation report, when the cert detector ran.
+    cert: Optional["CertReport"] = None
 
     @property
     def intercepted(self) -> bool:
-        return self.verdict not in (
-            LocatorVerdict.NOT_INTERCEPTED,
-            LocatorVerdict.INCONCLUSIVE,
-            LocatorVerdict.NO_DATA,
+        # Compared by verdict *value*, not enum identity: the verdict
+        # may be a LocatorVerdict or a CertVerdict (any DetectorVerdict
+        # whose clean states share these spellings).
+        return self.verdict.value not in (
+            LocatorVerdict.NOT_INTERCEPTED.value,
+            LocatorVerdict.INCONCLUSIVE.value,
+            LocatorVerdict.NO_DATA.value,
         )
 
     @property
@@ -253,7 +262,7 @@ class InterceptionLocator:
             result.evasion_transport = self.evasion_transport
             with metrics.timer("locator.wall_ms.evasion"):
                 for provider in intercepted:
-                    result.evasion[provider] = detect_encrypted_provider(
+                    result.evasion[provider] = probe_encrypted_provider(
                         self.client,
                         provider,
                         transport=self.evasion_transport,

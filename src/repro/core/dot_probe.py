@@ -21,8 +21,10 @@ _ALIASES = {
     "DotStatus": _generic.EncryptedStatus,
     "DotVerdict": _generic.EncryptedVerdict,
     "DotReport": _generic.EncryptedReport,
-    "detect_dot_provider": _generic.detect_encrypted_provider,
-    "detect_dot_all": _generic.detect_encrypted_all,
+    # Point at the modern (non-warning) implementations so an old-name
+    # access emits exactly one DeprecationWarning, not two.
+    "detect_dot_provider": _generic.probe_encrypted_provider,
+    "detect_dot_all": _generic.probe_encrypted_all,
 }
 
 __all__ = list(_ALIASES)

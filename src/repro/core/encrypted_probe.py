@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import enum
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -130,7 +131,7 @@ def evasion_outcome_of(verdict: EncryptedVerdict) -> EvasionOutcome:
     return EvasionOutcome.BLOCKED
 
 
-def detect_encrypted_provider(
+def probe_encrypted_provider(
     client: MeasurementClient,
     provider: Provider,
     transport: str = "dot",
@@ -138,7 +139,12 @@ def detect_encrypted_provider(
     family: int = 4,
     rng: Optional[random.Random] = None,
 ) -> EncryptedVerdict:
-    """Issue the provider's location query over one encrypted transport."""
+    """Issue the provider's location query over one encrypted transport.
+
+    This is the implementation behind the ``"encrypted"`` entry of
+    :data:`repro.core.detector_registry.DETECTORS`; study code should
+    dispatch through :func:`repro.core.detector_registry.get_detector`.
+    """
     if transport not in ENCRYPTED_TRANSPORTS:
         raise ValueError(
             f"transport must be one of {ENCRYPTED_TRANSPORTS}, got {transport!r}"
@@ -185,7 +191,7 @@ class EncryptedReport:
         )
 
 
-def detect_encrypted_all(
+def probe_encrypted_all(
     client: MeasurementClient,
     transport: str = "dot",
     profiles: tuple[EncryptedProfile, ...] = (
@@ -198,7 +204,7 @@ def detect_encrypted_all(
     report = EncryptedReport(transport=transport)
     for profile in profiles:
         for provider in PROVIDER_ORDER:
-            report.verdicts[(provider, profile)] = detect_encrypted_provider(
+            report.verdicts[(provider, profile)] = probe_encrypted_provider(
                 client,
                 provider,
                 transport=transport,
@@ -207,3 +213,31 @@ def detect_encrypted_all(
                 rng=rng,
             )
     return report
+
+
+def detect_encrypted_provider(*args, **kwargs) -> EncryptedVerdict:
+    """Deprecated alias of :func:`probe_encrypted_provider`.
+
+    The detector registry (PR 8) made the encrypted probe one of three
+    peers behind ``get_detector``; the old direct-call name survives as
+    a shim.
+    """
+    warnings.warn(
+        "detect_encrypted_provider() is deprecated; call "
+        'get_detector("encrypted").classify(...) or '
+        "probe_encrypted_provider() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return probe_encrypted_provider(*args, **kwargs)
+
+
+def detect_encrypted_all(*args, **kwargs) -> EncryptedReport:
+    """Deprecated alias of :func:`probe_encrypted_all`."""
+    warnings.warn(
+        "detect_encrypted_all() is deprecated; call "
+        "probe_encrypted_all() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return probe_encrypted_all(*args, **kwargs)

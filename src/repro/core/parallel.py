@@ -184,6 +184,7 @@ def measure_shard(
     engine = config.engine if config is not None else "fast"
     transport = config.transport if config is not None else "udp53"
     evasion = config.evasion if config is not None else False
+    detector = config.detector if config is not None else "heuristic"
     registry = active_registry()
     # Dedup is only sound when nothing per-probe beyond the memo key can
     # influence the record: impairment streams and retry jitter are
@@ -215,6 +216,7 @@ def measure_shard(
                     run_transparency,
                     transport,
                     evasion,
+                    detector,
                 )
                 cached = memo.get(key)
                 if cached is not None:
@@ -251,8 +253,9 @@ def measure_shard(
             scenario_cache=scenario_cache,
             transport=transport,
             evasion=evasion,
+            detector=detector,
         )
-        record = classification_to_record(spec, classification)
+        record = classification_to_record(spec, classification, detector=detector)
         if key is not None:
             memo[key] = record
         pairs.append((index, record))

@@ -26,8 +26,9 @@ from repro.atlas.scenario import Scenario, ScenarioSpec, build_scenario
 from repro.net.impairment import LinkProfile
 from repro.resolvers.public import Provider
 
-from .classifier import InterceptionLocator, LocatorVerdict, ProbeClassification
+from .classifier import LocatorVerdict, ProbeClassification
 from .detector import InterceptionStatus
+from .detector_registry import STUDY_DETECTORS, get_detector
 from .encrypted_probe import EVASION_PRIORITY, evasion_outcome_of
 from .metrics import TRACE_LEVELS, MetricsSnapshot
 from .transparency import ProbeTransparency
@@ -88,6 +89,14 @@ class StudyConfig:
         silently measure nothing, so both mismatches are rejected.
         Unlike ``workers``/``engine`` these change *what* is measured,
         so they are serialized into exports and store fingerprints.
+    ``detector``
+        Which registry detector(s) classify each probe:
+        ``"heuristic"`` (the three-step locator, the default),
+        ``"cert"`` (certificate cross-validation only) or ``"both"``
+        (heuristic first, then cert on the same scenario — the
+        agreement study). Like ``transport``/``evasion`` this changes
+        *what* is measured, so it is serialized into exports and store
+        fingerprints.
     """
 
     workers: Optional[int] = 1
@@ -101,6 +110,7 @@ class StudyConfig:
     engine: str = "fast"
     transport: str = "udp53"
     evasion: bool = False
+    detector: str = "heuristic"
 
     def __post_init__(self) -> None:
         if self.trace not in TRACE_LEVELS:
@@ -113,6 +123,16 @@ class StudyConfig:
             raise ValueError(
                 f"transport must be one of {STUDY_TRANSPORTS}, "
                 f"got {self.transport!r}"
+            )
+        if self.detector not in STUDY_DETECTORS:
+            raise ValueError(
+                f"detector must be one of {STUDY_DETECTORS}, "
+                f"got {self.detector!r}"
+            )
+        if self.evasion and self.detector == "cert":
+            raise ValueError(
+                "evasion=True needs the heuristic locator in the loop; "
+                'use detector="heuristic" or "both"'
             )
         if self.evasion and self.transport == "udp53":
             raise ValueError(
@@ -167,6 +187,14 @@ class ProbeRecord:
     #: blocked > evaded); None when evasion did not run or the probe
     #: was not intercepted.
     evasion_outcome: Optional[str] = None
+    #: Which detector axis produced this record (``"heuristic"``,
+    #: ``"cert"`` or ``"both"``); pre-registry exports default to
+    #: ``"heuristic"``.
+    detector: str = "heuristic"
+    #: Certificate cross-validation verdict/cause values; None when the
+    #: cert detector did not run (heuristic-only studies, old exports).
+    cert_verdict: Optional[str] = None
+    cert_cause: Optional[str] = None
 
     # -- per-provider helpers ----------------------------------------------
 
@@ -237,9 +265,16 @@ class StudyResult:
 
 
 def classification_to_record(
-    spec: ProbeSpec, classification: Optional[ProbeClassification]
+    spec: ProbeSpec,
+    classification: Optional[ProbeClassification],
+    detector: str = "heuristic",
 ) -> ProbeRecord:
-    """Flatten one probe's pipeline output into a record."""
+    """Flatten one probe's pipeline output into a record.
+
+    ``detector`` labels offline records (an offline probe produced no
+    classification to read the axis from); online records carry the
+    classification's own ``detector``.
+    """
     if classification is None:
         return ProbeRecord(
             probe_id=spec.probe_id,
@@ -248,6 +283,7 @@ def classification_to_record(
             country=spec.country,
             online=False,
             true_location=spec.true_location().value,
+            detector=detector,
         )
     statuses = []
     replication = False
@@ -266,6 +302,12 @@ def classification_to_record(
         evasion_outcome = next(
             o for o in EVASION_PRIORITY if o in outcomes.values()
         ).value
+    cert_verdict: Optional[str] = None
+    cert_cause: Optional[str] = None
+    if classification.cert is not None:
+        cert_verdict = classification.cert.verdict.value
+        if classification.cert.cause is not None:
+            cert_cause = classification.cert.cause.value
     return ProbeRecord(
         probe_id=spec.probe_id,
         organization=spec.organization.name,
@@ -282,6 +324,9 @@ def classification_to_record(
         evasion_transport=classification.evasion_transport,
         evasion_status=evasion_status,
         evasion_outcome=evasion_outcome,
+        detector=classification.detector,
+        cert_verdict=cert_verdict,
+        cert_cause=cert_cause,
     )
 
 
@@ -297,6 +342,7 @@ def measure_probe(
     scenario_cache=None,
     transport: str = "udp53",
     evasion: bool = False,
+    detector: str = "heuristic",
 ) -> Optional[ProbeClassification]:
     """Run the full pipeline for one probe; None when the probe is offline.
 
@@ -316,6 +362,10 @@ def measure_probe(
     ``evasion=True`` the locator retries every intercepted provider over
     ``transport`` in the opportunistic profile after the plaintext
     pipeline finishes.
+
+    ``detector`` picks the registry detector(s): ``"heuristic"``,
+    ``"cert"``, or ``"both"`` (heuristic first, then certificate
+    cross-validation over the same scenario and RNG stream).
     """
     if not spec.online:
         return None
@@ -342,17 +392,35 @@ def measure_probe(
         if not spec.responds_v6[index]:
             skip.add((provider, 6))
 
-    locator = InterceptionLocator(
-        client,
-        cpe_public_v4=scenario.cpe_public_v4,
-        cpe_public_v6=scenario.cpe_public_v6,
-        families=(4, 6) if spec.has_ipv6 else (4,),
-        rng=rng,
-        run_transparency=run_transparency,
-        skip=skip,
-        evasion_transport=transport if evasion else None,
-    )
-    return locator.classify()
+    families = (4, 6) if spec.has_ipv6 else (4,)
+    classification: Optional[ProbeClassification] = None
+    if detector in ("heuristic", "both"):
+        classification = get_detector("heuristic").classify(
+            client,
+            spec,
+            cpe_public_v4=scenario.cpe_public_v4,
+            cpe_public_v6=scenario.cpe_public_v6,
+            families=families,
+            rng=rng,
+            run_transparency=run_transparency,
+            skip=skip,
+            evasion_transport=transport if evasion else None,
+        )
+    if detector in ("cert", "both"):
+        cert_result = get_detector("cert").classify(
+            client,
+            spec,
+            family=4 if 4 in families else 6,
+            rng=rng,
+            skip=skip,
+        )
+        if classification is None:
+            classification = cert_result
+        else:
+            classification.detector = "both"
+            classification.cert = cert_result.cert
+    assert classification is not None
+    return classification
 
 
 #: Sentinel distinguishing "kwarg not passed" from any real value in the

@@ -25,23 +25,28 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.dnswire import DNS_PORT
+from repro.dnswire import DNS_PORT, RCode, decode_or_none
 from repro.net import (
     Action,
     Chain,
     NatTable,
     Packet,
     Protocol,
+    make_reply,
     udp53_dnat_rule,
 )
 from repro.net.addr import IPAddress, IPNetwork, parse_ip
 from repro.net.doh import DOH_PORT
 from repro.net.dot import DOT_PORT
 from repro.net.router import Router
-from repro.interceptors.encrypted import EncryptedDnsPolicy
+from repro.interceptors.encrypted import (
+    EncryptedDnsPolicy,
+    parse_encrypted_query,
+    wrap_encrypted_response,
+)
 from repro.resolvers.software import ServerSoftware
 
-from .encrypted import DOWNGRADE_PORT, EncryptedDnsEngine
+from .encrypted import CPE_TLS_IDENTITY, DOWNGRADE_PORT, EncryptedDnsEngine
 from .forwarder import UPSTREAM_PORT, ForwarderEngine
 
 
@@ -255,6 +260,20 @@ class CpeDevice(Router):
             self.encrypted.handle_upstream_response(self, packet)
             return
 
+        # 2c. The CPE's own TLS endpoint. A forwarder reachable from the
+        #     WAN terminates encrypted probes too — it cannot speak for
+        #     anyone else, so it refuses the query, but the session
+        #     presents the router's self-signed identity, which is what
+        #     certificate cross-validation is there to observe.
+        if (
+            packet.udp.dport in (DOT_PORT, DOH_PORT)
+            and self.forwarder is not None
+            and packet.dst in (self.wan_v4, self.wan_v6)
+            and (self.wan_port53_open or self.intercepts_family(packet.family))
+        ):
+            self._answer_tls_probe(packet)
+            return
+
         # 3. DNS service on the CPE itself.
         if packet.udp.dport == DNS_PORT and self.forwarder is not None:
             on_wan = packet.dst in (self.wan_v4, self.wan_v6)
@@ -267,6 +286,24 @@ class CpeDevice(Router):
             return
 
         self.trace("drop", packet, f"closed port {packet.udp.dport}")
+
+    def _answer_tls_probe(self, packet: Packet) -> None:
+        """Refuse an encrypted query under the CPE's own certificate."""
+        assert packet.udp is not None
+        query = parse_encrypted_query(packet.udp.payload, packet.udp.dport)
+        if query is None:
+            self.trace("drop", packet, "malformed encrypted probe")
+            return
+        inner = decode_or_none(query.dns_payload)
+        if inner is None or inner.question is None:
+            self.trace("drop", packet, "unparseable encrypted probe")
+            return
+        wire = wrap_encrypted_response(
+            query, inner.reply(rcode=RCode.REFUSED).encode(), CPE_TLS_IDENTITY
+        )
+        reply = make_reply(packet, wire)
+        self.trace("deliver", reply, "cpe tls endpoint (REFUSED)")
+        self.send_toward(reply)
 
     def _deliver_icmp(self, packet: Packet) -> None:
         """ICMP errors for NATed flows are translated back to the LAN host.

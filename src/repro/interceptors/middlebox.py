@@ -34,7 +34,8 @@ from .encrypted import (
 )
 from .policy import InterceptMode, InterceptionPolicy
 
-#: Identity the middlebox's TLS termination presents; never the target's.
+#: Fallback identity for a middlebox with no AS (transit interceptors);
+#: in-AS boxes present a per-AS name (see ``MiddleboxRouter.tls_identity``).
 MIDDLEBOX_TLS_IDENTITY = "dns-proxy.invalid"
 
 
@@ -81,6 +82,15 @@ class MiddleboxRouter(Router):
         if not policies:
             raise ValueError("a middlebox needs at least one policy")
         self.policies: tuple[InterceptionPolicy, ...] = tuple(policies)
+        # Certificate identity of this box's TLS termination: derived
+        # from the operator AS when known (a late import: repro.atlas
+        # builds scenarios out of this module).
+        if asn is not None:
+            from repro.atlas.geo import as_identity
+
+            self.tls_identity = as_identity(asn, "dns-proxy")
+        else:
+            self.tls_identity = MIDDLEBOX_TLS_IDENTITY
         self.alternate_v4 = (
             parse_ip(alternate_resolver_v4) if alternate_resolver_v4 else None
         )
@@ -157,6 +167,8 @@ class MiddleboxRouter(Router):
     def _matching_policy(self, packet: Packet) -> Optional[InterceptionPolicy]:
         is_dot = packet.udp is not None and packet.udp.dport == DOT_PORT
         for policy in self.policies:
+            if not policy.plaintext:
+                continue  # encrypted-only: Do53 passes untouched
             if is_dot and not policy.intercept_dot:
                 continue
             if policy.matches(packet):
@@ -291,7 +303,7 @@ class MiddleboxRouter(Router):
             return False
         del self._encrypted_flows[(packet.dst, packet.udp.dport)]
         wire = wrap_encrypted_response(
-            flow.query, packet.udp.payload, MIDDLEBOX_TLS_IDENTITY
+            flow.query, packet.udp.payload, self.tls_identity
         )
         rewrapped = make_udp(
             packet.src,
@@ -330,7 +342,7 @@ class MiddleboxRouter(Router):
             # The middlebox terminates the TLS session with its own
             # certificate: the identity in the frame cannot be the
             # target's. Strict-profile clients will reject this.
-            wire = wrap_dot(wire, MIDDLEBOX_TLS_IDENTITY)
+            wire = wrap_dot(wire, self.tls_identity)
         reply = make_reply(packet, wire)  # src = original dst (spoofed)
         self.trace("intercept", reply, "policy BLOCK (spoofed error)")
         self.forward_by_route(reply)

@@ -66,6 +66,11 @@ class InterceptionPolicy:
     #: pass-through, optionally per-SNI). None means the policy has no
     #: opinion about encrypted transports beyond ``intercept_dot``.
     encrypted: "Optional[EncryptedDnsPolicy]" = None
+    #: Whether the policy acts on plaintext port-53 traffic at all.
+    #: ``False`` models an encrypted-only middlebox (terminates DoT/DoH/
+    #: DoQ sessions, leaves Do53 untouched) — invisible to the plaintext
+    #: locator, caught by certificate cross-validation.
+    plaintext: bool = True
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "families", frozenset(self.families))
@@ -95,6 +100,7 @@ class InterceptionPolicy:
         block_rcode: int = RCode.REFUSED,
         intercept_dot: bool = False,
         encrypted: "Optional[EncryptedDnsPolicy]" = None,
+        plaintext: bool = True,
     ) -> "InterceptionPolicy":
         """One constructor for every observed policy shape.
 
@@ -113,6 +119,7 @@ class InterceptionPolicy:
             block_rcode=block_rcode,
             intercept_dot=intercept_dot,
             encrypted=encrypted,
+            plaintext=plaintext,
         )
 
 

@@ -154,6 +154,30 @@ def build_example_zone() -> Zone:
     return zone
 
 
+def build_provider_name_zones() -> list[Zone]:
+    """One zone per public-resolver TLS name (``dns.google.`` ...).
+
+    The certificate cross-validation detector resolves each provider's
+    own name as its canary and then "connects" to the answers; these
+    zones make the canaries resolvable, answering with the provider's
+    published service addresses. Longest-suffix dispatch keeps
+    ``dns.opendns.com.`` ahead of the broader ``opendns.com.`` zone.
+    """
+    # Late import: resolvers.public imports this module at load time.
+    from repro.resolvers.public import PROVIDER_SPECS, PROVIDER_TLS_IDENTITIES
+
+    zones = []
+    for provider, spec in PROVIDER_SPECS.items():
+        origin = PROVIDER_TLS_IDENTITIES[provider] + "."
+        zone = Zone(origin)
+        for address in spec.v4_addresses:
+            zone.add(a_record(origin, address))
+        for address in spec.v6_addresses:
+            zone.add(aaaa_record(origin, address))
+        zones.append(zone)
+    return zones
+
+
 def build_default_directory() -> NameDirectory:
     """A directory with every zone the methodology needs."""
     directory = NameDirectory()
@@ -162,4 +186,6 @@ def build_default_directory() -> NameDirectory:
     directory.add_zone(build_opendns_zone())
     directory.add_zone(build_control_zone())
     directory.add_zone(build_example_zone())
+    for zone in build_provider_name_zones():
+        directory.add_zone(zone)
     return directory

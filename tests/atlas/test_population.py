@@ -12,6 +12,7 @@ from repro.atlas.population import (
     generate_population,
 )
 from repro.atlas.probe import InterceptorLocation
+from repro.interceptors.policy import InterceptMode
 
 
 class TestDeterminism:
@@ -70,11 +71,35 @@ class TestComposition:
             if spec.true_location() is InterceptorLocation.CPE:
                 assert spec.firmware.software is not None
 
-    def test_honest_probes_have_no_policies(self, fleet):
+    def test_honest_probes_have_no_plaintext_policies(self, fleet):
+        # Encrypted-only middleboxes (plaintext=False) may sit on a
+        # ground-truth-NONE probe: they never touch port 53, so the
+        # plaintext locator's ground truth stays NONE by design.
         for spec in fleet:
             if spec.true_location() is InterceptorLocation.NONE:
-                assert not spec.isp.middlebox_policies
-                assert not spec.external_policies
+                assert not any(p.plaintext for p in spec.isp.middlebox_policies)
+                assert not any(p.plaintext for p in spec.external_policies)
+
+    def test_fleet_has_encrypted_only_interceptors(self, fleet):
+        encrypted_only = [
+            s
+            for s in fleet
+            if s.true_location() is InterceptorLocation.NONE
+            and any(not p.plaintext for p in s.isp.middlebox_policies)
+        ]
+        assert encrypted_only
+        for spec in encrypted_only:
+            for policy in spec.isp.middlebox_policies:
+                assert policy.encrypted is not None
+
+    def test_some_isp_redirects_monetise_nxdomain(self, fleet):
+        monetising = [s for s in fleet if s.isp.nxdomain_wildcard_to]
+        assert monetising
+        for spec in monetising:
+            assert any(
+                p.plaintext and p.mode is InterceptMode.REDIRECT
+                for p in spec.isp.middlebox_policies
+            )
 
 
 class TestCpeSoftwareMix:

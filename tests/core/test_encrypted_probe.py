@@ -16,8 +16,8 @@ from repro.core.encrypted_probe import (
     EncryptedProfile,
     EncryptedStatus,
     EvasionOutcome,
-    detect_encrypted_all,
-    detect_encrypted_provider,
+    probe_encrypted_all,
+    probe_encrypted_provider,
     evasion_outcome_of,
 )
 from repro.cpe.firmware import dnat_interceptor, honest_router, xb6_profile
@@ -48,7 +48,7 @@ class TestCleanPath:
     @pytest.mark.parametrize("profile", list(EncryptedProfile))
     def test_standard_everywhere(self, org, transport, profile):
         client = client_for(org, 1100)
-        report = detect_encrypted_all(
+        report = probe_encrypted_all(
             client, transport=transport, profiles=(profile,), rng=random.Random(1)
         )
         for provider in Provider:
@@ -61,13 +61,13 @@ class TestCleanPath:
     def test_bad_transport_rejected(self, org):
         client = client_for(org, 1099)
         with pytest.raises(ValueError):
-            detect_encrypted_provider(client, Provider.GOOGLE, transport="udp53")
+            probe_encrypted_provider(client, Provider.GOOGLE, transport="udp53")
 
 
 class TestDotCapableInterceptor:
     def test_opportunistic_profile_intercepted(self, org):
         client = client_for(org, 1101, middlebox_policies=[dot_policy()])
-        verdict = detect_encrypted_provider(
+        verdict = probe_encrypted_provider(
             client,
             Provider.GOOGLE,
             profile=EncryptedProfile.OPPORTUNISTIC,
@@ -80,7 +80,7 @@ class TestDotCapableInterceptor:
         """The §6 point: strict certificate validation turns interception
         into a visible failure instead of a silent hijack."""
         client = client_for(org, 1102, middlebox_policies=[dot_policy()])
-        verdict = detect_encrypted_provider(
+        verdict = probe_encrypted_provider(
             client,
             Provider.GOOGLE,
             profile=EncryptedProfile.STRICT,
@@ -92,7 +92,7 @@ class TestDotCapableInterceptor:
 
     def test_observed_identity_is_not_target(self, org):
         client = client_for(org, 1103, middlebox_policies=[dot_policy()])
-        verdict = detect_encrypted_provider(
+        verdict = probe_encrypted_provider(
             client,
             Provider.CLOUDFLARE,
             profile=EncryptedProfile.OPPORTUNISTIC,
@@ -105,14 +105,14 @@ class TestDotCapableInterceptor:
             intercept_all(mode=InterceptMode.BLOCK), intercept_dot=True
         )
         client = client_for(org, 1104, middlebox_policies=[policy])
-        strict = detect_encrypted_provider(
+        strict = probe_encrypted_provider(
             client,
             Provider.QUAD9,
             profile=EncryptedProfile.STRICT,
             rng=random.Random(5),
         )
         assert strict.status is EncryptedStatus.HIJACK_DEFEATED
-        opportunistic = detect_encrypted_provider(
+        opportunistic = probe_encrypted_provider(
             client,
             Provider.QUAD9,
             profile=EncryptedProfile.OPPORTUNISTIC,
@@ -126,7 +126,7 @@ class TestUdpOnlyInterceptors:
     def test_udp_middlebox_cannot_touch_encrypted(self, org, transport):
         """A port-53-only middlebox is blind to ports 853 and 443."""
         client = client_for(org, 1105, middlebox_policies=[intercept_all()])
-        report = detect_encrypted_all(
+        report = probe_encrypted_all(
             client, transport=transport, rng=random.Random(7)
         )
         assert not report.any_intercepted()
@@ -135,7 +135,7 @@ class TestUdpOnlyInterceptors:
     @pytest.mark.parametrize("transport", TRANSPORTS)
     def test_honest_cpe_cannot_touch_encrypted(self, org, transport):
         client = client_for(org, 1106, firmware=honest_router())
-        report = detect_encrypted_all(
+        report = probe_encrypted_all(
             client, transport=transport, rng=random.Random(8)
         )
         for provider in Provider:
@@ -152,7 +152,7 @@ class TestCpeEncryptedPostures:
         """The DNAT hijacker drops port-853 sessions outright: both
         profiles see a dead socket, never a forged answer."""
         client = client_for(org, 1107, firmware=dnat_interceptor())
-        report = detect_encrypted_all(
+        report = probe_encrypted_all(
             client, transport=transport, rng=random.Random(9)
         )
         for provider in Provider:
@@ -166,7 +166,7 @@ class TestCpeEncryptedPostures:
         lets it through — the asymmetry that makes DoH the strongest
         evasion transport against this firmware."""
         client = client_for(org, 1108, firmware=dnat_interceptor())
-        report = detect_encrypted_all(
+        report = probe_encrypted_all(
             client, transport="doh", rng=random.Random(10)
         )
         for provider in Provider:
@@ -182,7 +182,7 @@ class TestCpeEncryptedPostures:
         and answers over plaintext: opportunistic clients are silently
         intercepted, strict clients see the foreign identity."""
         client = client_for(org, 1109, firmware=xb6_profile(buggy=True))
-        opportunistic = detect_encrypted_provider(
+        opportunistic = probe_encrypted_provider(
             client,
             Provider.GOOGLE,
             transport=transport,
@@ -191,7 +191,7 @@ class TestCpeEncryptedPostures:
         )
         assert opportunistic.status is EncryptedStatus.INTERCEPTED
         assert evasion_outcome_of(opportunistic) is EvasionOutcome.DOWNGRADED
-        strict = detect_encrypted_provider(
+        strict = probe_encrypted_provider(
             client,
             Provider.GOOGLE,
             transport=transport,
@@ -207,7 +207,7 @@ class TestCpeEncryptedPostures:
         transports untouched — the deployment advice the paper's
         conclusion gestures at."""
         client = client_for(org, 1110, firmware=xb6_profile(buggy=False))
-        report = detect_encrypted_all(
+        report = probe_encrypted_all(
             client, transport=transport, rng=random.Random(13)
         )
         for provider in Provider:

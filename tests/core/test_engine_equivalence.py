@@ -169,12 +169,12 @@ class TestScenarioReset:
         from repro.atlas.measurement import MeasurementClient
         from repro.core.encrypted_probe import (
             EncryptedProfile,
-            detect_encrypted_provider,
+            probe_encrypted_provider,
         )
         from repro.resolvers.public import Provider
 
         client = MeasurementClient(scenario.network, scenario.host)
-        return detect_encrypted_provider(
+        return probe_encrypted_provider(
             client,
             Provider.GOOGLE,
             transport="doq",

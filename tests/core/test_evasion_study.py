@@ -23,7 +23,7 @@ from repro.core.classifier import LocatorVerdict
 from repro.core.encrypted_probe import (
     EncryptedProfile,
     EncryptedStatus,
-    detect_encrypted_provider,
+    probe_encrypted_provider,
 )
 from repro.core.matchers import match_location_response
 from repro.core.study import StudyConfig, run_pilot_study
@@ -140,7 +140,7 @@ class TestDowngradeIsNotClean:
             make_spec(org, probe_id=7420, middlebox_policies=[policy])
         )
         client = MeasurementClient(sc.network, sc.host)
-        verdict = detect_encrypted_provider(
+        verdict = probe_encrypted_provider(
             client,
             Provider.GOOGLE,
             transport="dot",

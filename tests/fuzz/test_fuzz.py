@@ -70,6 +70,9 @@ class TestOracles:
             raise RuntimeError("decoder exploded")
 
         monkeypatch.setattr(message_module.Message, "decode", staticmethod(boom))
+        # decode_or_none memoises on data[2:]; an earlier test may have
+        # already decoded an all-zero buffer, which would mask `boom`.
+        message_module._DECODE_CACHE.clear()
         violations = check_hostile(b"\x00" * 12)
         assert violations
         assert any("decode_or_none raised" in v.detail for v in violations)

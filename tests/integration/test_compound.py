@@ -14,7 +14,7 @@ from repro.core.classifier import LocatorVerdict
 from repro.core.encrypted_probe import (
     EncryptedProfile,
     EncryptedStatus,
-    detect_encrypted_provider,
+    probe_encrypted_provider,
 )
 from repro.cpe.firmware import dnat_interceptor
 from repro.interceptors.encrypted import PASS_THROUGH
@@ -56,7 +56,7 @@ class TestDotThroughDnatCpe:
         assert result.verdict is LocatorVerdict.CPE
 
         # DoT opportunistic: hijacked by the *middlebox*.
-        verdict = detect_encrypted_provider(
+        verdict = probe_encrypted_provider(
             client,
             Provider.GOOGLE,
             profile=EncryptedProfile.OPPORTUNISTIC,

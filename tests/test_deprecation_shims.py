@@ -162,8 +162,8 @@ class TestDotProbeShims:
             ("DotStatus", modern.EncryptedStatus),
             ("DotVerdict", modern.EncryptedVerdict),
             ("DotReport", modern.EncryptedReport),
-            ("detect_dot_provider", modern.detect_encrypted_provider),
-            ("detect_dot_all", modern.detect_encrypted_all),
+            ("detect_dot_provider", modern.probe_encrypted_provider),
+            ("detect_dot_all", modern.probe_encrypted_all),
         ):
             with pytest.warns(DeprecationWarning, match=name) as caught:
                 obj = getattr(legacy, name)
@@ -186,6 +186,87 @@ class TestDotProbeShims:
                 EncryptedReport,
                 EncryptedStatus,
                 EncryptedVerdict,
+                probe_encrypted_all,
+                probe_encrypted_provider,
+            )
+
+
+class TestEncryptedProbeShims:
+    """The pre-registry ``detect_encrypted_*`` functions: warn, delegate."""
+
+    def _client(self, probe_id):
+        from repro.atlas.measurement import MeasurementClient
+
+        sc = build_scenario(spec(probe_id))
+        return MeasurementClient(sc.network, sc.host)
+
+    def test_detect_encrypted_provider_warns_and_delegates(self):
+        import random
+
+        from repro.core.encrypted_probe import detect_encrypted_provider
+        from repro.resolvers.public import Provider
+
+        client = self._client(820)
+        with pytest.warns(
+            DeprecationWarning, match="detect_encrypted_provider"
+        ) as caught:
+            verdict = detect_encrypted_provider(
+                client, Provider.GOOGLE, transport="dot", rng=random.Random(1)
+            )
+        assert len(caught) == 1
+        assert verdict.provider is Provider.GOOGLE
+
+    def test_detect_encrypted_all_warns_and_delegates(self):
+        import random
+
+        from repro.core.encrypted_probe import detect_encrypted_all
+
+        client = self._client(821)
+        with pytest.warns(
+            DeprecationWarning, match="detect_encrypted_all"
+        ) as caught:
+            report = detect_encrypted_all(
+                client, transport="dot", rng=random.Random(1)
+            )
+        assert len(caught) == 1
+        assert report.verdicts
+
+    def test_importing_shims_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            from repro.core.encrypted_probe import (  # noqa: F401
                 detect_encrypted_all,
                 detect_encrypted_provider,
             )
+
+
+class TestDetectorRegistry:
+    """The modern surface: uniform Detector protocol, no warnings."""
+
+    def test_registry_names(self):
+        from repro.core.detector_registry import DETECTORS, get_detector
+
+        assert set(DETECTORS) == {"heuristic", "cert", "encrypted"}
+        for name in DETECTORS:
+            assert get_detector(name).name == name
+
+    def test_unknown_detector_rejected(self):
+        from repro.core.detector_registry import get_detector
+
+        with pytest.raises(ValueError, match="unknown detector"):
+            get_detector("tarot")
+
+    def test_registry_classify_is_silent(self):
+        from repro.atlas.measurement import MeasurementClient
+        from repro.core.detector_registry import get_detector
+
+        probe = spec(822)
+        sc = build_scenario(probe)
+        client = MeasurementClient(sc.network, sc.host)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            heuristic = get_detector("heuristic").classify(client, probe)
+            cert = get_detector("cert").classify(client, probe)
+        assert heuristic.detector == "heuristic"
+        assert cert.detector == "cert"
+        assert cert.cert is not None
