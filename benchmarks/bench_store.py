@@ -155,6 +155,159 @@ def measure_resume_overhead(fleet: int, seed: int) -> dict:
     }
 
 
+def _longitudinal_entry(epoch: int, index: int) -> dict:
+    """A record-shaped longitudinal journal entry with varied verdicts."""
+    verdicts = ("not-intercepted", "cpe", "within-isp", "unknown")
+    return {
+        "e": epoch,
+        "i": index,
+        "record": {
+            "probe_id": 10_000 + index,
+            "organization": "Comcast",
+            "asn": 7922,
+            "country": "US",
+            "online": True,
+            "provider_status": [["google", 4, "not-intercepted"]] * 8,
+            "verdict": verdicts[(epoch * 7 + index) % len(verdicts)],
+            "transparency": "Unknown",
+            "cpe_version_string": None,
+            "replication_seen": False,
+            "inconclusive_steps": [],
+            "true_location": "none",
+            "evasion_transport": None,
+            "evasion_status": [],
+            "evasion_outcome": None,
+            "detector": "heuristic",
+            "cert_verdict": None,
+            "cert_cause": None,
+        },
+    }
+
+
+def measure_incremental_aggregation(
+    epochs: int = 10, per_epoch: int = 2000, rounds: int = 3
+) -> dict:
+    """Prove one refresh costs O(new segment), not O(archive).
+
+    Builds a synthetic longitudinal journal of ``epochs`` epochs (the
+    aggregation layer's cost depends only on journal shape, so no
+    probes are measured), warms a persisting aggregator over it, then
+    ``rounds`` times appends one fresh epoch and times the incremental
+    fold. The yardstick is a fresh aggregator rescanning the *final*
+    (largest) archive end-to-end; the incremental tables must be
+    byte-identical to that rescan's.
+    """
+    import json
+
+    from repro.campaigns import StoreAggregator, canonical_json
+    from repro.ioutil import atomic_write_text
+
+    total_epochs = epochs + rounds
+    directory = tempfile.mkdtemp(prefix="bench-incr-")
+    try:
+        path = os.path.join(directory, "s")
+        os.makedirs(path)
+        atomic_write_text(
+            os.path.join(path, "manifest.json"),
+            json.dumps(
+                {
+                    "schema": 1,
+                    "kind": "longitudinal",
+                    "fingerprint": "bench",
+                    "seed": 2021,
+                    "epochs": total_epochs,
+                    "epoch_sizes": [per_epoch] * total_epochs,
+                    "fleet_size": per_epoch * total_epochs,
+                    "complete": False,
+                }
+            ),
+        )
+        writer = JournalWriter(os.path.join(path, "journal"), "records")
+        for epoch in range(epochs):
+            for index in range(per_epoch):
+                writer.append(_longitudinal_entry(epoch, index))
+            writer.sync()
+
+        aggregator = StoreAggregator(path, persist=True)
+        aggregator.refresh()
+
+        incremental_s = []
+        for round_index in range(rounds):
+            epoch = epochs + round_index
+            for index in range(per_epoch):
+                writer.append(_longitudinal_entry(epoch, index))
+            writer.sync()
+            started = time.perf_counter()
+            folded = aggregator.refresh()
+            incremental_s.append(time.perf_counter() - started)
+            if folded != per_epoch:
+                raise AssertionError(
+                    f"incremental refresh folded {folded} of {per_epoch} entries"
+                )
+        writer.close()
+
+        started = time.perf_counter()
+        rescan = StoreAggregator(path, persist=False)
+        rescan.refresh()
+        full_s = time.perf_counter() - started
+
+        if canonical_json(aggregator.trend()) != canonical_json(rescan.trend()):
+            raise AssertionError(
+                "incremental trend differs from full-rescan trend"
+            )
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    best = min(incremental_s)
+    return {
+        "epochs": epochs,
+        "per_epoch": per_epoch,
+        "rounds": rounds,
+        "archive_epochs": total_epochs,
+        "archive_lines": per_epoch * total_epochs,
+        "incremental_s": incremental_s,
+        "incremental_best_s": best,
+        "full_rescan_s": full_s,
+        "incremental_pct_of_rescan": best / full_s * 100.0,
+    }
+
+
+def _run_incremental(args) -> int:
+    import json
+
+    stats = measure_incremental_aggregation(
+        epochs=args.epochs, per_epoch=args.per_epoch, rounds=args.repeats or 3
+    )
+    print(
+        f"archive: {stats['archive_epochs']} epochs x "
+        f"{stats['per_epoch']} records ({stats['archive_lines']} lines)"
+    )
+    print(
+        f"fold one new epoch : {stats['incremental_best_s'] * 1000:8.1f}ms  "
+        f"(best of {stats['rounds']}, tables byte-verified vs rescan)"
+    )
+    print(f"full journal rescan: {stats['full_rescan_s'] * 1000:8.1f}ms")
+    print(
+        f"incremental cost   : {stats['incremental_pct_of_rescan']:.1f}% "
+        f"of a rescan (limit {args.max_incremental_pct:.1f}%)"
+    )
+    payload = dict(stats)
+    payload["max_incremental_pct"] = args.max_incremental_pct
+    payload["ok"] = (
+        stats["incremental_pct_of_rescan"] <= args.max_incremental_pct
+    )
+    with open("BENCH_store_incremental.json", "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote BENCH_store_incremental.json")
+    if not payload["ok"]:
+        print(
+            f"FAIL: incremental fold costs "
+            f"{stats['incremental_pct_of_rescan']:.1f}% of a full rescan"
+        )
+        return 1
+    return 0
+
+
 def _run_journal(args) -> int:
     stats = measure_journal_throughput(args.lines, fsync_every=args.fsync_every)
     print(f"lines={stats['lines']}  fsync every {stats['fsync_every']}")
@@ -232,8 +385,38 @@ def main(argv=None) -> int:
         metavar="N",
         help="--journal: fsync cadence in lines (default 64)",
     )
+    parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="measure incremental aggregation (fold one new epoch) "
+        "against a full journal rescan; writes BENCH_store_incremental.json",
+    )
+    parser.add_argument(
+        "--epochs",
+        type=int,
+        default=10,
+        metavar="N",
+        help="--incremental: archive epochs before the appends (default 10)",
+    )
+    parser.add_argument(
+        "--per-epoch",
+        type=int,
+        default=2000,
+        metavar="N",
+        help="--incremental: records per epoch (default 2000)",
+    )
+    parser.add_argument(
+        "--max-incremental-pct",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="--incremental: exit nonzero if folding one new epoch costs "
+        "more than PCT%% of a full rescan (default 10)",
+    )
     args = parser.parse_args(argv)
 
+    if args.incremental:
+        return _run_incremental(args)
     if args.journal:
         return _run_journal(args)
     return _run_overhead(args)

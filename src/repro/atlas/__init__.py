@@ -7,7 +7,13 @@ measurement client that performs validated DNS exchanges over the
 simulated network.
 """
 
-from .campaign import Campaign, MeasurementDefinition, MeasurementRow
+from .campaign import (
+    Campaign,
+    MeasurementDefinition,
+    MeasurementRow,
+    definition_from_dict,
+    row_from_dict,
+)
 from .geo import (
     ORGANIZATIONS,
     Organization,
@@ -62,7 +68,9 @@ from .transport import (
 __all__ = [
     "Campaign",
     "MeasurementDefinition",
+    "definition_from_dict",
     "MeasurementRow",
+    "row_from_dict",
     "ORGANIZATIONS",
     "Organization",
     "countries",

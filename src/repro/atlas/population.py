@@ -612,6 +612,36 @@ def generate_population(
     return PopulationGenerator(config).generate()
 
 
+#: PopulationConfig field names, resolved once for the catalog loader.
+_POPULATION_FIELDS: dict = {}
+
+
+def population_config_from_dict(data: dict) -> PopulationConfig:
+    """Build a :class:`PopulationConfig` from plain JSON data.
+
+    The scenario catalog's ``population`` section maps straight onto the
+    generator's knobs; unknown keys are rejected (a typo'd knob must not
+    silently fall back to its default) and JSON lists are normalised to
+    the tuples the frozen dataclass expects.
+    """
+    import dataclasses as _dataclasses
+
+    if not _POPULATION_FIELDS:
+        for f in _dataclasses.fields(PopulationConfig):
+            _POPULATION_FIELDS[f.name] = f
+    unknown = set(data) - set(_POPULATION_FIELDS)
+    if unknown:
+        raise ValueError(
+            f"unknown population keys: {sorted(unknown)}; "
+            f"known: {sorted(_POPULATION_FIELDS)}"
+        )
+    payload = {
+        name: tuple(value) if isinstance(value, list) else value
+        for name, value in data.items()
+    }
+    return PopulationConfig(**payload)
+
+
 def example_probe_specs() -> dict[int, ProbeSpec]:
     """The three probes of the worked example in §3.4 (Tables 2-3).
 

@@ -495,6 +495,137 @@ def cmd_results(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """Browse the scenario catalog: list names or show one bundle."""
+    from repro.campaigns import ScenarioError, find_bundle, load_catalog
+    from repro.campaigns.aggregate import canonical_json
+
+    try:
+        if args.scenarios_action == "show":
+            bundle = find_bundle(args.name, args.dir)
+            print(canonical_json(bundle.summary()), end="")
+        else:
+            for bundle in load_catalog(args.dir):
+                print(
+                    f"{bundle.name:<24} epochs={bundle.schedule.epochs:<3} "
+                    f"fleet={bundle.population.size:<6} "
+                    f"{bundle.description}"
+                )
+    except (ScenarioError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Longitudinal campaigns: run a catalog scenario into a store, or
+    rebuild its epoch/trend tables from the journal."""
+    from repro.campaigns import (
+        LongitudinalCampaign,
+        ScenarioError,
+        StoreAggregator,
+        find_bundle,
+    )
+    from repro.campaigns.aggregate import canonical_json
+    from repro.store import ResultStore, StoreError, StoreInterrupted
+
+    if args.campaign_action == "run":
+        try:
+            bundle = find_bundle(args.scenario, args.dir)
+        except (ScenarioError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        campaign = LongitudinalCampaign(bundle)
+        store = ResultStore(
+            args.store, resume=args.resume, probe_budget=args.probe_budget
+        )
+        aggregator = StoreAggregator(args.store, persist=True)
+
+        def progress(done: int, total: int) -> None:
+            print(f"  {done}/{total} probes journaled", file=sys.stderr)
+
+        def epoch_done(epoch: int) -> None:
+            # Fold the finished epoch incrementally — the persisted
+            # tables trail the journal by at most one epoch.
+            aggregator.refresh()
+            print(f"epoch {epoch} complete, tables folded", file=sys.stderr)
+
+        try:
+            epochs = campaign.run(
+                store=store,
+                workers=args.workers,
+                progress=progress,
+                epoch_done=epoch_done,
+            )
+        except StoreInterrupted as exc:
+            aggregator.refresh()
+            print(
+                f"interrupted: {exc.done}/{exc.total} probes journaled in "
+                f"{args.store}; rerun with --resume to continue",
+                file=sys.stderr,
+            )
+            return 3
+        except (ScenarioError, StoreError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        aggregator.refresh()
+        total = sum(len(records) for records in epochs.values())
+        print(
+            f"campaign '{bundle.name}' complete: {len(epochs)} epochs, "
+            f"{total} records archived in {args.store}",
+            file=sys.stderr,
+        )
+        return 0
+
+    # tables / trend: read-only aggregation over an existing store
+    aggregator = StoreAggregator(args.store, persist=False)
+    try:
+        aggregator.refresh()
+        if args.campaign_action == "tables":
+            if args.epoch is not None:
+                text = canonical_json(aggregator.epoch_table(args.epoch))
+            else:
+                text = canonical_json(
+                    [
+                        aggregator.epoch_table(epoch)
+                        for epoch in range(aggregator.epoch_count())
+                    ]
+                )
+        else:
+            text = canonical_json(aggregator.trend())
+    except (StoreError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        if not _write_output_file(args.json, text, f"{args.campaign_action} JSON"):
+            return 2
+        print(f"wrote {args.campaign_action} to {args.json}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a result store read-only over HTTP."""
+    from repro.serve import StoreServer
+    from repro.store import StoreError, load_manifest
+
+    try:
+        load_manifest(args.store)
+    except (StoreError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = StoreServer(args.store, host=args.host, port=args.port)
+    print(f"serving {args.store} at {server.url}", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     """Run the wire-codec fuzzer; exit 1 on any oracle violation."""
     import os
@@ -742,6 +873,77 @@ def build_parser() -> argparse.ArgumentParser:
         "(e.g. cpe, within-isp, not-intercepted)",
     )
     results.set_defaults(handler=cmd_results)
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="browse the scenario catalog"
+    )
+    scenarios_sub = scenarios.add_subparsers(
+        dest="scenarios_action", required=True
+    )
+    scenarios_list = scenarios_sub.add_parser("list", help="list the catalog")
+    scenarios_list.add_argument(
+        "--dir", default="scenarios", help="catalog directory (default: scenarios)"
+    )
+    scenarios_show = scenarios_sub.add_parser(
+        "show", help="print one scenario's resolved summary as JSON"
+    )
+    scenarios_show.add_argument("name", help="scenario name from the catalog")
+    scenarios_show.add_argument(
+        "--dir", default="scenarios", help="catalog directory (default: scenarios)"
+    )
+    scenarios.set_defaults(handler=cmd_scenarios)
+
+    campaign = subparsers.add_parser(
+        "campaign", help="longitudinal campaigns over a time-varying fleet"
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_action", required=True)
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run a catalog scenario into a longitudinal store"
+    )
+    campaign_run.add_argument(
+        "--scenario", required=True, help="scenario name from the catalog"
+    )
+    campaign_run.add_argument(
+        "--dir", default="scenarios", help="catalog directory (default: scenarios)"
+    )
+    campaign_run.add_argument(
+        "--store", required=True, metavar="DIR", help="store directory to journal into"
+    )
+    campaign_run.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes (journal bytes are identical for any N)",
+    )
+    campaign_run.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted campaign in --store",
+    )
+    campaign_run.add_argument(
+        "--probe-budget", type=int, default=None, metavar="N",
+        help="journal at most N new probes, then exit 3 (resumable)",
+    )
+    for action, help_text in (
+        ("tables", "print per-epoch aggregation tables from a store"),
+        ("trend", "print the cross-epoch trend document from a store"),
+    ):
+        sub = campaign_sub.add_parser(action, help=help_text)
+        sub.add_argument("store", help="a longitudinal store directory")
+        if action == "tables":
+            sub.add_argument(
+                "--epoch", type=int, default=None, metavar="N",
+                help="print only epoch N's table",
+            )
+        sub.add_argument(
+            "--json", metavar="PATH", help="write the JSON here instead of stdout"
+        )
+    campaign.set_defaults(handler=cmd_campaign)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a result store read-only over HTTP"
+    )
+    serve.add_argument("store", help="the store directory to serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8737)
+    serve.set_defaults(handler=cmd_serve)
 
     fuzz = subparsers.add_parser(
         "fuzz", help="differential fuzz of the DNS wire codec"

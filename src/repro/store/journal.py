@@ -268,3 +268,70 @@ def read_journal(directory: str, prefix: str) -> list[dict]:
                     f"{path}:{lineno + 1}: undecodable journal line"
                 )
     return entries
+
+
+#: A tail cursor: shard basename -> bytes consumed so far. Serialises
+#: as plain JSON, so aggregation state can persist it between runs.
+TailCursor = dict
+
+
+def read_journal_tail(
+    directory: str, prefix: str, cursor: Optional[dict] = None
+) -> tuple[list[dict], dict]:
+    """Entries appended since ``cursor``; returns ``(entries, cursor')``.
+
+    The incremental counterpart of :func:`read_journal`: instead of
+    rereading every shard, it seeks each file to the byte offset the
+    cursor recorded and decodes only the tail — the cost of one refresh
+    is proportional to the *new* segments, not the archive. Safe against
+    a live writer appending concurrently: only byte ranges ending in a
+    newline are consumed, so a partially-flushed final line (the same
+    torn tail :func:`read_journal` tolerates) is left for the next call
+    — once the writer's following sync completes it, the line is read
+    whole. A complete-but-undecodable line followed by real content
+    raises :class:`StoreCorruptError` exactly like the full reader; one
+    followed by nothing is never consumed (a crashed session's torn tail
+    that happened to include the newline).
+
+    Because shards are append-only and a writer session never reopens an
+    archived shard, a consumed byte range can never change — folding the
+    tails of successive calls visits every entry exactly once, in the
+    same file-then-line order the full reader uses.
+    """
+    cursor = dict(cursor or {})
+    entries: list[dict] = []
+    for path in _shard_paths(directory, prefix):
+        name = os.path.basename(path)
+        offset = int(cursor.get(name, 0))
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            continue
+        if size <= offset:
+            continue
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            blob = handle.read()
+        end = blob.rfind(b"\n")
+        if end < 0:
+            continue  # no complete line beyond the cursor yet
+        complete = blob[: end + 1]
+        pieces = complete.split(b"\n")[:-1]
+        consumed = offset
+        for index, raw in enumerate(pieces):
+            if not raw.strip():
+                consumed += len(raw) + 1
+                continue
+            try:
+                entries.append(json.loads(raw))
+            except ValueError:
+                if all(not rest.strip() for rest in pieces[index + 1 :]):
+                    break  # torn-with-newline tail — leave it unconsumed
+                lineno = complete[: consumed - offset].count(b"\n") + 1
+                raise StoreCorruptError(
+                    f"{path}: undecodable journal line "
+                    f"({lineno} lines past byte {offset})"
+                )
+            consumed += len(raw) + 1
+        cursor[name] = consumed
+    return entries, cursor

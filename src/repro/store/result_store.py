@@ -367,6 +367,98 @@ class ResultStore:
         manifest["complete"] = True
         self._write_manifest(manifest)
 
+    # -- longitudinal surface ----------------------------------------------
+
+    def begin_longitudinal(
+        self,
+        fingerprint: str,
+        epoch_sizes: Sequence[int],
+        manifest_extra: Optional[dict] = None,
+    ) -> set[tuple[int, int]]:
+        """Open (or create) the store for a recurring campaign; return
+        the ``(epoch, fleet_index)`` pairs already journaled.
+
+        ``epoch_sizes`` pins the per-epoch fleet size (time-varying
+        fleets make it a list, not a single number); the caller derives
+        it deterministically from the scenario bundle, and a resumed run
+        must re-derive the same sizes or the fingerprint check fails
+        first anyway.
+        """
+        manifest = self._open(
+            "longitudinal",
+            fingerprint,
+            {
+                "epochs": len(epoch_sizes),
+                "epoch_sizes": [int(size) for size in epoch_sizes],
+                "fleet_size": sum(int(size) for size in epoch_sizes),
+                **(manifest_extra or {}),
+            },
+        )
+        done = self.completed_epoch_pairs()
+        if done and not self.resume:
+            raise StoreResumeRequired(
+                f"{self.path} already holds {len(done)} of "
+                f"{manifest['fleet_size']} epoch records; pass resume "
+                f"(--resume) to continue it"
+            )
+        self._start_writers(with_metrics=False)
+        return done
+
+    def completed_epoch_pairs(self) -> set[tuple[int, int]]:
+        """``(epoch, fleet_index)`` pairs durably journaled."""
+        return {
+            (entry["e"], entry["i"])
+            for entry in read_journal(self.journal_path, RECORDS_PREFIX)
+        }
+
+    def append_epoch_segment(
+        self, epoch: int, pairs: Iterable[tuple[int, "ProbeRecord"]]
+    ) -> None:
+        """Journal one epoch segment's records, fsync'd in batches.
+
+        The campaign engine always appends in fleet order (it sorts the
+        worker pool's output first), so the journal's line sequence is a
+        pure function of the scenario bundle and the interruption points
+        — byte-identical for any worker count.
+        """
+        from repro.analysis.export import record_to_dict
+
+        if self._records is None:
+            raise StoreError("store not opened; call begin_longitudinal first")
+        count = 0
+        for index, record in pairs:
+            self._records.append(
+                {"e": epoch, "i": index, "record": record_to_dict(record)}
+            )
+            count += 1
+        self._since_sync += count
+        if self._since_sync >= self.fsync_every:
+            self.sync()
+
+    def collect_epochs(self) -> "dict[int, list[ProbeRecord]]":
+        """Journaled records per epoch, each list in fleet order
+        (possibly partial — the aggregation layer tracks completeness)."""
+        from repro.analysis.export import record_from_dict
+
+        self._require_manifest("longitudinal")
+        if self._records is not None:
+            self.sync()  # reading through our own open writer
+        by_pair: dict[tuple[int, int], dict] = {}
+        for entry in read_journal(self.journal_path, RECORDS_PREFIX):
+            by_pair.setdefault((entry["e"], entry["i"]), entry["record"])
+        epochs: dict[int, list["ProbeRecord"]] = {}
+        for epoch, index in sorted(by_pair):
+            epochs.setdefault(epoch, []).append(
+                record_from_dict(by_pair[(epoch, index)])
+            )
+        return epochs
+
+    def finalize_longitudinal(self) -> None:
+        self.close()
+        manifest = dict(self._require_manifest("longitudinal"))
+        manifest["complete"] = True
+        self._write_manifest(manifest)
+
     # -- lifecycle ---------------------------------------------------------
 
     def _require_manifest(self, kind: str) -> dict:
@@ -500,6 +592,20 @@ def summarize_store(path: str) -> StoreSummary:
         counts = Counter(record.verdict for _index, record in records)
         done = len(records)
         seed: Optional[int] = int(manifest.get("seed", 0))
+    elif kind == "longitudinal":
+        pairs: dict[tuple[int, int], str] = {}
+        for entry in read_journal(
+            os.path.join(os.fspath(path), JOURNAL_DIR), RECORDS_PREFIX
+        ):
+            pairs.setdefault(
+                (entry["e"], entry["i"]), entry["record"].get("verdict", "?")
+            )
+        counts = Counter(pairs.values())
+        counts["epochs"] = int(manifest.get("epochs", 0))
+        done = len(pairs)
+        seed = manifest.get("seed")
+        if seed is not None:
+            seed = int(seed)
     else:
         entries = read_journal(
             os.path.join(os.fspath(path), JOURNAL_DIR), RECORDS_PREFIX

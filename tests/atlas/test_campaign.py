@@ -6,6 +6,8 @@ from repro.atlas.campaign import (
     Campaign,
     MeasurementDefinition,
     MeasurementRow,
+    definition_from_dict,
+    row_from_dict,
 )
 from repro.atlas.geo import organization_by_name
 from repro.atlas.population import generate_population
@@ -108,6 +110,68 @@ class TestFleetRun:
         import json
 
         json.dumps(data)
+
+
+class TestDictRoundTrips:
+    """Field-for-field dict round trips (the shape stores journal)."""
+
+    @pytest.mark.parametrize("definition", [LOCATION_MSM, A_MSM, V6_MSM])
+    def test_definition_round_trip(self, definition):
+        assert definition_from_dict(definition.to_dict()) == definition
+
+    def test_definition_defaults_fill_in(self):
+        rebuilt = definition_from_dict(
+            {"msm_id": 7, "target": "9.9.9.9", "qname": "example.com."}
+        )
+        assert rebuilt.qtype == QType.A
+        assert rebuilt.qclass == QClass.IN
+        assert rebuilt.description == ""
+
+    def test_definition_unknown_field_rejected(self):
+        data = A_MSM.to_dict()
+        data["qnmae"] = "typo.example."
+        with pytest.raises(ValueError, match="qnmae"):
+            definition_from_dict(data)
+
+    def test_live_row_round_trip(self, org):
+        scenario = build_scenario(make_spec(org, probe_id=2308))
+        for row in Campaign([LOCATION_MSM, A_MSM]).run_on_scenario(scenario):
+            assert row_from_dict(row.to_dict()) == row
+
+    def test_offline_empty_row_round_trip(self):
+        # The degenerate rows an offline/unreachable probe produces:
+        # no RTT, no rcode, no answers — every Optional at None must
+        # survive the trip, and an error row must keep its error.
+        empty = MeasurementRow(
+            msm_id=1,
+            probe_id=42,
+            timestamp_ms=0.0,
+            rt_ms=None,
+            rcode=None,
+            answers=(),
+            error=None,
+        )
+        assert row_from_dict(empty.to_dict()) == empty
+        assert empty.succeeded is False
+        failed = MeasurementRow(
+            msm_id=1,
+            probe_id=42,
+            timestamp_ms=125.5,
+            rt_ms=None,
+            rcode=None,
+            error="timeout",
+        )
+        assert row_from_dict(failed.to_dict()) == failed
+
+    def test_row_json_round_trip_preserves_floats(self, org):
+        import json
+
+        scenario = build_scenario(make_spec(org, probe_id=2309))
+        row = Campaign([A_MSM]).run_on_scenario(scenario)[0]
+        thawed = row_from_dict(json.loads(json.dumps(row.to_dict())))
+        assert thawed == row
+        assert thawed.rt_ms == row.rt_ms
+        assert thawed.timestamp_ms == row.timestamp_ms
 
 
 class TestCampaignStore:

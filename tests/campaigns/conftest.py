@@ -1,0 +1,54 @@
+"""Campaign fixtures: a small bundle with every schedule feature on."""
+
+import pytest
+
+from repro.campaigns import bundle_from_dict
+
+
+def bundle_data(**overrides):
+    data = {
+        "name": "test-campaign",
+        "description": "fixture",
+        "population": {
+            "size": 30,
+            "seed": 9,
+            "cpe_true_count": 1500,
+            "isp_all_four": 1200,
+        },
+        "study": {"detector": "both"},
+        "schedule": {
+            "epochs": 3,
+            "churn": {"leave_rate": 0.06, "join_rate": 0.07},
+            "firmware_upgrades": [
+                {"epoch": 1, "match_model": "XB6", "profile": "xb6-fixed"}
+            ],
+            "policy_flips": [
+                {"epoch": 2, "action": "stop-intercepting", "fraction": 0.5}
+            ],
+        },
+    }
+    data.update(overrides)
+    return data
+
+
+@pytest.fixture(scope="session")
+def small_bundle():
+    return bundle_from_dict(bundle_data())
+
+
+def journal_bytes(store_path) -> bytes:
+    """Concatenated record-shard content in shard order.
+
+    Shard *boundaries* differ across writer sessions (each session opens
+    a fresh shard), so byte-identity claims compare the concatenation —
+    the line sequence — not the per-file layout.
+    """
+    import os
+
+    journal = os.path.join(str(store_path), "journal")
+    blob = b""
+    for name in sorted(os.listdir(journal)):
+        if name.startswith("records-") and name.endswith(".jsonl"):
+            with open(os.path.join(journal, name), "rb") as handle:
+                blob += handle.read()
+    return blob

@@ -1,0 +1,195 @@
+"""The recurring campaign engine: epoch fleets, determinism, resume."""
+
+import pytest
+
+from repro.campaigns import (
+    CampaignSchedule,
+    ChurnSpec,
+    FirmwareUpgrade,
+    LongitudinalCampaign,
+    PolicyFlip,
+    bundle_from_dict,
+)
+from repro.store import ResultStore, StoreInterrupted
+
+from .conftest import bundle_data, journal_bytes
+
+
+class TestScheduleDataclasses:
+    def test_churn_rates_validated(self):
+        with pytest.raises(ValueError, match="leave_rate"):
+            ChurnSpec(leave_rate=1.0)
+        with pytest.raises(ValueError, match="join_rate"):
+            ChurnSpec(join_rate=-0.1)
+
+    def test_upgrade_validated(self):
+        with pytest.raises(ValueError, match="profile"):
+            FirmwareUpgrade(epoch=1, match_model="XB6", profile="nope")
+        with pytest.raises(ValueError, match="epoch"):
+            FirmwareUpgrade(epoch=0, match_model="XB6", profile="xb6-fixed")
+        with pytest.raises(ValueError, match="fraction"):
+            FirmwareUpgrade(
+                epoch=1, match_model="XB6", profile="xb6-fixed", fraction=0.0
+            )
+
+    def test_flip_validated(self):
+        with pytest.raises(ValueError, match="action"):
+            PolicyFlip(epoch=1, action="pause")
+        with pytest.raises(ValueError, match="epoch"):
+            PolicyFlip(epoch=-1, action="stop-intercepting")
+
+    def test_schedule_needs_an_epoch(self):
+        with pytest.raises(ValueError, match="epochs"):
+            CampaignSchedule(epochs=0)
+
+
+class TestEpochFleets:
+    def test_epoch_zero_is_the_base_population(self, small_bundle):
+        campaign = LongitudinalCampaign(small_bundle)
+        fleet = campaign.epoch_fleet(0)
+        assert len(fleet) == small_bundle.population.size
+        assert [spec.probe_id for spec in fleet] == sorted(
+            spec.probe_id for spec in fleet
+        )
+
+    def test_fleet_is_pure_per_epoch(self, small_bundle):
+        a = LongitudinalCampaign(small_bundle)
+        b = LongitudinalCampaign(small_bundle)
+        # Derive in different orders; each epoch must come out identical.
+        fleets_a = [a.epoch_fleet(e) for e in (2, 0, 1)]
+        fleets_b = [b.epoch_fleet(e) for e in (0, 1, 2)]
+        assert fleets_a[1] == fleets_b[0]
+        assert fleets_a[2] == fleets_b[1]
+        assert fleets_a[0] == fleets_b[2]
+
+    def test_leavers_are_monotone(self, small_bundle):
+        campaign = LongitudinalCampaign(small_bundle)
+        base_ids = {spec.probe_id for spec in campaign.epoch_fleet(0)}
+        previous = base_ids
+        for epoch in range(1, small_bundle.schedule.epochs):
+            surviving = {
+                spec.probe_id
+                for spec in campaign.epoch_fleet(epoch)
+                if spec.probe_id in base_ids
+            }
+            assert surviving <= previous  # once gone, gone for good
+            previous = surviving
+
+    def test_joiners_get_fresh_ids(self, small_bundle):
+        campaign = LongitudinalCampaign(small_bundle)
+        base_ids = {spec.probe_id for spec in campaign.epoch_fleet(0)}
+        joined = [
+            spec.probe_id
+            for spec in campaign.epoch_fleet(2)
+            if spec.probe_id not in base_ids
+        ]
+        assert joined  # join_rate 0.07 over 30 probes joins ~2/epoch
+        assert all(probe_id >= 500_000 for probe_id in joined)
+
+    def test_firmware_upgrade_applies_from_its_epoch(self, small_bundle):
+        campaign = LongitudinalCampaign(small_bundle)
+        before = [
+            spec for spec in campaign.epoch_fleet(0)
+            if spec.firmware.model == "XB6"
+        ]
+        assert before and any(s.firmware.is_interceptor for s in before)
+        for epoch in (1, 2):
+            xb6 = [
+                spec for spec in campaign.epoch_fleet(epoch)
+                if spec.firmware.model == "XB6"
+            ]
+            assert all(not spec.firmware.is_interceptor for spec in xb6)
+
+    def test_policy_flip_clears_some_isp_policies(self, small_bundle):
+        campaign = LongitudinalCampaign(small_bundle)
+
+        def intercepting(epoch):
+            return {
+                spec.probe_id
+                for spec in campaign.epoch_fleet(epoch)
+                if spec.isp.middlebox_policies
+            }
+
+        assert intercepting(2) < intercepting(1)  # flip at epoch 2, 50%
+
+    def test_start_intercepting_flip(self):
+        data = bundle_data()
+        data["schedule"]["policy_flips"] = [
+            {"epoch": 1, "action": "start-intercepting", "fraction": 0.4}
+        ]
+        campaign = LongitudinalCampaign(bundle_from_dict(data))
+        def intercepting(epoch):
+            return {
+                spec.probe_id
+                for spec in campaign.epoch_fleet(epoch)
+                if spec.isp.middlebox_policies
+            }
+        assert intercepting(1) > intercepting(0)
+
+    def test_epoch_out_of_range(self, small_bundle):
+        campaign = LongitudinalCampaign(small_bundle)
+        with pytest.raises(ValueError, match="epoch"):
+            campaign.epoch_fleet(3)
+
+    def test_fingerprint_covers_fleet_derivation(self, small_bundle):
+        data = bundle_data()
+        data["schedule"]["churn"]["leave_rate"] = 0.2
+        other = bundle_from_dict(data)
+        assert (
+            LongitudinalCampaign(small_bundle).fingerprint()
+            != LongitudinalCampaign(other).fingerprint()
+        )
+
+
+class TestRunDeterminism:
+    def test_in_memory_run_matches_stored_run(self, small_bundle, tmp_path):
+        plain = LongitudinalCampaign(small_bundle).run()
+        stored = LongitudinalCampaign(small_bundle).run(
+            store=ResultStore(str(tmp_path / "s"))
+        )
+        assert plain == stored
+
+    def test_journal_worker_invariant(self, small_bundle, tmp_path):
+        LongitudinalCampaign(small_bundle).run(
+            store=ResultStore(str(tmp_path / "w1")), workers=1
+        )
+        LongitudinalCampaign(small_bundle).run(
+            store=ResultStore(str(tmp_path / "w3")), workers=3
+        )
+        assert journal_bytes(tmp_path / "w1") == journal_bytes(tmp_path / "w3")
+
+    def test_budget_interrupt_and_resume_identical(self, small_bundle, tmp_path):
+        reference = str(tmp_path / "ref")
+        LongitudinalCampaign(small_bundle).run(
+            store=ResultStore(reference), workers=1
+        )
+        resumed = str(tmp_path / "resumed")
+        with pytest.raises(StoreInterrupted) as excinfo:
+            LongitudinalCampaign(small_bundle).run(
+                store=ResultStore(resumed, probe_budget=20), workers=2
+            )
+        assert excinfo.value.done == 20
+        # Second session (different worker count) finishes the journal.
+        result = LongitudinalCampaign(small_bundle).run(
+            store=ResultStore(resumed, resume=True), workers=1
+        )
+        assert journal_bytes(tmp_path / "ref") == journal_bytes(resumed)
+        assert set(result) == set(range(small_bundle.schedule.epochs))
+
+    def test_epoch_done_fires_per_epoch(self, small_bundle, tmp_path):
+        seen = []
+        LongitudinalCampaign(small_bundle).run(
+            store=ResultStore(str(tmp_path / "s")),
+            epoch_done=seen.append,
+        )
+        assert seen == list(range(small_bundle.schedule.epochs))
+
+    def test_progress_counts_probes(self, small_bundle, tmp_path):
+        calls = []
+        LongitudinalCampaign(small_bundle).run(
+            store=ResultStore(str(tmp_path / "s")),
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        campaign = LongitudinalCampaign(small_bundle)
+        total = sum(campaign.epoch_sizes())
+        assert calls[-1] == (total, total)

@@ -1,0 +1,188 @@
+"""The read-only HTTP API: endpoints, CLI byte-parity, live stores."""
+
+import json
+import os
+import shutil
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaigns import (
+    LongitudinalCampaign,
+    StoreAggregator,
+    bundle_from_dict,
+    canonical_json,
+)
+from repro.serve import StoreServer
+from repro.store import ResultStore
+
+from ..campaigns.conftest import bundle_data
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return bundle_from_dict(bundle_data())
+
+
+@pytest.fixture(scope="module")
+def store_path(bundle, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("serve") / "store")
+    LongitudinalCampaign(bundle).run(store=ResultStore(path))
+    return path
+
+
+@pytest.fixture()
+def server(store_path):
+    with StoreServer(store_path) as running:
+        yield running
+
+
+def get(server, path):
+    with urllib.request.urlopen(server.url + path) as response:
+        return response.status, response.read()
+
+
+def get_json(server, path):
+    status, body = get(server, path)
+    return status, json.loads(body)
+
+
+class TestEndpoints:
+    def test_index_lists_endpoints(self, server):
+        status, body = get_json(server, "/")
+        assert status == 200
+        assert "/trend" in body["endpoints"]
+
+    def test_manifest(self, server, bundle):
+        status, body = get_json(server, "/manifest")
+        assert status == 200
+        assert body["kind"] == "longitudinal"
+        assert body["scenario"] == bundle.name
+
+    def test_epochs_index(self, server, bundle):
+        status, body = get_json(server, "/epochs")
+        assert status == 200
+        assert len(body["epochs"]) == bundle.schedule.epochs
+        assert all(entry["complete"] for entry in body["epochs"])
+
+    def test_single_epoch_table(self, server):
+        status, body = get_json(server, "/epochs/1")
+        assert status == 200
+        assert body["epoch"] == 1
+        assert sum(body["verdicts"].values()) == body["measured"]
+
+    def test_trend_matches_offline_aggregation_bytes(self, server, store_path):
+        _status, served = get(server, "/trend")
+        aggregator = StoreAggregator(store_path)
+        aggregator.refresh()
+        assert served == canonical_json(aggregator.trend()).encode("utf-8")
+
+    def test_probes_pagination(self, server):
+        status, body = get_json(server, "/probes?epoch=0&offset=1&limit=2")
+        assert status == 200
+        assert len(body["probes"]) == 2
+        assert body["offset"] == 1
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_unknown_epoch_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server, "/epochs/99")
+        assert excinfo.value.code == 404
+
+    @pytest.mark.parametrize(
+        "query", ["epoch=zero", "epoch=0&limit=0", "epoch=0&offset=-1"]
+    )
+    def test_bad_probe_params_400(self, server, query):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server, f"/probes?{query}")
+        assert excinfo.value.code == 400
+
+
+class TestDamagedStore:
+    def test_corrupt_store_is_503_and_survivable(self, store_path, tmp_path):
+        damaged = str(tmp_path / "damaged")
+        shutil.copytree(store_path, damaged)
+        journal = os.path.join(damaged, "journal")
+        shard = sorted(os.listdir(journal))[0]
+        path = os.path.join(journal, shard)
+        with open(path, "rb") as handle:
+            lines = handle.read().split(b"\n")
+        lines[2] = b"{broken"
+        with open(path, "wb") as handle:
+            handle.write(b"\n".join(lines))
+        with StoreServer(damaged) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(server, "/trend")
+            assert excinfo.value.code == 503
+            body = json.loads(excinfo.value.read())
+            assert shard in body["error"]
+            # The server itself must stay up after the failed request.
+            status, _body = get(server, "/")
+            assert status == 200
+
+
+class TestLiveStore:
+    def test_serves_whole_epochs_while_appending(self, bundle, tmp_path):
+        """Pointed at a store mid-campaign, every response reflects whole
+        fsync'd segments — counts grow, but never expose a torn row."""
+        path = str(tmp_path / "live")
+        store = ResultStore(path)
+        campaign = LongitudinalCampaign(bundle)
+        sizes = campaign.epoch_sizes()
+        observations = []
+
+        server_box = {}
+
+        def epoch_done(epoch):
+            server = server_box.get("server")
+            if server is None:
+                server = StoreServer(path).start()
+                server_box["server"] = server
+            _status, body = get_json(server, "/trend")
+            observations.append((epoch, body["series"]["measured"]))
+
+        try:
+            campaign.run(store=store, epoch_done=epoch_done)
+        finally:
+            if "server" in server_box:
+                server_box["server"].close()
+
+        assert len(observations) == bundle.schedule.epochs
+        for epoch, measured in observations:
+            # Epochs up to the one just finished are complete; later
+            # ones have not been journaled at all — no partial rows.
+            for index, count in enumerate(measured):
+                assert count == (sizes[index] if index <= epoch else 0)
+
+    def test_mid_epoch_reads_see_only_synced_batches(self, bundle, tmp_path):
+        """A request between fsync batches sees a prefix of the epoch,
+        never a decode error from a torn line."""
+        path = str(tmp_path / "partial")
+        store = ResultStore(path)
+        campaign = LongitudinalCampaign(bundle)
+        records = {
+            epoch: batch
+            for epoch, batch in campaign.run().items()
+        }
+        done = store.begin_longitudinal(
+            campaign.fingerprint(), campaign.epoch_sizes()
+        )
+        assert done == set()
+        with StoreServer(path) as server:
+            # Append epoch 0 in two synced halves, probing in between.
+            batch = list(enumerate(records[0]))
+            half = len(batch) // 2
+            store.append_epoch_segment(0, batch[:half])
+            store.sync()
+            _status, body = get_json(server, "/epochs/0")
+            assert body["measured"] == half
+            store.append_epoch_segment(0, batch[half:])
+            store.sync()
+            _status, body = get_json(server, "/epochs/0")
+            assert body["measured"] == len(batch)
+        store.close()

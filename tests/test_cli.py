@@ -125,6 +125,138 @@ class TestTtlFullSweep:
         assert "standard" in out
 
 
+class TestScenariosCli:
+    def test_list_repo_catalog(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "ci-smoke" in out and "epochs=" in out
+
+    def test_show_scenario_json(self, capsys):
+        import json
+
+        assert main(["scenarios", "show", "ci-smoke"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["name"] == "ci-smoke"
+        assert summary["epochs"] == 2
+        assert len(summary["fingerprint"]) == 64
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["scenarios", "show", "no-such-scenario"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "ci-smoke" in err
+
+    def test_missing_catalog_dir_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nowhere")
+        assert main(["scenarios", "list", "--dir", missing]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCampaignCli:
+    @pytest.fixture(scope="class")
+    def catalog(self, tmp_path_factory):
+        import json
+
+        from tests.campaigns.conftest import bundle_data
+
+        directory = tmp_path_factory.mktemp("catalog")
+        data = bundle_data(name="cli-mini")
+        data["population"]["size"] = 14
+        data["schedule"]["epochs"] = 2
+        (directory / "cli-mini.json").write_text(json.dumps(data))
+        return str(directory)
+
+    def test_run_interrupt_resume_trend_flow(self, catalog, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "camp")
+        base = ["campaign", "run", "--scenario", "cli-mini",
+                "--dir", catalog, "--store", store]
+        assert main(base + ["--probe-budget", "6"]) == 3
+        err = capsys.readouterr().err
+        assert "interrupted" in err and "--resume" in err
+        # The partial store already has folded tables on disk.
+        import os
+
+        assert os.path.exists(os.path.join(store, "tables", "trend.json"))
+
+        assert main(base) == 2  # refuses to continue without --resume
+        capsys.readouterr()
+        assert main(base + ["--resume", "--workers", "2"]) == 0
+        assert "complete" in capsys.readouterr().err
+
+        assert main(["campaign", "tables", store, "--epoch", "1"]) == 0
+        table = json.loads(capsys.readouterr().out)
+        assert table["epoch"] == 1 and table["complete"] is True
+
+        trend_path = str(tmp_path / "trend.json")
+        assert main(["campaign", "trend", store, "--json", trend_path]) == 0
+        capsys.readouterr()
+        with open(trend_path, encoding="utf-8") as handle:
+            trend = json.load(handle)
+        assert trend["scenario"] == "cli-mini"
+        assert trend["series"]["measured"][0] == trend["epochs"][0]["measured"]
+        # The file matches the persisted table the run folded.
+        with open(
+            os.path.join(store, "tables", "trend.json"), encoding="utf-8"
+        ) as handle:
+            assert json.load(handle) == trend
+
+    def test_unknown_scenario_exits_2(self, catalog, tmp_path, capsys):
+        assert main(["campaign", "run", "--scenario", "ghost",
+                     "--dir", catalog,
+                     "--store", str(tmp_path / "s")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_tables_on_missing_store_exits_2(self, tmp_path, capsys):
+        assert main(["campaign", "trend", str(tmp_path / "absent")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_on_missing_store_exits_2(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "absent")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestResultsDamagedStore:
+    """`repro results` on a store with mid-file damage: a one-line
+    error naming the damaged shard, exit 2 — never a traceback."""
+
+    @pytest.fixture()
+    def damaged_store(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["study", "--size", "12", "--seed", "4",
+                     "--store", store]) == 0
+        capsys.readouterr()
+        import os
+
+        journal = os.path.join(store, "journal")
+        shard = sorted(
+            name for name in os.listdir(journal)
+            if name.startswith("records-")
+        )[0]
+        path = os.path.join(journal, shard)
+        with open(path, "rb") as handle:
+            lines = handle.read().split(b"\n")
+        lines[2] = b'{"i": 2, "record": {truncated-mid-write'
+        with open(path, "wb") as handle:
+            handle.write(b"\n".join(lines))
+        return store, shard
+
+    def test_one_line_error_names_the_shard(self, damaged_store, capsys):
+        store, shard = damaged_store
+        assert main(["results", store]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert shard in captured.err
+        assert "undecodable journal line" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_tables_path_fails_the_same_way(self, damaged_store, capsys):
+        store, shard = damaged_store
+        assert main(["results", store, "--tables"]) == 2
+        assert shard in capsys.readouterr().err
+
+
 class TestStudyStore:
     def test_interrupt_resume_results_flow(self, tmp_path, capsys):
         store = str(tmp_path / "store")
