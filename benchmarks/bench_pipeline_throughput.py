@@ -456,6 +456,83 @@ def _run_detectors(args) -> int:
     return 0
 
 
+def compare_fingerprint_throughput(fleet: int, seed: int) -> dict:
+    """Serial study throughput with and without the fingerprint pass.
+
+    The six ambiguity probes run only against probes the locator proved
+    intercepted, so on a realistic (mostly-clean) fleet the marginal
+    cost must stay small — the ``--fingerprint`` gate asserts it under
+    2x the plain study. The fingerprint run's records are additionally
+    verified worker-invariant (1 vs 2).
+    """
+    specs = generate_population(size=fleet, seed=seed)
+    rows = []
+    for fingerprint in (False, True):
+        config = StudyConfig(workers=1, seed=seed, fingerprint=fingerprint)
+        run_pilot_study(specs, config)  # warm-up
+        started = time.perf_counter()
+        serial = run_pilot_study(specs, config)
+        elapsed = time.perf_counter() - started
+        if fingerprint:
+            sharded = run_pilot_study(
+                specs, StudyConfig(workers=2, seed=seed, fingerprint=True)
+            )
+            if sharded.records != serial.records:
+                raise AssertionError(
+                    "fingerprint sharded records differ from serial — "
+                    "determinism broken"
+                )
+        named = sum(1 for r in serial.records if r.fingerprint_software)
+        rows.append(
+            {
+                "fingerprint": fingerprint,
+                "seconds": elapsed,
+                "probes_per_s": fleet / elapsed,
+                "software_named": named,
+            }
+        )
+    return {"fleet": fleet, "seed": seed, "rows": rows}
+
+
+def _run_fingerprint(args) -> int:
+    import json
+
+    stats = compare_fingerprint_throughput(args.fleet, args.seed)
+    plain, fingerprinted = stats["rows"]
+    ratio = fingerprinted["seconds"] / plain["seconds"]
+    stats["cost_ratio"] = ratio
+    print(f"fleet={stats['fleet']} probes  serial, mostly-clean fleet")
+    for row in stats["rows"]:
+        label = "fingerprint" if row["fingerprint"] else "plain"
+        print(
+            f"{label:11s} : {row['seconds']:7.2f}s  "
+            f"{row['probes_per_s']:8.1f} probes/s  "
+            f"{row['software_named']:3d} software named"
+        )
+    print(
+        f"cost ratio  : {ratio:.2f}x  (limit {args.max_fingerprint_ratio:.2f}x; "
+        "fingerprint workers 1==2 verified)"
+    )
+    json_path = args.json
+    if json_path is None:
+        json_path = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            os.pardir,
+            "BENCH_fingerprint.json",
+        )
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(stats, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {os.path.normpath(json_path)}")
+    if ratio > args.max_fingerprint_ratio:
+        print(
+            f"FAIL: fingerprint study costs {ratio:.2f}x the plain study "
+            f"(limit {args.max_fingerprint_ratio:.2f}x)"
+        )
+        return 1
+    return 0
+
+
 def _run_throughput(args) -> int:
     stats = compare_fleet_throughput(args.fleet, args.seed, args.workers)
     print(
@@ -524,6 +601,20 @@ def main(argv=None) -> int:
         "(heuristic-only baseline vs the cert+heuristic agreement run)",
     )
     parser.add_argument(
+        "--fingerprint",
+        action="store_true",
+        help="measure serial study throughput with and without the "
+        "ambiguity-fingerprint pass and write BENCH_fingerprint.json",
+    )
+    parser.add_argument(
+        "--max-fingerprint-ratio",
+        type=float,
+        default=2.0,
+        metavar="X",
+        help="--fingerprint: exit nonzero if the fingerprint study costs "
+        "more than X times the plain study (default 2.0)",
+    )
+    parser.add_argument(
         "--max-detector-ratio",
         type=float,
         default=2.0,
@@ -579,6 +670,8 @@ def main(argv=None) -> int:
         return _run_transports(args)
     if args.detectors:
         return _run_detectors(args)
+    if args.fingerprint:
+        return _run_fingerprint(args)
     return _run_throughput(args)
 
 

@@ -59,6 +59,7 @@ def record_to_dict(record: ProbeRecord) -> dict[str, Any]:
     data["provider_status"] = [list(row) for row in record.provider_status]
     data["inconclusive_steps"] = list(record.inconclusive_steps)
     data["evasion_status"] = [list(row) for row in record.evasion_status]
+    data["fingerprint_signature"] = list(record.fingerprint_signature)
     return data
 
 
@@ -79,6 +80,10 @@ def record_from_dict(data: dict[str, Any]) -> ProbeRecord:
     payload["evasion_status"] = tuple(
         (str(provider), str(outcome))
         for provider, outcome in payload.get("evasion_status", [])
+    )
+    # Absent in pre-fingerprint exports: default to "never fingerprinted".
+    payload["fingerprint_signature"] = tuple(
+        str(token) for token in payload.get("fingerprint_signature", ())
     )
     return ProbeRecord(**payload)
 
@@ -115,6 +120,7 @@ def config_to_dict(config: StudyConfig) -> dict[str, Any]:
         "transport": config.transport,
         "evasion": config.evasion,
         "detector": config.detector,
+        "fingerprint": config.fingerprint,
     }
 
 
@@ -145,6 +151,7 @@ def config_from_dict(data: dict[str, Any]) -> StudyConfig:
         transport=str(data.get("transport", "udp53")),
         evasion=bool(data.get("evasion", False)),
         detector=str(data.get("detector", "heuristic")),
+        fingerprint=bool(data.get("fingerprint", False)),
     )
 
 

@@ -1,0 +1,124 @@
+"""The fingerprint confusion study: named software vs ground truth.
+
+A study run with ``StudyConfig(fingerprint=True)`` stamps every
+intercepted record with the software the ambiguity probes named
+(``fingerprint_software``) and the software actually answering
+(``true_software``, derived from the probe spec). Cross-tabulating the
+two says how well the behavioural fingerprint identifies interceptors:
+a perfect detector puts every probe on the diagonal.
+
+Off-diagonal cells are the interesting ones — an unmatched signature
+(``(unidentified)``) means the interceptor's reaction vector is not in
+the database; a *wrong* name would mean two personalities collided,
+which :func:`repro.fingerprint.signature.build_signature_database`
+refuses at build time, so in practice the off-diagonal mass is
+unmatched vectors from paths the predictor does not model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.study import ProbeRecord, StudyResult
+
+from .formatting import render_table
+
+#: Column label for intercepted probes whose signature matched nothing.
+UNIDENTIFIED = "(unidentified)"
+
+
+@dataclass(frozen=True)
+class FingerprintConfusion:
+    """Confusion matrix of true software x fingerprinted software.
+
+    ``matrix`` maps ``(true label, named label)`` to a probe count over
+    the fingerprinted (= intercepted) records of one study.
+    """
+
+    total: int
+    matrix: dict[tuple[str, str], int]
+
+    @property
+    def correct(self) -> int:
+        """Diagonal mass: probes whose named software is the truth."""
+        return sum(
+            count for (true, named), count in self.matrix.items() if true == named
+        )
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+    def labels(self) -> "tuple[list[str], list[str]]":
+        true_labels = sorted({true for true, _named in self.matrix})
+        named_labels = sorted({named for _true, named in self.matrix})
+        return true_labels, named_labels
+
+    def to_dict(self) -> dict[str, Any]:
+        true_labels, named_labels = self.labels()
+        nested: dict[str, dict[str, int]] = {}
+        for true in true_labels:
+            row = {
+                named: self.matrix[true, named]
+                for named in named_labels
+                if (true, named) in self.matrix
+            }
+            if row:
+                nested[true] = row
+        return {
+            "total": self.total,
+            "correct": self.correct,
+            "matrix": nested,
+        }
+
+    def render(self) -> str:
+        rows = []
+        true_labels, _named_labels = self.labels()
+        for true in true_labels:
+            named_counts = sorted(
+                (named, count)
+                for (t, named), count in self.matrix.items()
+                if t == true
+            )
+            observed = ", ".join(
+                f"{named} x{count}" if count > 1 else named
+                for named, count in named_counts
+            )
+            on_diagonal = all(named == true for named, _count in named_counts)
+            rows.append([true, observed, "yes" if on_diagonal else "NO"])
+        return render_table(
+            ["true software", "fingerprinted as", "correct"],
+            rows,
+            title=(
+                f"Fingerprint confusion ({self.total} intercepted probes, "
+                f"{self.correct} named correctly)"
+            ),
+        )
+
+
+def _fingerprinted(record: ProbeRecord) -> bool:
+    return record.online and bool(record.fingerprint_signature)
+
+
+def build_fingerprint_confusion(study: StudyResult) -> FingerprintConfusion:
+    """Cross-tabulate named vs true software over one study's records.
+
+    Only fingerprinted records (intercepted probes of a
+    ``fingerprint=True`` run) enter; raises :class:`ValueError` when the
+    study carries none, since an empty matrix would read as "perfectly
+    identified" rather than "nothing was fingerprinted".
+    """
+    records = [r for r in study.records if _fingerprinted(r)]
+    if not records:
+        raise ValueError(
+            "study has no fingerprint data; run it with "
+            "StudyConfig(fingerprint=True) and at least one intercepted probe"
+        )
+    matrix: dict[tuple[str, str], int] = {}
+    for record in records:
+        true = record.true_software or UNIDENTIFIED
+        named = record.fingerprint_software or UNIDENTIFIED
+        key = (true, named)
+        matrix[key] = matrix.get(key, 0) + 1
+    return FingerprintConfusion(total=len(records), matrix=matrix)

@@ -44,6 +44,12 @@ class ExchangeStatus(enum.Enum):
     #: authenticated server identity was wrong, so the client refused
     #: the session.
     IDENTITY_REJECTED = "identity-rejected"
+    #: A validated response arrived with the TC bit set and no complete
+    #: answer followed. The probe has no TCP fallback, so the answer
+    #: content is unusable — scoring a truncated section as if it were
+    #: the full response would misclassify. Classifier steps treat this
+    #: like an exhausted measurement and degrade to INCONCLUSIVE.
+    TRUNCATED = "truncated"
 
 
 @dataclass
@@ -98,6 +104,12 @@ class DnsExchangeResult(ExchangeResult):
     accepted: list[Message] = field(default_factory=list)
     #: Datagrams rejected by source/id validation (would-be off-path junk).
     rejected: list[ReceivedDatagram] = field(default_factory=list)
+    #: Validated responses that arrived with the TC bit set. These pass
+    #: source/port/id validation but are *not* complete answers — their
+    #: sections may be cut anywhere — so they never populate ``response``
+    #: or ``accepted``; with no complete answer the exchange ends
+    #: ``TRUNCATED`` instead of ``ANSWERED``.
+    truncated: list[Message] = field(default_factory=list)
     #: ICMP errors attributable to this query (for TTL probing).
     icmp: list[ReceivedIcmp] = field(default_factory=list)
 
@@ -180,6 +192,8 @@ def _record_exchange(network: Network, result: ExchangeResult) -> None:
         metrics.inc(f"exchange.timeouts.{transport}")
     elif result.status is ExchangeStatus.IDENTITY_REJECTED:
         metrics.inc("exchange.identity_rejected")
+    elif result.status is ExchangeStatus.TRUNCATED:
+        metrics.inc(f"exchange.truncated.{transport}")
     if result.rtt_ms is not None:
         metrics.observe_ms(f"exchange.rtt_ms.{transport}", result.rtt_ms)
     if metrics.exchange_events:

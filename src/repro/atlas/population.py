@@ -57,6 +57,7 @@ from repro.resolvers.software import (
     microsoft,
     pi_hole,
     powerdns,
+    q9,
     quirky,
     silent_forwarder,
     unbound,
@@ -157,9 +158,7 @@ CPE_TRUE_SOFTWARE: tuple[ServerSoftware, ...] = (
     bind_redhat(),
     # the long tail, one each
     powerdns(),
-    ServerSoftware(
-        label="Q9-U-6.6", family="Q9-*", version_bind=ChaosBehavior.answer("Q9-U-6.6")
-    ),
+    q9(),
     bind_vanilla("9.16.15"),
     bind_debian(),
     windows_ns(),

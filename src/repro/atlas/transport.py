@@ -104,6 +104,13 @@ def udp53_exchange(
             ):
                 result.rejected.append(datagram)
                 continue
+            if message.flags.tc:
+                # Truncation: the sections of a TC-set response may be
+                # cut anywhere, so it is not a complete answer. With no
+                # TCP fallback the exchange surfaces TRUNCATED rather
+                # than scoring partial content as the real response.
+                result.truncated.append(message)
+                continue
             result.accepted.append(message)
             if result.response is None:
                 result.response = message
@@ -134,7 +141,10 @@ def udp53_exchange(
             # off-path junk validation exists to discard) must not
             # cancel the remaining retransmissions.
             classify(sock.drain())
-            if result.accepted:
+            if result.accepted or result.truncated:
+                # A truncated answer is a definite (if unusable) reply
+                # from the right source: retransmitting the same UDP
+                # query would only get it truncated again.
                 break
             if network.now >= deadline or not pending:
                 break
@@ -144,6 +154,8 @@ def udp53_exchange(
             if retry_index < len(delays):
                 next_retry = network.now + delays[retry_index]
         result.attempts = len(send_times)
+        if result.response is None and result.truncated:
+            result.status = ExchangeStatus.TRUNCATED
         result.icmp = [
             icmp
             for icmp in host.icmp_inbox[icmp_mark:]

@@ -39,6 +39,7 @@ _STUDY_KEYS = (
     "detector",
     "transport",
     "evasion",
+    "fingerprint",
     "impairment",
     "retries",
     "run_transparency",
@@ -142,7 +143,7 @@ def _parse_study(data: dict, seed: int, where: str) -> StudyConfig:
             if not isinstance(value, str):
                 raise ScenarioError(f"{where}.{key} must be a string")
             kwargs[key] = value
-    for key in ("evasion", "run_transparency"):
+    for key in ("evasion", "fingerprint", "run_transparency"):
         if key in data:
             value = data[key]
             if not isinstance(value, bool):

@@ -271,6 +271,16 @@ def cmd_study(args: argparse.Namespace) -> int:
     if args.agreement_json and args.detector != "both":
         print("--agreement-json requires --detector both", file=sys.stderr)
         return 2
+    if args.fingerprint and args.detector == "cert":
+        print(
+            "--fingerprint needs the heuristic locator in the loop; use "
+            "--detector heuristic or both",
+            file=sys.stderr,
+        )
+        return 2
+    if args.fingerprint_json and not (args.fingerprint or args.load):
+        print("--fingerprint-json requires --fingerprint", file=sys.stderr)
+        return 2
     if args.evasion and args.transport == "udp53":
         print(
             "--evasion needs an encrypted transport: add --transport "
@@ -319,6 +329,7 @@ def cmd_study(args: argparse.Namespace) -> int:
             transport=args.transport,
             evasion=args.evasion,
             detector=args.detector,
+            fingerprint=args.fingerprint,
         )
         if args.chaos_trials:
             return _run_chaos_study(args, specs, config)
@@ -399,6 +410,29 @@ def cmd_study(args: argparse.Namespace) -> int:
 
         print()
         print(build_evasion_table(study).render())
+    has_fingerprint = (
+        study.config is not None and study.config.fingerprint
+    ) or any(record.fingerprint_signature for record in study.records)
+    if has_fingerprint:
+        from repro.analysis.fingerprint_study import build_fingerprint_confusion
+
+        print()
+        try:
+            confusion = build_fingerprint_confusion(study).to_dict()
+            print(build_fingerprint_confusion(study).render())
+        except ValueError:
+            confusion = {"total": 0, "correct": 0, "matrix": {}}
+            print("Fingerprint confusion: no intercepted probes to fingerprint")
+        if args.fingerprint_json:
+            payload = json.dumps(confusion, indent=2) + "\n"
+            if not _write_output_file(
+                args.fingerprint_json, payload, "fingerprint confusion"
+            ):
+                return 2
+            print(
+                f"saved fingerprint confusion to {args.fingerprint_json}",
+                file=sys.stderr,
+            )
     if detector == "both":
         from repro.analysis.agreement import build_agreement_table
 
@@ -814,6 +848,19 @@ def build_parser() -> argparse.ArgumentParser:
         "retry intercepted providers over --transport (opportunistic "
         "profile) and report evaded/blocked/downgraded per interceptor "
         "location",
+    )
+    study.add_argument(
+        "--fingerprint",
+        action="store_true",
+        help="after the locator, run the six ambiguity probes against each "
+        "intercepted probe's providers and name the interceptor software "
+        "from its reaction vector (prints the confusion summary)",
+    )
+    study.add_argument(
+        "--fingerprint-json",
+        metavar="PATH",
+        help="with --fingerprint: write the software confusion matrix as "
+        "JSON (byte-identical for any --workers value)",
     )
     study.add_argument(
         "--detector",

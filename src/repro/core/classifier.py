@@ -19,7 +19,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.atlas.measurement import ExchangeStatus, MeasurementClient
 from repro.net.addr import IPAddress
@@ -39,6 +39,9 @@ from .isp_check import IspCheckResult, check_isp
 from .metrics import active_registry
 from .transparency import ProbeTransparency, TransparencyResult, check_transparency
 
+if TYPE_CHECKING:  # pragma: no cover
+    from .fingerprint_probe import FingerprintReport
+
 
 class LocatorVerdict(enum.Enum):
     """Where the interceptor was found."""
@@ -55,11 +58,13 @@ class StepOutcome(enum.Enum):
     """How one locator step ended.
 
     ``INCONCLUSIVE`` means the step burned its entire retransmission
-    budget on queries that still timed out — the measurement is missing,
-    not negative, so the pipeline must degrade to an explicit "don't
-    know" rather than risk a misclassification. Only reachable when a
-    retry policy is in force (``attempts > 1``): classic no-retry runs
-    keep their historical verdicts bit for bit.
+    budget on queries that still timed out, or a measurement came back
+    truncated (TC bit set, no complete answer, no TCP fallback) — the
+    measurement is missing, not negative, so the pipeline must degrade
+    to an explicit "don't know" rather than risk a misclassification.
+    Only reachable under a retry policy (``attempts > 1``) or a
+    TC-answering path: classic runs keep their historical verdicts bit
+    for bit.
     """
 
     COMPLETE = "complete"
@@ -89,6 +94,10 @@ class ProbeClassification:
     detector: str = "heuristic"
     #: Certificate cross-validation report, when the cert detector ran.
     cert: Optional["CertReport"] = None
+    #: Ambiguity-probe fingerprint of the interceptor software, when the
+    #: study's fingerprint pass ran and the probe was intercepted (see
+    #: :mod:`repro.core.fingerprint_probe`).
+    fingerprint: Optional["FingerprintReport"] = None
 
     @property
     def intercepted(self) -> bool:
@@ -287,21 +296,34 @@ class InterceptionLocator:
     @staticmethod
     def _detection_exhausted(detection: DetectionReport) -> bool:
         """True when some measured pair is NO_RESPONSE with every one of
-        its exchanges having used a retransmission budget (attempts > 1).
-        Never true without a retry policy, so classic runs are unchanged."""
+        its exchanges having used a retransmission budget (attempts > 1),
+        or with a truncated response (TC bit, no complete answer — the
+        content never arrived and there is no TCP fallback). Never true
+        without a retry policy or a TC-answering path, so classic runs
+        are unchanged."""
         return any(
             verdict.status is InterceptionStatus.NO_RESPONSE
             and verdict.probes
-            and all(p.exchange.attempts > 1 for p in verdict.probes)
+            and (
+                all(p.exchange.attempts > 1 for p in verdict.probes)
+                or any(
+                    p.exchange.status is ExchangeStatus.TRUNCATED
+                    for p in verdict.probes
+                )
+            )
             for verdict in detection.verdicts.values()
         )
 
     @staticmethod
     def _cpe_check_exhausted(cpe_check: CpeCheckResult) -> bool:
         """True when a *resolver-side* version.bind exchange timed out
-        after retries — the comparison Step 2 rests on never happened."""
+        after retries — or came back truncated — so the comparison Step 2
+        rests on never happened."""
         return any(
-            obs.exchange.status is ExchangeStatus.TIMEOUT
-            and obs.exchange.attempts > 1
+            (
+                obs.exchange.status is ExchangeStatus.TIMEOUT
+                and obs.exchange.attempts > 1
+            )
+            or obs.exchange.status is ExchangeStatus.TRUNCATED
             for obs in cpe_check.resolver_observations
         )

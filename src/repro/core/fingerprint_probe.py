@@ -1,0 +1,106 @@
+"""Step 4 (this repo's extension): name the interceptor *software*.
+
+The paper's locator says *where* the interceptor sits (CPE / ISP /
+external); Step 2's ``version.bind`` asks the software to name itself —
+and takes the answer on faith. The ambiguity fingerprinter instead
+*behaviourally* identifies the software: it replays the six crafted
+probes of :mod:`repro.fingerprint` against the first provider address
+the locator proved intercepted, and matches the observed reaction
+vector against the signature database.
+
+Fingerprinters are registry entries like detectors
+(:mod:`repro.core.detector_registry`), keyed by name so future
+behavioural fingerprints (timing, cache probing) can slot in beside
+this one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.atlas.measurement import MeasurementClient
+from repro.fingerprint import build_signature_database, run_ambiguity_probes
+from repro.fingerprint.signature import SignatureDatabase
+from repro.resolvers.public import Provider
+
+from .catalog import provider_addresses
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .classifier import ProbeClassification
+
+
+@dataclass(frozen=True)
+class FingerprintReport:
+    """Outcome of the ambiguity-probe pass for one probe."""
+
+    provider: Provider
+    destination: str
+    family: int
+    #: The six observed tokens, :data:`repro.fingerprint.PROBE_AXES` order.
+    signature: tuple[str, ...]
+    #: Database match — the named interceptor software — or None when
+    #: the observed vector matches nothing known.
+    software: Optional[str]
+
+
+#: The signature database is immutable and identical for every probe;
+#: built once per process, lazily (workers build their own copy).
+_DATABASE: Optional[SignatureDatabase] = None
+
+
+def signature_database() -> SignatureDatabase:
+    global _DATABASE
+    if _DATABASE is None:
+        _DATABASE = build_signature_database()
+    return _DATABASE
+
+
+class AmbiguityFingerprinter:
+    """The six-probe ambiguity fingerprint (see :mod:`repro.fingerprint`)."""
+
+    name = "ambiguity"
+
+    def fingerprint(
+        self, client: MeasurementClient, classification: "ProbeClassification"
+    ) -> Optional[FingerprintReport]:
+        """Fingerprint the interceptor the locator found, if any.
+
+        Returns None when the classification is not an interception (or
+        carries no per-provider detail to aim the probes at). The target
+        is the *first* intercepted provider's primary address — one
+        deterministic choice, since every provider path crosses the same
+        interceptor.
+        """
+        family = classification.analysis_family
+        if family is None or not classification.intercepted:
+            return None
+        providers = classification.detection.intercepted_providers(family)
+        if not providers:
+            return None
+        provider = providers[0]
+        destination = provider_addresses(provider, family)[0]
+        signature = run_ambiguity_probes(client, destination)
+        return FingerprintReport(
+            provider=provider,
+            destination=destination,
+            family=family,
+            signature=signature,
+            software=signature_database().identify(signature),
+        )
+
+
+#: The fingerprinter registry, a sibling of ``DETECTORS``.
+FINGERPRINTERS: dict[str, AmbiguityFingerprinter] = {
+    "ambiguity": AmbiguityFingerprinter(),
+}
+
+
+def get_fingerprinter(name: str = "ambiguity") -> AmbiguityFingerprinter:
+    """Look up a fingerprinter by name; unknown names raise ``ValueError``."""
+    try:
+        return FINGERPRINTERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fingerprinter {name!r}; expected one of {sorted(FINGERPRINTERS)}"
+        ) from None

@@ -185,6 +185,7 @@ def measure_shard(
     transport = config.transport if config is not None else "udp53"
     evasion = config.evasion if config is not None else False
     detector = config.detector if config is not None else "heuristic"
+    fingerprint = config.fingerprint if config is not None else False
     registry = active_registry()
     # Dedup is only sound when nothing per-probe beyond the memo key can
     # influence the record: impairment streams and retry jitter are
@@ -217,6 +218,7 @@ def measure_shard(
                     transport,
                     evasion,
                     detector,
+                    fingerprint,
                 )
                 cached = memo.get(key)
                 if cached is not None:
@@ -254,6 +256,7 @@ def measure_shard(
             transport=transport,
             evasion=evasion,
             detector=detector,
+            fingerprint=fingerprint,
         )
         record = classification_to_record(spec, classification, detector=detector)
         if key is not None:

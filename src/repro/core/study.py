@@ -97,6 +97,13 @@ class StudyConfig:
         agreement study). Like ``transport``/``evasion`` this changes
         *what* is measured, so it is serialized into exports and store
         fingerprints.
+    ``fingerprint``
+        Run the ambiguity-probe software fingerprint
+        (:mod:`repro.core.fingerprint_probe`) against every probe the
+        locator classifies as intercepted. Needs the heuristic locator
+        in the loop (the probes aim at the providers it proved
+        intercepted). Changes *what* is measured, so it is serialized
+        into exports and store fingerprints.
     """
 
     workers: Optional[int] = 1
@@ -111,6 +118,7 @@ class StudyConfig:
     transport: str = "udp53"
     evasion: bool = False
     detector: str = "heuristic"
+    fingerprint: bool = False
 
     def __post_init__(self) -> None:
         if self.trace not in TRACE_LEVELS:
@@ -132,6 +140,11 @@ class StudyConfig:
         if self.evasion and self.detector == "cert":
             raise ValueError(
                 "evasion=True needs the heuristic locator in the loop; "
+                'use detector="heuristic" or "both"'
+            )
+        if self.fingerprint and self.detector not in ("heuristic", "both"):
+            raise ValueError(
+                "fingerprint=True needs the heuristic locator in the loop; "
                 'use detector="heuristic" or "both"'
             )
         if self.evasion and self.transport == "udp53":
@@ -195,6 +208,17 @@ class ProbeRecord:
     #: cert detector did not run (heuristic-only studies, old exports).
     cert_verdict: Optional[str] = None
     cert_cause: Optional[str] = None
+    #: Ambiguity-probe reaction vector (six tokens, PROBE_AXES order);
+    #: empty when the fingerprint pass did not run or the probe was not
+    #: intercepted.
+    fingerprint_signature: tuple[str, ...] = ()
+    #: Signature-database match — the interceptor software the
+    #: fingerprint names; None without a match (or without a pass).
+    fingerprint_software: Optional[str] = None
+    #: Ground truth from the probe spec: the software actually answering
+    #: hijacked queries. The confusion study compares this against
+    #: ``fingerprint_software``.
+    true_software: Optional[str] = None
 
     # -- per-provider helpers ----------------------------------------------
 
@@ -308,6 +332,16 @@ def classification_to_record(
         cert_verdict = classification.cert.verdict.value
         if classification.cert.cause is not None:
             cert_cause = classification.cert.cause.value
+    fingerprint_signature: tuple[str, ...] = ()
+    fingerprint_software: Optional[str] = None
+    true_software: Optional[str] = None
+    if classification.fingerprint is not None:
+        from repro.fingerprint import true_software_label
+
+        fp = classification.fingerprint
+        fingerprint_signature = fp.signature
+        fingerprint_software = fp.software
+        true_software = true_software_label(spec, fp.destination, fp.family)
     return ProbeRecord(
         probe_id=spec.probe_id,
         organization=spec.organization.name,
@@ -327,6 +361,9 @@ def classification_to_record(
         detector=classification.detector,
         cert_verdict=cert_verdict,
         cert_cause=cert_cause,
+        fingerprint_signature=fingerprint_signature,
+        fingerprint_software=fingerprint_software,
+        true_software=true_software,
     )
 
 
@@ -343,6 +380,7 @@ def measure_probe(
     transport: str = "udp53",
     evasion: bool = False,
     detector: str = "heuristic",
+    fingerprint: bool = False,
 ) -> Optional[ProbeClassification]:
     """Run the full pipeline for one probe; None when the probe is offline.
 
@@ -366,6 +404,9 @@ def measure_probe(
     ``detector`` picks the registry detector(s): ``"heuristic"``,
     ``"cert"``, or ``"both"`` (heuristic first, then certificate
     cross-validation over the same scenario and RNG stream).
+
+    ``fingerprint`` runs the ambiguity-probe software fingerprint after
+    the detectors, when the locator found an interception to aim at.
     """
     if not spec.online:
         return None
@@ -420,6 +461,16 @@ def measure_probe(
             classification.detector = "both"
             classification.cert = cert_result.cert
     assert classification is not None
+    if (
+        fingerprint
+        and classification.intercepted
+        and classification.analysis_family is not None
+    ):
+        from .fingerprint_probe import get_fingerprinter
+
+        classification.fingerprint = get_fingerprinter("ambiguity").fingerprint(
+            client, classification
+        )
     return classification
 
 

@@ -27,6 +27,7 @@ from repro.resolvers.software import (
     microsoft,
     pi_hole,
     powerdns,
+    q9,
     quirky,
     silent_forwarder,
     unbound,
@@ -180,11 +181,7 @@ TABLE5_SOFTWARE_MIX: tuple[tuple[ServerSoftware, int], ...] = (
     (unbound("1.13.1"), 2),
     (bind_redhat(), 2),
     (powerdns(), 1),
-    (ServerSoftware(
-        label="Q9-U-6.6",
-        family="Q9-*",
-        version_bind=ChaosBehavior.answer("Q9-U-6.6"),
-    ), 1),
+    (q9(), 1),
     (bind_vanilla("9.16.15"), 1),
     (bind_debian(), 1),
     (windows_ns(), 1),

@@ -15,8 +15,16 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.dnswire import DNS_PORT, Message, RCode, decode_or_none
+from repro.dnswire.edns import Edns, with_edns
 from repro.net import Packet, make_udp
 from repro.net.addr import IPAddress, parse_ip
+from repro.resolvers.ambiguity import (
+    DEFAULT_AMBIGUITY,
+    AmbiguityAction,
+    ambiguity_finalize,
+    ambiguity_forward_transform,
+    ambiguity_precheck,
+)
 from repro.resolvers.base import ChaosOutcome, chaos_respond
 from repro.resolvers.software import ServerSoftware
 
@@ -36,6 +44,10 @@ class PendingQuery:
     original_id: int
     reply_src: IPAddress  # spoofed to the original destination when hijacked
     qname_text: str
+    #: EDNS state to re-attach to the relayed response, for software that
+    #: strips unknown options on the way up but echoes them on the way
+    #: back (``edns_unknown="echo"`` forwarder personalities).
+    edns_echo: Optional[Edns] = None
 
 
 class ForwarderEngine:
@@ -84,18 +96,43 @@ class ForwarderEngine:
             cpe.trace("drop", packet, "forwarder: not a query")
             return
 
+        profile = self.software.ambiguity
+        edns_echo: Optional[Edns] = None
+        if profile is not DEFAULT_AMBIGUITY:
+            # This code base has opinions about ambiguous queries: react
+            # locally (error or silent drop) before anything is relayed,
+            # so the divergence is attributable to *this* forwarder and
+            # never composed with the upstream's.
+            early = ambiguity_precheck(profile, query)
+            if early is AmbiguityAction.DROP:
+                cpe.trace("drop", packet, "forwarder: ambiguous query dropped")
+                return
+            if early is not None:
+                self._reply(
+                    cpe, packet, ambiguity_finalize(profile, query, early), reply_src
+                )
+                return
+            query, edns_echo = ambiguity_forward_transform(profile, query)
+
         outcome = chaos_respond(self.software, query)
         if isinstance(outcome, Message):
-            self._reply(cpe, packet, outcome, reply_src)
+            self._reply(
+                cpe, packet, ambiguity_finalize(profile, query, outcome), reply_src
+            )
             return
         if outcome is ChaosOutcome.IGNORE:
             cpe.trace("drop", packet, "forwarder: chaos ignored")
             return
         # NOT_CHAOS or FORWARD: relay upstream.
-        self._forward_upstream(cpe, packet, query, reply_src)
+        self._forward_upstream(cpe, packet, query, reply_src, edns_echo=edns_echo)
 
     def _forward_upstream(
-        self, cpe: "CpeDevice", packet: Packet, query: Message, reply_src: IPAddress
+        self,
+        cpe: "CpeDevice",
+        packet: Packet,
+        query: Message,
+        reply_src: IPAddress,
+        edns_echo: Optional[Edns] = None,
     ) -> None:
         upstream = self.upstream_for_family(packet.family)
         if upstream is None:
@@ -105,14 +142,27 @@ class ForwarderEngine:
         if source is None:
             self._reply(cpe, packet, query.reply(rcode=RCode.SERVFAIL), reply_src)
             return
-        upstream_id = self._allocate_id()
         assert packet.udp is not None
+        if self.software.ambiguity.overlap == "first":
+            # Dedup on the client's (address, port, id) triple: a second
+            # in-flight transmission reusing the id is treated as a
+            # duplicate and dropped, even if its payload differs.
+            for entry in self._pending.values():
+                if (
+                    entry.client_addr == packet.src
+                    and entry.client_port == packet.udp.sport
+                    and entry.original_id == query.msg_id
+                ):
+                    cpe.trace("drop", packet, "forwarder: duplicate in-flight id")
+                    return
+        upstream_id = self._allocate_id()
         self._pending[upstream_id] = PendingQuery(
             client_addr=packet.src,
             client_port=packet.udp.sport,
             original_id=query.msg_id,
             reply_src=reply_src,
             qname_text=query.question.qname.to_text() if query.question else ".",
+            edns_echo=edns_echo,
         )
         self.upstream_queries += 1
         relay = make_udp(
@@ -129,11 +179,34 @@ class ForwarderEngine:
         if response is None or not response.is_response:
             cpe.trace("drop", packet, "forwarder: bad upstream response")
             return
-        pending = self._pending.pop(response.msg_id, None)
+        pending = self._pending.get(response.msg_id)
         if pending is None:
             cpe.trace("drop", packet, "forwarder: unexpected upstream id")
             return
+        # A matching id alone is not proof the response is ours: off-path
+        # junk (or a blind spoofer racing the real answer) can collide on
+        # the 16-bit id. Relay only what the configured upstream sent from
+        # port 53 for the question we actually asked; mismatches are
+        # dropped *without* consuming the pending entry, so the genuine
+        # answer still finds it.
+        if (
+            packet.src != self.upstream_for_family(packet.family)
+            or packet.udp.sport != DNS_PORT
+        ):
+            cpe.trace("drop", packet, "forwarder: response from non-upstream source")
+            return
+        qname = response.question.qname.to_text() if response.question else "."
+        if qname != pending.qname_text:
+            cpe.trace("drop", packet, "forwarder: response question mismatch")
+            return
+        del self._pending[response.msg_id]
         relayed = response.with_id(pending.original_id)
+        if pending.edns_echo is not None:
+            relayed = with_edns(
+                relayed,
+                payload_size=pending.edns_echo.payload_size,
+                options=pending.edns_echo.options,
+            )
         reply = make_udp(
             pending.reply_src,
             DNS_PORT,

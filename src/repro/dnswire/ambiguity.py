@@ -1,0 +1,98 @@
+"""Crafted ambiguous query wires for interceptor fingerprinting.
+
+Real DNS software disagrees about the edges of the protocol: what to do
+with a query that already has the TC bit set, a QDCOUNT of two, an
+unknown EDNS option, an opcode nobody uses. The fingerprint engine
+(:mod:`repro.fingerprint`) sends exactly such queries and reads each
+interceptor's reaction as one coordinate of a signature vector. This
+module holds the wire-level builders those probes need — the pieces the
+regular :class:`~repro.dnswire.message.Message` codec is too well-behaved
+to produce.
+"""
+
+from __future__ import annotations
+
+from .enums import QClass, QType
+from .message import Flags, Message, Question, make_query
+from .name import DnsName
+from .wire import WireWriter
+
+#: Offset of the first question's name in any DNS message: the fixed
+#: 12-byte header ends there, so ``C0 0C`` points at it.
+FIRST_QNAME_OFFSET = 12
+
+
+def mixed_case(text: str) -> str:
+    """Deterministic 0x20 mixed-casing: alternate case per letter.
+
+    The transform depends only on the spelling, so every probe of the
+    same name sends the same bytes — byte-identical runs regardless of
+    worker count or engine.
+    """
+    out: list[str] = []
+    upper = True
+    for ch in text:
+        if ch.isalpha():
+            out.append(ch.upper() if upper else ch.lower())
+            upper = not upper
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def mixed_case_query(
+    qname: str, qtype: int = QType.A, msg_id: int = 0
+) -> Message:
+    """A standard query whose qname is deterministically mixed-cased."""
+    return make_query(mixed_case(qname), qtype, msg_id=msg_id)
+
+
+def tc_query(qname: str, qtype: int = QType.A, msg_id: int = 0) -> Message:
+    """A query with the TC bit nonsensically set (TC is for responses)."""
+    return Message(
+        msg_id=msg_id,
+        flags=Flags(qr=False, tc=True, rd=True),
+        questions=(Question(DnsName.from_text(qname), qtype),),
+    )
+
+
+def odd_opcode_query(
+    qname: str, opcode: int, qtype: int = QType.A, msg_id: int = 0
+) -> Message:
+    """A query carrying a non-QUERY opcode (STATUS, say)."""
+    return Message(
+        msg_id=msg_id,
+        flags=Flags(qr=False, opcode=opcode, rd=True),
+        questions=(Question(DnsName.from_text(qname), qtype),),
+    )
+
+
+def two_question_wire(
+    qname: str, qtype: int = QType.A, msg_id: int = 0
+) -> bytes:
+    """Raw wire with QDCOUNT=2 where the second question is a compression
+    pointer back to the first question's name (offset 12).
+
+    The :class:`Message` encoder refuses nothing, but a two-question
+    query whose second name is *only* a pointer into the question section
+    is the classic parser-differential probe — some stacks answer the
+    first question, some FORMERR, some drop. Built by hand so the exact
+    bytes (including the pointer) are pinned.
+    """
+    writer = WireWriter()
+    writer.write_u16(msg_id)
+    writer.write_u16(Flags(qr=False, rd=True).encode())
+    writer.write_u16(2)  # QDCOUNT
+    writer.write_u16(0)
+    writer.write_u16(0)
+    writer.write_u16(0)
+    DnsName.from_text(qname).encode(writer)
+    writer.write_u16(int(qtype))
+    writer.write_u16(int(QClass.IN))
+    # Second question: pointer to the first qname, different qtype so the
+    # two questions are not byte-identical.
+    writer.write_u8(0xC0)
+    writer.write_u8(FIRST_QNAME_OFFSET)
+    writer.write_u16(int(QType.TXT))
+    writer.write_u16(int(QClass.IN))
+    return writer.getvalue()

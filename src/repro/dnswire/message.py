@@ -217,20 +217,30 @@ class Message:
         answers: tuple[ResourceRecord, ...] = (),
         authoritative: bool = False,
         recursion_available: bool = True,
+        truncated: bool = False,
+        additionals: tuple[ResourceRecord, ...] = (),
     ) -> "Message":
-        """Build a response to this query, echoing id and question."""
+        """Build a response to this query, echoing id and question.
+
+        ``truncated`` sets the TC bit (a server signalling an answer too
+        large for the transport); ``additionals`` carries OPT or other
+        additional-section records — by default the reply drops the
+        query's additionals, as the zoo's servers historically have.
+        """
         return Message(
             msg_id=self.msg_id,
             flags=Flags(
                 qr=True,
                 opcode=self.flags.opcode,
                 aa=authoritative,
+                tc=truncated,
                 rd=self.flags.rd,
                 ra=recursion_available,
                 rcode=rcode,
             ),
             questions=self.questions,
             answers=tuple(answers),
+            additionals=tuple(additionals),
         )
 
     def with_id(self, msg_id: int) -> "Message":

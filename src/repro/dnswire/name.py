@@ -185,7 +185,13 @@ class DnsName:
         for index in range(len(labels)):
             # The key is the label tuple itself, not a dotted join: a
             # label containing "." must never alias a two-label suffix.
-            suffix_key = self._key[index:]
+            # It is also *case-exact* (the spelled labels, not the
+            # lowercased comparison key): RFC 1035 §4.1.4 compression is
+            # allowed across case, but pointing at a differently-cased
+            # earlier spelling silently rewrites this name on the wire —
+            # fatal for 0x20-style case fidelity, where the echoed
+            # spelling is the signal.
+            suffix_key = labels[index:]
             if compress:
                 pointer = writer.lookup_name(suffix_key)
                 if pointer is not None:

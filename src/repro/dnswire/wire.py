@@ -30,7 +30,10 @@ class WireWriter:
 
     def __init__(self) -> None:
         self._buffer = bytearray()
-        # Name compression state: lowercase label-tuple suffix -> offset.
+        # Name compression state: case-exact label-tuple suffix -> offset.
+        # Keys preserve the spelled labels (not a lowercased comparison
+        # form): a pointer to a differently-cased earlier spelling would
+        # rewrite the later name on the wire and break 0x20 case fidelity.
         self._name_offsets: dict[tuple[str, ...], int] = {}
         # While True, remember_name is a no-op. RDATA encoders set this so
         # names inside RDATA (always encoded uncompressed) never become

@@ -1,0 +1,115 @@
+"""Run the ambiguity probes through a live scenario.
+
+The exchanges here are deliberately *raw*: unlike
+:func:`repro.atlas.transport.udp53_exchange` there is no retry policy
+and no TC-bit special-casing — a fingerprint probe's whole point is to
+observe the first reaction, whatever it is. Source, port and id are
+still validated so off-path junk cannot pollute a token.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.atlas.measurement import MeasurementClient
+from repro.dnswire import DNS_PORT, Message, decode_or_none
+from repro.net.addr import IPAddress, parse_ip
+
+from .probes import (
+    CASE_MSG_ID,
+    EDNS_MSG_ID,
+    OPCODE_MSG_ID,
+    OVERLAP_MSG_ID,
+    QDCOUNT_MSG_ID,
+    TC_MSG_ID,
+    case_probe_wire,
+    case_token,
+    edns_probe_wire,
+    edns_token,
+    opcode_probe_wire,
+    opcode_token,
+    overlap_probe_wires,
+    overlap_token,
+    qdcount_probe_wire,
+    qdcount_token,
+    tc_probe_wire,
+    tc_token,
+)
+
+
+def _exchange_raw(
+    client: MeasurementClient,
+    wire: bytes,
+    destination: IPAddress,
+    msg_id: int,
+) -> Optional[Message]:
+    """Send one raw probe wire and return the first valid response."""
+    network = client.network
+    sock = client.host.open_socket()
+    try:
+        sock.sendto(wire, destination, DNS_PORT)
+        network.run(until=network.now + client.timeout_ms)
+        for datagram in sock.drain():
+            if datagram.src != destination or datagram.sport != DNS_PORT:
+                continue
+            message = decode_or_none(datagram.payload)
+            if message is None or not message.is_response or message.msg_id != msg_id:
+                continue
+            return message
+        return None
+    finally:
+        sock.close()
+
+
+def _exchange_overlap(
+    client: MeasurementClient, destination: IPAddress
+) -> "set[str]":
+    """Send the two same-id divergent transmissions on one socket and
+    collect the lowercased qnames of every valid response."""
+    first, second = overlap_probe_wires()
+    network = client.network
+    sock = client.host.open_socket()
+    answered: set[str] = set()
+    try:
+        sock.sendto(first, destination, DNS_PORT)
+        sock.sendto(second, destination, DNS_PORT)
+        network.run(until=network.now + client.timeout_ms)
+        for datagram in sock.drain():
+            if datagram.src != destination or datagram.sport != DNS_PORT:
+                continue
+            message = decode_or_none(datagram.payload)
+            if (
+                message is None
+                or not message.is_response
+                or message.msg_id != OVERLAP_MSG_ID
+                or message.question is None
+            ):
+                continue
+            answered.add(message.question.qname.to_text().lower())
+        return answered
+    finally:
+        sock.close()
+
+
+def run_ambiguity_probes(
+    client: MeasurementClient, destination: "str | IPAddress"
+) -> tuple[str, ...]:
+    """Send all six probes to ``destination`` and return the signature.
+
+    The result is a 6-tuple of tokens in :data:`~repro.fingerprint.probes.PROBE_AXES`
+    order. Probes run sequentially on fresh sockets; everything about
+    them (ids, spellings, order) is deterministic.
+    """
+    destination = parse_ip(destination)
+    return (
+        case_token(_exchange_raw(client, case_probe_wire(), destination, CASE_MSG_ID)),
+        tc_token(_exchange_raw(client, tc_probe_wire(), destination, TC_MSG_ID)),
+        qdcount_token(
+            _exchange_raw(client, qdcount_probe_wire(), destination, QDCOUNT_MSG_ID)
+        ),
+        edns_token(_exchange_raw(client, edns_probe_wire(), destination, EDNS_MSG_ID)),
+        opcode_token(
+            _exchange_raw(client, opcode_probe_wire(), destination, OPCODE_MSG_ID)
+        ),
+        overlap_token(_exchange_overlap(client, destination)),
+    )

@@ -1,0 +1,179 @@
+"""The six ambiguity probes and their response-token extractors.
+
+Every probe targets a name that exists in the simulated directory
+(``www.example.com`` / ``example.com``), so a pass-through path serves a
+real answer and the token reflects the *interceptor's* handling, not a
+resolution failure. Message ids are fixed constants: the probes must be
+byte-identical across runs, worker counts and engines.
+
+Token vocabulary (one axis per probe, in :data:`PROBE_AXES` order):
+
+``case``
+    ``echo`` (0x20 mixed case preserved), ``lower`` (qname folded),
+    ``other`` (respelled some third way), ``drop``.
+``tc``
+    ``served`` (benign rcode), ``rcode:N``, ``drop``.
+``qdcount``
+    ``served:qN`` (benign, N echoed questions), ``rcode:N``, ``drop``.
+``edns``
+    ``opt-echo`` (unknown option returned), ``opt-absent`` (served
+    without it), ``rcode:N``, ``drop``.
+``opcode``
+    ``served``, ``rcode:N``, ``drop``.
+``overlap``
+    ``all`` (both divergent retransmissions answered), ``first``,
+    ``second``, ``drop``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dnswire import Message, Opcode, QType, RCode
+from repro.dnswire.ambiguity import (
+    mixed_case,
+    mixed_case_query,
+    odd_opcode_query,
+    tc_query,
+    two_question_wire,
+)
+from repro.dnswire.edns import EdnsOption, get_edns, with_edns
+from repro.dnswire.message import make_query
+
+#: Axis names, in probe order. Signatures are 6-tuples in this order.
+PROBE_AXES: tuple[str, ...] = ("case", "tc", "qdcount", "edns", "opcode", "overlap")
+
+#: An option code from the reserved-for-local-use range (RFC 6891):
+#: guaranteed unknown to every modelled implementation.
+UNKNOWN_OPTION_CODE = 0xFDE9
+
+#: Fixed message ids, one per probe (two for overlap's retransmission
+#: pair, which share one id by design).
+CASE_MSG_ID = 0xA110
+TC_MSG_ID = 0xA111
+QDCOUNT_MSG_ID = 0xA112
+EDNS_MSG_ID = 0xA113
+OPCODE_MSG_ID = 0xA114
+OVERLAP_MSG_ID = 0xA115
+
+#: The probe names. Both resolve in the simulated directory.
+PROBE_QNAME = "www.example.com."
+OVERLAP_SECOND_QNAME = "example.com."
+
+#: Rcodes that mean "the query was processed normally": NOERROR, and
+#: NXDOMAIN for stacks that answer oddities with a name error rather
+#: than a status error.
+_BENIGN_RCODES = frozenset({int(RCode.NOERROR), int(RCode.NXDOMAIN)})
+
+
+def _rcode_suffix(response: Message) -> Optional[str]:
+    """``rcode:N`` for error responses, None for benign ones."""
+    rcode = int(response.rcode)
+    if rcode in _BENIGN_RCODES:
+        return None
+    return f"rcode:{rcode}"
+
+
+# -- probe wires ----------------------------------------------------------
+
+
+def case_probe_wire() -> bytes:
+    return mixed_case_query(PROBE_QNAME, QType.A, msg_id=CASE_MSG_ID).encode()
+
+
+def tc_probe_wire() -> bytes:
+    return tc_query(PROBE_QNAME, QType.A, msg_id=TC_MSG_ID).encode()
+
+
+def qdcount_probe_wire() -> bytes:
+    return two_question_wire(PROBE_QNAME, QType.A, msg_id=QDCOUNT_MSG_ID)
+
+
+def edns_probe_wire() -> bytes:
+    query = make_query(PROBE_QNAME, QType.A, msg_id=EDNS_MSG_ID)
+    return with_edns(
+        query, options=(EdnsOption(UNKNOWN_OPTION_CODE, b"repro"),)
+    ).encode()
+
+
+def opcode_probe_wire() -> bytes:
+    return odd_opcode_query(
+        PROBE_QNAME, Opcode.STATUS, QType.A, msg_id=OPCODE_MSG_ID
+    ).encode()
+
+
+def overlap_probe_wires() -> tuple[bytes, bytes]:
+    """Two transmissions sharing one id but asking different names."""
+    first = make_query(PROBE_QNAME, QType.A, msg_id=OVERLAP_MSG_ID)
+    second = make_query(OVERLAP_SECOND_QNAME, QType.A, msg_id=OVERLAP_MSG_ID)
+    return first.encode(), second.encode()
+
+
+# -- token extractors -----------------------------------------------------
+
+
+def case_token(response: Optional[Message]) -> str:
+    if response is None:
+        return "drop"
+    question = response.question
+    if question is None:
+        return "other"
+    observed = question.qname.to_text()
+    sent = mixed_case(PROBE_QNAME)
+    if observed == sent:
+        return "echo"
+    if observed == sent.lower():
+        return "lower"
+    return "other"
+
+
+def tc_token(response: Optional[Message]) -> str:
+    if response is None:
+        return "drop"
+    return _rcode_suffix(response) or "served"
+
+
+def qdcount_token(response: Optional[Message]) -> str:
+    if response is None:
+        return "drop"
+    suffix = _rcode_suffix(response)
+    if suffix is not None:
+        return suffix
+    return f"served:q{len(response.questions)}"
+
+
+def edns_token(response: Optional[Message]) -> str:
+    if response is None:
+        return "drop"
+    suffix = _rcode_suffix(response)
+    if suffix is not None:
+        return suffix
+    edns = get_edns(response)
+    if edns is not None and any(
+        option.code == UNKNOWN_OPTION_CODE for option in edns.options
+    ):
+        return "opt-echo"
+    return "opt-absent"
+
+
+def opcode_token(response: Optional[Message]) -> str:
+    if response is None:
+        return "drop"
+    return _rcode_suffix(response) or "served"
+
+
+def overlap_token(answered_qnames: "set[str]") -> str:
+    """Classify which of the two overlapping transmissions were answered.
+
+    ``answered_qnames`` holds the lowercased question names of every
+    accepted response carrying the shared id.
+    """
+    first = PROBE_QNAME in answered_qnames
+    second = OVERLAP_SECOND_QNAME in answered_qnames
+    if first and second:
+        return "all"
+    if first:
+        return "first"
+    if second:
+        return "second"
+    return "drop"

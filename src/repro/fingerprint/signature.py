@@ -1,0 +1,240 @@
+"""Signature prediction, the signature database, and ground truth.
+
+A *signature* is the 6-token reaction vector the probe engine observes
+(:data:`~repro.fingerprint.probes.PROBE_AXES` order). This module
+predicts the signature every modelled personality produces in each
+interception role, collects them into a database that refuses to build
+if any two personalities collide, and derives the ground-truth software
+label for a probe spec — the confusion study's diagonal.
+
+Roles matter for two reasons. A CPE *forwarder* relays what it does not
+answer locally, so its ``overlap`` handling (duplicate-id suppression)
+is visible; a *resolver* reached through a middlebox redirect is
+stateless per query and always answers both overlapping transmissions.
+And a REPLICATE middlebox races its resolver's copy against the genuine
+provider answer, so any token the resolver would *drop* is backfilled
+by the provider's default reaction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dnswire import RCode
+from repro.net import is_bogon
+from repro.net.addr import IPAddress, parse_ip
+from repro.resolvers.ambiguity import AmbiguityProfile
+from repro.resolvers.software import silent_forwarder
+
+from .probes import PROBE_AXES
+
+#: What the public providers (default ambiguity profile, stateless)
+#: answer: everything served, unknown options silently not echoed.
+PROVIDER_DEFAULT_SIGNATURE: tuple[str, ...] = (
+    "echo",
+    "served",
+    "served:q2",
+    "opt-absent",
+    "served",
+    "all",
+)
+
+#: What a DROP middlebox produces: silence on every axis.
+DROP_SIGNATURE: tuple[str, ...] = ("drop",) * len(PROBE_AXES)
+DROP_LABEL = "dropping middlebox"
+
+_RCODE_BY_NAME = {
+    "formerr": int(RCode.FORMERR),
+    "servfail": int(RCode.SERVFAIL),
+    "notimp": int(RCode.NOTIMP),
+    "refused": int(RCode.REFUSED),
+}
+
+
+def _react(value: str, served_token: str) -> str:
+    """Token for one profile axis: pass serves, drop silences, the
+    rest name the error status."""
+    if value == "pass":
+        return served_token
+    if value == "drop":
+        return "drop"
+    return f"rcode:{_RCODE_BY_NAME[value]}"
+
+
+def expected_signature(
+    profile: AmbiguityProfile, role: str = "forwarder"
+) -> tuple[str, ...]:
+    """Predict the signature ``profile`` produces in ``role``.
+
+    ``role`` is ``"forwarder"`` (CPE interception: local reactions,
+    pass-through axes relayed upstream) or ``"resolver"`` (middlebox
+    redirect target: same local reactions, but per-query statelessness
+    means overlapping transmissions are always both answered).
+
+    A ``pass`` on the tc/qdcount/opcode axes predicts ``served`` — for a
+    forwarder that is only sound when the upstream also serves, which is
+    why every interceptor-capable personality in
+    :mod:`repro.resolvers.software` reacts locally on those axes.
+    """
+    if role not in ("forwarder", "resolver"):
+        raise ValueError(f"unknown fingerprint role {role!r}")
+    if profile.edns_unknown == "echo":
+        edns = "opt-echo"
+    elif profile.edns_unknown in ("pass", "strip"):
+        edns = "opt-absent"
+    else:
+        edns = _react(profile.edns_unknown, "opt-absent")
+    if role == "resolver":
+        overlap = "all"
+    else:
+        overlap = "first" if profile.overlap == "first" else "all"
+    return (
+        profile.case,
+        _react(profile.tc_query, "served"),
+        _react(profile.multi_question, "served:q2"),
+        edns,
+        _react(profile.odd_opcode, "served"),
+        overlap,
+    )
+
+
+def replicate_signature(resolver_signature: tuple[str, ...]) -> tuple[str, ...]:
+    """Compose a REPLICATE middlebox's signature from its resolver's.
+
+    The injected resolver answer arrives first (it is closer), so its
+    token wins on every axis it answers; only axes the resolver *drops*
+    fall through to the genuine provider's default reaction.
+    """
+    return tuple(
+        default if token == "drop" else token
+        for token, default in zip(resolver_signature, PROVIDER_DEFAULT_SIGNATURE)
+    )
+
+
+def block_signature(block_rcode: int) -> tuple[str, ...]:
+    """A BLOCK middlebox answers its rcode to everything it decodes,
+    echoing the question (case included) as errors do."""
+    token = f"rcode:{int(block_rcode)}"
+    return ("echo", token, token, token, token, "all")
+
+
+def block_label(block_rcode: int) -> str:
+    return f"blocking middlebox ({RCode.label(block_rcode)})"
+
+
+class SignatureDatabase:
+    """Signature -> software label, collision-checked at construction."""
+
+    def __init__(self) -> None:
+        self._by_signature: dict[tuple[str, ...], str] = {}
+
+    def add(self, signature: tuple[str, ...], label: str) -> None:
+        existing = self._by_signature.get(signature)
+        if existing is not None and existing != label:
+            raise ValueError(
+                f"ambiguity signature collision: {signature!r} maps to both "
+                f"{existing!r} and {label!r}"
+            )
+        self._by_signature[signature] = label
+
+    def identify(self, signature: tuple[str, ...]) -> Optional[str]:
+        return self._by_signature.get(tuple(signature))
+
+    def __len__(self) -> int:
+        return len(self._by_signature)
+
+    def entries(self) -> "list[tuple[tuple[str, ...], str]]":
+        return sorted(self._by_signature.items())
+
+
+def _cpe_softwares():
+    """Every software personality a CPE in the population can run."""
+    from repro.cpe.firmware import TABLE5_SOFTWARE_MIX
+
+    softwares = [software for software, _count in TABLE5_SOFTWARE_MIX]
+    softwares.append(silent_forwarder())
+    return softwares
+
+
+def build_signature_database() -> SignatureDatabase:
+    """Predict and collect every personality's signatures.
+
+    Raises :class:`ValueError` if any two personalities would be
+    indistinguishable — the property the classifier depends on, enforced
+    where the profiles are assembled rather than discovered in the
+    field.
+    """
+    from repro.atlas.scenario import _RESOLVER_SOFTWARE_FACTORIES
+
+    db = SignatureDatabase()
+    for software in _cpe_softwares():
+        db.add(expected_signature(software.ambiguity, role="forwarder"), software.label)
+    for key in sorted(_RESOLVER_SOFTWARE_FACTORIES):
+        software = _RESOLVER_SOFTWARE_FACTORIES[key]()
+        resolver_sig = expected_signature(software.ambiguity, role="resolver")
+        db.add(resolver_sig, software.label)
+        db.add(replicate_signature(resolver_sig), software.label)
+    for rcode in (RCode.REFUSED, RCode.SERVFAIL, RCode.NOTIMP):
+        db.add(block_signature(rcode), block_label(rcode))
+    db.add(DROP_SIGNATURE, DROP_LABEL)
+    return db
+
+
+# -- ground truth ---------------------------------------------------------
+
+
+def _policy_matches(policy, destination: IPAddress, family: int) -> bool:
+    """Mirror of :meth:`InterceptionPolicy.matches` for a bare address."""
+    if not policy.plaintext:
+        return False
+    if family not in policy.families:
+        return False
+    if destination in policy.allowed:
+        return False
+    if is_bogon(destination):
+        return policy.intercept_bogons
+    if policy.targets is not None and destination not in policy.targets:
+        return False
+    return True
+
+
+def _policy_label(policy, resolver_label: str) -> str:
+    from repro.interceptors.policy import InterceptMode
+
+    if policy.mode is InterceptMode.BLOCK:
+        return block_label(policy.block_rcode)
+    if policy.mode is InterceptMode.DROP:
+        return DROP_LABEL
+    # REDIRECT and REPLICATE both surface the alternate resolver's code
+    # base (REPLICATE's composition keeps the resolver's tokens wherever
+    # it answers).
+    return resolver_label
+
+
+def true_software_label(
+    spec, destination: "str | IPAddress", family: int
+) -> Optional[str]:
+    """The software actually answering hijacked queries to
+    ``destination`` for the probe described by ``spec`` — first
+    interceptor on the path wins (CPE, then ISP middlebox, then the
+    external transit interceptor). None when nothing intercepts.
+    """
+    from repro.atlas.scenario import resolver_software
+    from repro.resolvers.software import unbound
+
+    destination = parse_ip(destination)
+    firmware = spec.firmware
+    intercepts = firmware.intercepts_v4 if family == 4 else firmware.intercepts_v6
+    if firmware.software is not None and intercepts:
+        return firmware.software.label
+    for policy in spec.isp.middlebox_policies:
+        if _policy_matches(policy, destination, family):
+            return _policy_label(
+                policy, resolver_software(spec.isp.resolver_software_key).label
+            )
+    for policy in spec.external_policies:
+        if _policy_matches(policy, destination, family):
+            # The external interceptor's off-AS resolver (see
+            # repro.atlas.scenario.build_scenario).
+            return _policy_label(policy, unbound("1.13.1").label)
+    return None

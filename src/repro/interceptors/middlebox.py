@@ -23,6 +23,7 @@ from repro.dnswire import DNS_PORT, decode_or_none
 from repro.net import Packet, Protocol, make_reply, make_udp
 from repro.net.addr import IPAddress, parse_ip
 from repro.net.doh import DOH_PORT
+from repro.net.doq import is_doq_payload
 from repro.net.dot import DOT_PORT, unwrap_dot, wrap_dot
 from repro.net.router import Router
 
@@ -328,11 +329,24 @@ class MiddleboxRouter(Router):
         payload = packet.udp.payload
         is_dot = packet.udp.dport == DOT_PORT
         if is_dot:
+            if is_doq_payload(payload):
+                # Port 853 is shared with DoQ (RFC 9250). This box only
+                # terminates DoT sessions; a QUIC session it cannot
+                # terminate is dropped, never unwrapped as if it were
+                # DoT and never answered with a plaintext error.
+                self.trace("drop", packet, "BLOCK: DoQ session (not DoT)")
+                return
             frame = unwrap_dot(payload)
             if frame is None:
                 self.trace("drop", packet, "BLOCK: malformed DoT frame")
                 return
             payload = frame.dns_payload
+        elif packet.udp.dport != DNS_PORT:
+            # Any other encrypted port (e.g. DoH on 443): the payload is
+            # session framing, not a bare DNS message — decoding it as
+            # one would answer garbage. Drop with a trace instead.
+            self.trace("drop", packet, f"BLOCK: encrypted port {packet.udp.dport}")
+            return
         query = decode_or_none(payload)
         if query is None or query.question is None:
             self.trace("drop", packet, "BLOCK: unparseable query")

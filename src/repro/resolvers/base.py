@@ -29,6 +29,12 @@ from repro.net.doq import is_doq_payload, unwrap_doq, wrap_doq
 from repro.net.dot import DOT_PORT, unwrap_dot, wrap_dot
 from repro.net.sim import Node
 
+from .ambiguity import (
+    DEFAULT_AMBIGUITY,
+    AmbiguityAction,
+    ambiguity_finalize,
+    ambiguity_precheck,
+)
 from .software import ChaosAction, ChaosBehavior, ServerSoftware, mute
 
 
@@ -249,7 +255,26 @@ class DnsServerNode(Node):
     # -- behaviour ----------------------------------------------------------
 
     def respond(self, query: Message, packet: Packet) -> Optional[Message]:
-        """Compute the response message; None means drop (timeout)."""
+        """Compute the response message; None means drop (timeout).
+
+        Ambiguous queries (TC flag set, multiple questions, unknown EDNS
+        options, odd opcodes) are intercepted by the software's
+        :class:`~repro.resolvers.ambiguity.AmbiguityProfile` before
+        normal dispatch — the fingerprint surface. The shared default
+        profile short-circuits to the historical path untouched.
+        """
+        profile = self.software.ambiguity
+        if profile is DEFAULT_AMBIGUITY:
+            return self._respond_dispatch(query, packet)
+        early = ambiguity_precheck(profile, query)
+        if early is AmbiguityAction.DROP:
+            return None
+        response = (
+            early if early is not None else self._respond_dispatch(query, packet)
+        )
+        return ambiguity_finalize(profile, query, response)
+
+    def _respond_dispatch(self, query: Message, packet: Packet) -> Optional[Message]:
         outcome = chaos_respond(self.software, query)
         if isinstance(outcome, Message):
             return outcome

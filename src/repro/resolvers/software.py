@@ -16,6 +16,8 @@ from typing import Optional
 
 from repro.dnswire import RCode
 
+from .ambiguity import DEFAULT_AMBIGUITY, AmbiguityProfile
+
 
 class ChaosAction(enum.Enum):
     """How a server reacts to a given CHAOS debugging query."""
@@ -73,9 +75,79 @@ class ServerSoftware:
     version_bind: ChaosBehavior
     id_server: ChaosBehavior = field(default_factory=ChaosBehavior.notimp)
     hostname_bind: ChaosBehavior = field(default_factory=ChaosBehavior.notimp)
+    #: How this code base reacts to ambiguous queries (the fingerprint
+    #: surface). The shared default is behaviour-neutral; curated
+    #: profiles below are pairwise distinct so the ambiguity-probe
+    #: engine can name the software from its reaction vector alone.
+    ambiguity: AmbiguityProfile = DEFAULT_AMBIGUITY
 
     def describe(self) -> str:
         return self.label
+
+
+# -- curated ambiguity profiles -------------------------------------------
+#
+# One per code base (version differences included where the real
+# projects changed behaviour between releases). Pairwise distinctness
+# across every personality the population can deploy is enforced by the
+# fingerprint signature database at build time
+# (:func:`repro.fingerprint.signature.build_signature_database`).
+
+_DNSMASQ_AMBIGUITY = {
+    "2.78": AmbiguityProfile(
+        tc_query="formerr", multi_question="formerr",
+        edns_unknown="strip", odd_opcode="notimp",
+    ),
+    "2.80": AmbiguityProfile(
+        tc_query="formerr", multi_question="formerr",
+        edns_unknown="strip", odd_opcode="refused",
+    ),
+    "2.85": AmbiguityProfile(
+        tc_query="formerr", multi_question="formerr",
+        edns_unknown="echo", odd_opcode="refused", overlap="first",
+    ),
+}
+
+_PI_HOLE_AMBIGUITY = {
+    "2.81": AmbiguityProfile(
+        case="lower", tc_query="refused", multi_question="formerr",
+        edns_unknown="strip", odd_opcode="refused", overlap="first",
+    ),
+    "2.84": AmbiguityProfile(
+        case="lower", tc_query="refused", multi_question="formerr",
+        edns_unknown="echo", odd_opcode="refused", overlap="first",
+    ),
+}
+
+_UNBOUND_AMBIGUITY = {
+    "1.9.0": AmbiguityProfile(
+        tc_query="formerr", multi_question="notimp",
+        edns_unknown="formerr", odd_opcode="notimp",
+    ),
+    "1.13.1": AmbiguityProfile(
+        tc_query="formerr", multi_question="notimp",
+        edns_unknown="strip", odd_opcode="notimp",
+    ),
+}
+
+_QUIRKY_AMBIGUITY = {
+    "new": AmbiguityProfile(
+        tc_query="refused", multi_question="refused",
+        edns_unknown="strip", odd_opcode="refused",
+    ),
+    "unknown": AmbiguityProfile(
+        tc_query="refused", multi_question="refused",
+        edns_unknown="strip", odd_opcode="notimp",
+    ),
+    "none": AmbiguityProfile(
+        tc_query="refused", multi_question="refused",
+        edns_unknown="echo", odd_opcode="refused",
+    ),
+    "huuh?": AmbiguityProfile(
+        case="lower", tc_query="drop", multi_question="drop",
+        edns_unknown="drop", odd_opcode="drop", overlap="first",
+    ),
+}
 
 
 def dnsmasq(version: str = "2.80") -> ServerSoftware:
@@ -91,6 +163,7 @@ def dnsmasq(version: str = "2.80") -> ServerSoftware:
         version_bind=ChaosBehavior.answer(f"dnsmasq-{version}"),
         id_server=ChaosBehavior.nxdomain(),
         hostname_bind=ChaosBehavior.nxdomain(),
+        ambiguity=_DNSMASQ_AMBIGUITY.get(version, _DNSMASQ_AMBIGUITY["2.80"]),
     )
 
 
@@ -102,6 +175,7 @@ def pi_hole(version: str = "2.81") -> ServerSoftware:
         version_bind=ChaosBehavior.answer(f"dnsmasq-pi-hole-{version}"),
         id_server=ChaosBehavior.nxdomain(),
         hostname_bind=ChaosBehavior.nxdomain(),
+        ambiguity=_PI_HOLE_AMBIGUITY.get(version, _PI_HOLE_AMBIGUITY["2.81"]),
     )
 
 
@@ -121,6 +195,7 @@ def unbound(version: str = "1.9.0", identity: Optional[str] = None) -> ServerSof
         version_bind=ChaosBehavior.answer(f"unbound {version}"),
         id_server=ident,
         hostname_bind=ident,
+        ambiguity=_UNBOUND_AMBIGUITY.get(version, _UNBOUND_AMBIGUITY["1.9.0"]),
     )
 
 
@@ -137,6 +212,11 @@ def unbound_hidden(version: str = "1.9.0") -> ServerSoftware:
         version_bind=ChaosBehavior.notimp(),
         id_server=ChaosBehavior.notimp(),
         hostname_bind=ChaosBehavior.notimp(),
+        # hide-version also silences the TC edge case in this build.
+        ambiguity=AmbiguityProfile(
+            tc_query="drop", multi_question="notimp",
+            edns_unknown="strip", odd_opcode="notimp",
+        ),
     )
 
 
@@ -147,6 +227,10 @@ def bind_redhat(version: str = "9.11.4-P2") -> ServerSoftware:
         version_bind=ChaosBehavior.answer(f"{version}-RedHat-{version}-26.P2.el7"),
         id_server=ChaosBehavior.refuse(),
         hostname_bind=ChaosBehavior.refuse(),
+        ambiguity=AmbiguityProfile(
+            tc_query="formerr", multi_question="refused",
+            edns_unknown="echo", odd_opcode="notimp",
+        ),
     )
 
 
@@ -157,6 +241,10 @@ def bind_debian(version: str = "9.11.5-P4") -> ServerSoftware:
         version_bind=ChaosBehavior.answer(f"{version}-5.1+deb10u5-Debian"),
         id_server=ChaosBehavior.refuse(),
         hostname_bind=ChaosBehavior.refuse(),
+        ambiguity=AmbiguityProfile(
+            tc_query="formerr", multi_question="refused",
+            edns_unknown="echo", odd_opcode="refused",
+        ),
     )
 
 
@@ -167,6 +255,10 @@ def bind_vanilla(version: str = "9.16.15") -> ServerSoftware:
         version_bind=ChaosBehavior.answer(version),
         id_server=ChaosBehavior.refuse(),
         hostname_bind=ChaosBehavior.refuse(),
+        ambiguity=AmbiguityProfile(
+            tc_query="formerr", multi_question="refused",
+            edns_unknown="echo", odd_opcode="formerr",
+        ),
     )
 
 
@@ -177,6 +269,10 @@ def powerdns(version: str = "4.1.11") -> ServerSoftware:
         version_bind=ChaosBehavior.answer(f"PowerDNS Recursor {version}"),
         id_server=ChaosBehavior.refuse(),
         hostname_bind=ChaosBehavior.refuse(),
+        ambiguity=AmbiguityProfile(
+            tc_query="notimp", multi_question="formerr",
+            edns_unknown="strip", odd_opcode="notimp",
+        ),
     )
 
 
@@ -187,6 +283,10 @@ def windows_ns() -> ServerSoftware:
         version_bind=ChaosBehavior.answer("Windows NS"),
         id_server=ChaosBehavior.notimp(),
         hostname_bind=ChaosBehavior.notimp(),
+        ambiguity=AmbiguityProfile(
+            case="lower", tc_query="formerr", multi_question="refused",
+            edns_unknown="strip", odd_opcode="notimp",
+        ),
     )
 
 
@@ -197,6 +297,23 @@ def microsoft() -> ServerSoftware:
         version_bind=ChaosBehavior.answer("Microsoft"),
         id_server=ChaosBehavior.notimp(),
         hostname_bind=ChaosBehavior.notimp(),
+        ambiguity=AmbiguityProfile(
+            case="lower", tc_query="formerr", multi_question="refused",
+            edns_unknown="strip", odd_opcode="refused",
+        ),
+    )
+
+
+def q9() -> ServerSoftware:
+    """The ``Q9-U-6.6`` oddity from Table 5 (an embedded vendor build)."""
+    return ServerSoftware(
+        label="Q9-U-6.6",
+        family="Q9-*",
+        version_bind=ChaosBehavior.answer("Q9-U-6.6"),
+        ambiguity=AmbiguityProfile(
+            case="lower", tc_query="notimp", multi_question="notimp",
+            edns_unknown="strip", odd_opcode="notimp", overlap="first",
+        ),
     )
 
 
@@ -208,6 +325,13 @@ def quirky(text: str) -> ServerSoftware:
         version_bind=ChaosBehavior.answer(text),
         id_server=ChaosBehavior.notimp(),
         hostname_bind=ChaosBehavior.notimp(),
+        ambiguity=_QUIRKY_AMBIGUITY.get(
+            text,
+            AmbiguityProfile(
+                tc_query="servfail", multi_question="servfail",
+                edns_unknown="strip", odd_opcode="servfail",
+            ),
+        ),
     )
 
 
@@ -219,12 +343,17 @@ def xdns(dnsmasq_version: str = "2.85") -> ServerSoftware:
     the ``version.bind`` answer the client sees is a dnsmasq string —
     which is why XB6 interceptions land in Table 5's ``dnsmasq-*`` row.
     """
+    # Same profile as plain dnsmasq of the same version: the data plane
+    # *is* dnsmasq, so the ambiguity fingerprint (correctly) names it.
     return ServerSoftware(
         label=f"dnsmasq-{dnsmasq_version}",
         family="dnsmasq-*",
         version_bind=ChaosBehavior.answer(f"dnsmasq-{dnsmasq_version}"),
         id_server=ChaosBehavior.nxdomain(),
         hostname_bind=ChaosBehavior.nxdomain(),
+        ambiguity=_DNSMASQ_AMBIGUITY.get(
+            dnsmasq_version, _DNSMASQ_AMBIGUITY["2.80"]
+        ),
     )
 
 
@@ -241,6 +370,10 @@ def silent_forwarder() -> ServerSoftware:
         version_bind=ChaosBehavior.forward(),
         id_server=ChaosBehavior.forward(),
         hostname_bind=ChaosBehavior.forward(),
+        ambiguity=AmbiguityProfile(
+            tc_query="drop", multi_question="drop",
+            edns_unknown="strip", odd_opcode="drop",
+        ),
     )
 
 

@@ -107,6 +107,121 @@ class TestRelay:
         sc.network.run()  # must not crash
 
 
+class TestCaseFidelity:
+    """0x20-style case fidelity end-to-end: the echoed question keeps
+    the client's exact spelling, and the answer section keeps the
+    zone's own spelling — compression must never rewrite either to the
+    other's case."""
+
+    MIXED = "WwW.ExAmPlE.CoM."
+
+    def assert_fidelity(self, client):
+        result = client.exchange("8.8.8.8", make_query(self.MIXED, QType.A, msg_id=9))
+        assert result.response.question.qname.to_text() == self.MIXED
+        assert [rr.name.to_text() for rr in result.response.answers] == [
+            "www.example.com."
+        ]
+
+    def test_clean_path(self, org):
+        sc, client = build(org, honest_forwarder())
+        self.assert_fidelity(client)
+
+    def test_spoofed_interceptor_answer(self, org):
+        sc, client = build(org, dnat_interceptor())
+        self.assert_fidelity(client)
+
+
+class TestRelayValidation:
+    """A colliding 16-bit id alone must not get junk relayed: the
+    response must also come from the configured upstream, from port 53,
+    and answer the question actually asked."""
+
+    QNAME = "www.example.com."
+
+    def start_exchange(self, org, msg_id=0x7711, trace=False):
+        """Send a client query through the interceptor and stop the sim
+        at the first instant the upstream relay is pending."""
+        sc = build_scenario(
+            make_spec(org, probe_id=202, firmware=dnat_interceptor()), trace=trace
+        )
+        sock = sc.host.open_socket()
+        sock.sendto(
+            make_query(self.QNAME, QType.A, msg_id=msg_id).encode(), "8.8.8.8", 53
+        )
+        for _ in range(200):
+            if sc.cpe.forwarder.pending_count:
+                break
+            sc.network.run(until=sc.network.now + 0.5)
+        assert sc.cpe.forwarder.pending_count == 1
+        upstream_id = next(iter(sc.cpe.forwarder._pending))
+        return sc, sock, upstream_id
+
+    def inject_upstream(self, sc, src, sport, message):
+        from repro.net import make_udp
+
+        sc.network.inject(
+            "cpe",
+            make_udp(src, sport, str(sc.cpe.wan_v4), UPSTREAM_PORT, message.encode()),
+        )
+
+    def finish(self, sc, sock, msg_id):
+        """Run to quiescence; return the decoded datagrams the client got."""
+        from repro.dnswire import decode_or_none
+
+        sc.network.run()
+        return [decode_or_none(d.payload) for d in sock.drain()]
+
+    def test_wrong_source_not_relayed(self, org):
+        """Off-path junk that guesses the upstream id but not the
+        upstream address is dropped; the genuine answer still relays."""
+        sc, sock, upstream_id = self.start_exchange(org, trace=True)
+        junk = make_query(self.QNAME, QType.A, msg_id=upstream_id).reply(
+            rcode=RCode.REFUSED
+        )
+        self.inject_upstream(sc, "203.0.113.66", 53, junk)
+        sc.network.run(until=sc.network.now + 0.01)
+        # The junk must not have consumed the pending entry...
+        assert sc.cpe.forwarder.pending_count == 1
+        responses = self.finish(sc, sock, 0x7711)
+        # ...so the client sees exactly the genuine NOERROR answer.
+        assert [r.rcode for r in responses] == [int(RCode.NOERROR)]
+        assert responses[0].msg_id == 0x7711
+        drops = [
+            e
+            for e in sc.network.recorder.events
+            if "response from non-upstream source" in e.detail
+        ]
+        assert drops
+
+    def test_wrong_sport_not_relayed(self, org):
+        """Right address, wrong port: still not the upstream resolver."""
+        sc, sock, upstream_id = self.start_exchange(org)
+        upstream = str(sc.cpe.forwarder.upstream_for_family(4))
+        junk = make_query(self.QNAME, QType.A, msg_id=upstream_id).reply(
+            rcode=RCode.REFUSED
+        )
+        self.inject_upstream(sc, upstream, 5353, junk)
+        sc.network.run(until=sc.network.now + 0.01)
+        assert sc.cpe.forwarder.pending_count == 1
+        responses = self.finish(sc, sock, 0x7711)
+        assert [r.rcode for r in responses] == [int(RCode.NOERROR)]
+
+    def test_question_mismatch_not_relayed(self, org):
+        """A blind spoofer hitting id, source and port still loses if
+        it answers a question the forwarder never asked."""
+        sc, sock, upstream_id = self.start_exchange(org)
+        upstream = str(sc.cpe.forwarder.upstream_for_family(4))
+        junk = make_query("evil.example.", QType.A, msg_id=upstream_id).reply(
+            rcode=RCode.NOERROR
+        )
+        self.inject_upstream(sc, upstream, 53, junk)
+        sc.network.run(until=sc.network.now + 0.01)
+        assert sc.cpe.forwarder.pending_count == 1
+        responses = self.finish(sc, sock, 0x7711)
+        assert len(responses) == 1
+        assert responses[0].question.qname.to_text() == self.QNAME
+
+
 class TestSpoofing:
     def test_hijacked_reply_claims_original_destination(self, org):
         """Validated by the stub accepting it: dns_exchange rejects any

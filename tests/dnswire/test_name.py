@@ -133,6 +133,45 @@ class TestWire:
         # "example.com" suffix is a 2-byte pointer, "www" is 4 bytes.
         assert len(writer) - first_len == 4 + 2
 
+    def test_compression_is_case_exact(self):
+        """A differently-cased spelling must not reuse an earlier
+        pointer: pointing at "EXAMPLE.com" would silently rewrite
+        "example.com" on the wire, destroying 0x20-style case fidelity
+        (the echoed spelling *is* the signal)."""
+        writer = WireWriter()
+        name("www.EXAMPLE.com").encode(writer)
+        second_offset = len(writer)
+        name("www.example.com").encode(writer)
+        reader = WireReader(writer.getvalue())
+        assert DnsName.decode(reader).to_text() == "www.EXAMPLE.com."
+        reader = WireReader(writer.getvalue(), offset=second_offset)
+        assert DnsName.decode(reader).to_text() == "www.example.com."
+
+    def test_same_case_spelling_still_compresses(self):
+        """Case-exact keys must not cost compression when the spelling
+        really is identical."""
+        writer = WireWriter()
+        name("mail.eXample.coM").encode(writer)
+        first_len = len(writer)
+        name("www.eXample.coM").encode(writer)
+        assert len(writer) - first_len == 4 + 2  # "www" label + pointer
+
+    def test_message_preserves_both_spellings(self):
+        """End-to-end: a message carrying two case-variant spellings of
+        one name round-trips both exactly."""
+        from repro.dnswire import Flags, Message, QType, Question, decode_or_none
+        from repro.dnswire.rr import a_record
+
+        message = Message(
+            msg_id=1,
+            flags=Flags(qr=True),
+            questions=(Question("www.EXAMPLE.com.", QType.A),),
+            answers=(a_record("www.example.com.", "192.0.2.1"),),
+        )
+        decoded = decode_or_none(message.encode())
+        assert decoded.question.qname.to_text() == "www.EXAMPLE.com."
+        assert decoded.answers[0].name.to_text() == "www.example.com."
+
     def test_compressed_names_decode(self):
         writer = WireWriter()
         name("example.com").encode(writer)

@@ -195,3 +195,85 @@ class TestIpv6Policies:
             "2606:4700:4700::1111", make_id_server_query(msg_id=8)
         )
         assert clean_v6.response.txt_strings()[0].isupper()
+
+
+class TestBlockEncryptedPorts:
+    """The BLOCK answer path must never decode session framing as DNS:
+    port 853 is shared with DoQ (RFC 9250), and other encrypted ports
+    (DoH on 443) carry no bare message at all."""
+
+    def block_dot_policy(self):
+        return InterceptionPolicy.build(
+            mode=InterceptMode.BLOCK, intercept_dot=True
+        )
+
+    def test_doq_session_dropped_end_to_end(self, org):
+        """A DoQ exchange through a DoT-terminating BLOCK middlebox gets
+        silence — the box cannot terminate QUIC, so it must not unwrap
+        the payload as DoT or answer a plaintext error."""
+        from repro.atlas.scenario import ScenarioSpec, build_scenario
+        from repro.atlas.transport import doq_exchange
+        from repro.dnswire import make_query
+
+        sc = build_scenario(
+            ScenarioSpec(
+                probe=make_spec(
+                    org, probe_id=310, middlebox_policies=[self.block_dot_policy()]
+                ),
+                trace=True,
+            )
+        )
+        result = doq_exchange(
+            sc.network,
+            sc.host,
+            "8.8.8.8",
+            make_query("example.com.", QType.A, msg_id=9),
+            expected_identity="dns.google",
+        )
+        assert result.response is None
+        drops = [
+            e
+            for e in sc.network.recorder.events
+            if "BLOCK: DoQ session (not DoT)" in e.detail
+        ]
+        assert drops
+
+    def direct_call(self, payload, dport):
+        """Drive _answer_error directly with a crafted packet; return
+        the packets the middlebox tried to send."""
+        from repro.net import make_udp
+
+        mb = MiddleboxRouter("mb", policy=self.block_dot_policy())
+        sent = []
+        mb.forward_by_route = sent.append
+        packet = make_udp("192.168.1.2", 4444, "8.8.8.8", dport, payload)
+        mb._answer_error(packet, mb.policy)
+        return sent
+
+    def test_doh_443_payload_never_decoded(self):
+        """Port-443 framing that happens to parse as a DNS message must
+        still be dropped: it is session data, not a query."""
+        from repro.dnswire import make_query
+
+        innocent_looking = make_query("example.com.", QType.A, msg_id=1).encode()
+        assert self.direct_call(innocent_looking, 443) == []
+
+    def test_doq_853_payload_never_decoded(self):
+        from repro.net.doq import wrap_doq
+        from repro.dnswire import make_query
+
+        wire = make_query("example.com.", QType.A, msg_id=2).encode()
+        assert self.direct_call(wrap_doq(wire, "dns.google"), 853) == []
+
+    def test_plain_53_query_still_blocked(self):
+        """The guards must not break the actual BLOCK behaviour."""
+        from repro.dnswire import decode_or_none, make_query
+
+        wire = make_query("example.com.", QType.A, msg_id=3).encode()
+        sent = self.direct_call(wire, 53)
+        assert len(sent) == 1
+        error = decode_or_none(sent[0].udp.payload)
+        assert error.rcode == int(RCode.REFUSED)
+
+    def test_garbage_53_payload_dropped(self):
+        assert self.direct_call(b"\x16\x03\x01junk", 53) == []
